@@ -1,0 +1,82 @@
+// Ablations of the design choices DESIGN.md §5 documents, on the headline
+// workload (VGG-19, 4 GPUs, strong scaling):
+//   * communication-affinity weight λ in device selection (0 = plain
+//     min-EFT, the literal Alg. 1 reading),
+//   * the critical-path device policy,
+//   * order enforcement,
+//   * operation splitting.
+// Each row reports FastT throughput with one knob changed.
+#include "harness.h"
+
+using namespace fastt;
+using namespace fastt::bench;
+
+int main() {
+  std::printf(
+      "Ablation — FastT on VGG-19, 4 GPUs, strong scaling (DP baseline "
+      "shown first)\n\n");
+  const ModelSpec& spec = FindModel("vgg19");
+  const Cluster cluster = Cluster::SingleServer(4);
+
+  TablePrinter table({"Variant", "samples/s", "vs full FastT"});
+
+  CalculatorOptions full;
+  const auto dp = RunDataParallelBaseline(spec.build, spec.name,
+                                          spec.strong_batch, Scaling::kStrong,
+                                          cluster, full);
+  const auto fastt = RunFastT(spec.build, spec.name, spec.strong_batch,
+                              Scaling::kStrong, cluster, full);
+  const double reference = SamplesPerSecond(fastt);
+
+  auto add = [&](const std::string& label, double speed) {
+    table.AddRow({label, Speed(speed),
+                  StrFormat("%+.1f%%", 100.0 * (speed / reference - 1.0))});
+  };
+  add("data parallel (baseline)", SamplesPerSecond(dp));
+  add("FastT (full)", reference);
+
+  struct Variant {
+    std::string label;
+    CalculatorOptions options;
+  };
+  std::vector<Variant> variants;
+  {
+    Variant v{"no comm affinity (plain min-EFT)", full};
+    v.options.os_dpos.dpos.comm_affinity = 0.0;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"comm affinity x4", full};
+    v.options.os_dpos.dpos.comm_affinity = 4.0;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"no critical-path device", full};
+    v.options.use_critical_path_device = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"no order enforcement", full};
+    v.options.enable_order_enforcement = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"no operation splitting", full};
+    v.options.enable_split = false;
+    variants.push_back(v);
+  }
+  for (const Variant& v : variants) {
+    const auto result = RunFastT(spec.build, spec.name, spec.strong_batch,
+                                 Scaling::kStrong, cluster, v.options);
+    add(v.label, SamplesPerSecond(result));
+    std::fflush(stdout);
+  }
+  table.Print();
+  std::printf(
+      "\nReading: the rollback safety net means ablated variants never fall\n"
+      "below the data-parallel start strategy, but disabling the\n"
+      "communication-affinity term forfeits most of the placement win —\n"
+      "plain min-EFT cannot see weight-broadcast/gradient traffic whose\n"
+      "cost lands on later ops.\n");
+  return 0;
+}

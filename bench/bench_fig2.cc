@@ -1,0 +1,52 @@
+// Figure 2: performance gain of order enforcement — per-iteration time of
+// the default executor order vs. FastT's enforced priorities, on the same
+// FastT placement, 2 GPUs, for the four CNNs the paper plots.
+#include "harness.h"
+
+using namespace fastt;
+using namespace fastt::bench;
+
+int main() {
+  std::printf(
+      "Figure 2 — per-iteration time: default executor order vs. FastT "
+      "order enforcement (2 GPUs)\n\n");
+  const Cluster cluster = Cluster::SingleServer(2);
+  TablePrinter table({"Model", "Default order", "Order enforced", "Gain"});
+  for (const char* name : {"alexnet", "vgg19", "lenet", "resnet200"}) {
+    const ModelSpec& spec = FindModel(name);
+    CalculatorOptions options;
+    const auto ft = RunFastT(spec.build, spec.name, spec.strong_batch,
+                             Scaling::kStrong, cluster, options);
+    const auto priorities = PrioritiesFromOrder(
+        ft.strategy.execution_order, ft.graph.num_slots());
+    auto measure = [&](DispatchMode mode) {
+      double total = 0.0;
+      const int iters = 5;
+      for (int i = 0; i < iters; ++i) {
+        SimOptions so;
+        so.dispatch = mode;
+        so.priorities = priorities;
+        so.noise_cv = 0.03;
+        so.seed = 900 + static_cast<uint64_t>(i);
+        total += Simulate(ft.graph, ft.strategy.placement, cluster, so)
+                     .makespan;
+      }
+      return total / iters;
+    };
+    // The TF default executor drains its ready queue in effectively
+    // arbitrary order (inter-op thread pool) — modeled as kRandom.
+    const double fifo = measure(DispatchMode::kRandom);
+    const double enforced = measure(DispatchMode::kPriority);
+    table.AddRow({name, StrFormat("%.2f ms", fifo * 1e3),
+                  StrFormat("%.2f ms", enforced * 1e3),
+                  StrFormat("%.1f %%", 100.0 * (fifo / enforced - 1.0))});
+    std::fflush(stdout);
+  }
+  table.Print();
+  std::printf(
+      "\nShape checks vs. paper: enforcing the computed execution order\n"
+      "reduces per-iteration time (paper: up to 26.9%% on 2 GPUs), because\n"
+      "the default order can schedule bulk tensor sends ahead of critical\n"
+      "ones.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 3: normalized training speed (relative to strong-scaling data
+// parallelism) of FastT vs. the comparator stand-ins — REINFORCE-like
+// random search, GDP-like greedy rank placement, Post-like local search
+// (all restricted to model-parallel placements of the bare graph, like the
+// originals), and FlexFlow-like simulated annealing over placement+splits.
+// Models and device counts follow the paper's four panels.
+#include "baselines/searchers.h"
+#include "harness.h"
+
+using namespace fastt;
+using namespace fastt::bench;
+
+int main() {
+  std::printf(
+      "Figure 3 — normalized speed vs. data parallelism (DP = 1.00)\n\n");
+  TablePrinter table({"Model", "GPUs", "REINFORCE~", "GDP~", "Post~",
+                      "FlexFlow~", "FastT"});
+  for (const char* name :
+       {"inception_v3", "resnet200", "gnmt", "rnnlm"}) {
+    const ModelSpec& spec = FindModel(name);
+    for (int gpus : {2, 4, 8}) {
+      const Cluster cluster = Cluster::SingleServer(gpus);
+      CalculatorOptions copt;
+      const auto dp = RunDataParallelBaseline(
+          spec.build, spec.name, spec.strong_batch, Scaling::kStrong,
+          cluster, copt);
+      const double dp_speed = SamplesPerSecond(dp);
+      const auto ft = RunFastT(spec.build, spec.name, spec.strong_batch,
+                               Scaling::kStrong, cluster, copt);
+
+      SearchOptions so;
+      so.budget = 80;
+      const auto rs = RandomSearchPlacement(spec.build, spec.name,
+                                            spec.strong_batch, cluster, so);
+      const auto gr = GreedyRankPlacement(spec.build, spec.name,
+                                          spec.strong_batch, cluster, so);
+      const auto ls = CrossEntropyPlacement(spec.build, spec.name,
+                                            spec.strong_batch, cluster, so);
+      SearchOptions sa_opt;
+      sa_opt.budget = 160;  // FlexFlow's search budget dwarfs the others
+      const auto sa = AnnealingSearch(spec.build, spec.name,
+                                      spec.strong_batch, cluster, sa_opt);
+
+      auto normalized = [&](double batch, double iteration_s) {
+        return (batch / (iteration_s + kSessionOverheadS)) / dp_speed;
+      };
+      table.AddRow(
+          {name, StrFormat("%d", gpus),
+           StrFormat("%.2f", normalized(
+                                 static_cast<double>(spec.strong_batch),
+                                 rs.iteration_s)),
+           StrFormat("%.2f", normalized(
+                                 static_cast<double>(spec.strong_batch),
+                                 gr.iteration_s)),
+           StrFormat("%.2f", normalized(
+                                 static_cast<double>(spec.strong_batch),
+                                 ls.iteration_s)),
+           StrFormat("%.2f",
+                     normalized(static_cast<double>(sa.global_batch),
+                                sa.iteration_s)),
+           StrFormat("%.2f", SamplesPerSecond(ft) / dp_speed)});
+      std::fflush(stdout);
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nShape checks vs. paper: FastT beats every model-parallel-only\n"
+      "searcher (their solution space lacks data parallelism and splits);\n"
+      "the FlexFlow-like annealer — searching the same larger space with a\n"
+      "far bigger budget — is the only one that can approach or edge out\n"
+      "FastT. Absolute normalized values for the MP-only searchers are\n"
+      "lower than the published ones because our DP baseline is healthier\n"
+      "on CNNs (see EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 4: number of operations assigned to each GPU by FastT for
+// AlexNet, VGG-19 and LeNet on 2 and 4 GPUs — showing the deliberately
+// uneven placement (replicas of large-parameter ops gathered on one GPU).
+#include <map>
+
+#include "harness.h"
+
+using namespace fastt;
+using namespace fastt::bench;
+
+int main() {
+  std::printf("Figure 4 — ops per GPU under FastT\n\n");
+  for (int gpus : {2, 4}) {
+    std::printf("%d GPUs:\n", gpus);
+    const Cluster cluster = Cluster::SingleServer(gpus);
+    TablePrinter table([&] {
+      std::vector<std::string> headers{"Model"};
+      for (int d = 0; d < gpus; ++d)
+        headers.push_back(StrFormat("GPU %d", d));
+      return headers;
+    }());
+    for (const char* name : {"alexnet", "vgg19", "lenet"}) {
+      const ModelSpec& spec = FindModel(name);
+      CalculatorOptions options;
+      const auto ft = RunFastT(spec.build, spec.name, spec.strong_batch,
+                               Scaling::kStrong, cluster, options);
+      std::map<DeviceId, int> counts;
+      for (OpId id : ft.graph.LiveOps())
+        ++counts[ft.strategy.placement[static_cast<size_t>(id)]];
+      std::vector<std::string> row{name};
+      for (int d = 0; d < gpus; ++d)
+        row.push_back(StrFormat("%d", counts[d]));
+      table.AddRow(std::move(row));
+      std::fflush(stdout);
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Shape checks vs. paper: op counts are NOT balanced — one GPU hosts\n"
+      "noticeably more ops because all replicas of the large-parameter\n"
+      "(fully-connected) operations and their gradient aggregation live\n"
+      "there, while compute-heavy convolutions spread across devices.\n");
+  return 0;
+}

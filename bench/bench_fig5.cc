@@ -1,0 +1,43 @@
+// Figure 5: average computation time and memcpy (tensor transfer) time per
+// iteration for data parallelism vs. FastT on 2 GPUs, for VGG-19,
+// ResNet-200, AlexNet and LeNet. Computation and communication overlap, so
+// per-iteration time is not their sum.
+#include "harness.h"
+
+using namespace fastt;
+using namespace fastt::bench;
+
+int main() {
+  std::printf(
+      "Figure 5 — average computation / memcpy / per-iteration time (ms), "
+      "2 GPUs\n\n");
+  const Cluster cluster = Cluster::SingleServer(2);
+  TablePrinter table({"Model", "Strategy", "Computation", "Memcpy",
+                      "Per-iteration"});
+  for (const char* name : {"vgg19", "resnet200", "alexnet", "lenet"}) {
+    const ModelSpec& spec = FindModel(name);
+    CalculatorOptions options;
+    const auto dp = RunDataParallelBaseline(
+        spec.build, spec.name, spec.strong_batch, Scaling::kStrong, cluster,
+        options);
+    const auto ft = RunFastT(spec.build, spec.name, spec.strong_batch,
+                             Scaling::kStrong, cluster, options);
+    auto add = [&](const char* strategy, const SimResult& sim,
+                   double iteration_s) {
+      table.AddRow({name, strategy,
+                    StrFormat("%.2f", sim.total_compute_s * 1e3),
+                    StrFormat("%.2f", sim.total_memcpy_s * 1e3),
+                    StrFormat("%.2f", iteration_s * 1e3)});
+    };
+    add("Data parallel", dp.final_sim, dp.iteration_s);
+    add("FastT", ft.final_sim, ft.iteration_s);
+    std::fflush(stdout);
+  }
+  table.Print();
+  std::printf(
+      "\nShape checks vs. paper: FastT's memcpy time drops sharply vs. data\n"
+      "parallelism (no gradient/weight traffic for colocated replicas),\n"
+      "with computation time equal or slightly higher on the gathered\n"
+      "device; per-iteration time falls with memcpy.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Micro-benchmarks (google-benchmark) for the algorithmic building blocks:
+// DPOS scheduling throughput vs. graph size and device count, OS-DPOS split
+// probing, the graph rewrite, the discrete-event executor, and rank
+// computation. These back DESIGN.md's claim that FastT's complexity is
+// linear in ops x devices.
+#include <benchmark/benchmark.h>
+
+#include "core/data_parallel.h"
+#include "core/os_dpos.h"
+#include "core/rank.h"
+#include "graph/rewrite.h"
+#include "models/model_zoo.h"
+#include "sim/profiler.h"
+
+namespace fastt {
+namespace {
+
+struct Prepared {
+  Graph graph;
+  Cluster cluster;
+  CompCostModel comp;
+  CommCostModel comm;
+  std::vector<DeviceId> placement;
+};
+
+Prepared PrepareModel(const std::string& name, int gpus) {
+  const ModelSpec& spec = FindModel(name);
+  Prepared p{Graph{}, Cluster::SingleServer(gpus), {}, {}, {}};
+  auto dp = BuildDataParallel(spec.build, spec.name, spec.strong_batch,
+                              gpus, Scaling::kStrong);
+  p.graph = std::move(dp.graph);
+  p.placement = CanonicalDataParallelPlacement(dp);
+  for (int i = 0; i < 2; ++i) {
+    SimOptions so;
+    so.seed = 50 + static_cast<uint64_t>(i);
+    const RunProfile profile =
+        ExtractProfile(p.graph, Simulate(p.graph, p.placement, p.cluster, so));
+    p.comp.AddProfile(profile);
+    p.comm.AddProfile(profile);
+  }
+  return p;
+}
+
+void BM_Dpos(benchmark::State& state, const std::string& model) {
+  const int gpus = static_cast<int>(state.range(0));
+  Prepared p = PrepareModel(model, gpus);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Dpos(p.graph, p.cluster, p.comp, p.comm));
+  }
+  state.counters["ops"] = p.graph.num_live_ops();
+}
+
+void BM_OsDpos(benchmark::State& state) {
+  Prepared p = PrepareModel("alexnet", static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OsDpos(p.graph, p.cluster, p.comp, p.comm));
+  }
+}
+
+void BM_Simulate(benchmark::State& state, const std::string& model) {
+  Prepared p = PrepareModel(model, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Simulate(p.graph, p.placement, p.cluster));
+  }
+  state.counters["ops"] = p.graph.num_live_ops();
+}
+
+void BM_SplitOperation(benchmark::State& state) {
+  const ModelSpec& spec = FindModel("vgg19");
+  const Graph base = BuildSingle(spec, 64);
+  const OpId conv = base.FindOp("conv3_1");
+  for (auto _ : state) {
+    Graph g = base;
+    benchmark::DoNotOptimize(
+        SplitOperation(g, conv, SplitDim::kBatch,
+                       static_cast<int>(state.range(0))));
+  }
+}
+
+void BM_RankU(benchmark::State& state) {
+  Prepared p = PrepareModel("resnet200", 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeRankU(p.graph, p.comp, p.comm, 4));
+  }
+}
+
+BENCHMARK_CAPTURE(BM_Dpos, vgg19, "vgg19")->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK_CAPTURE(BM_Dpos, resnet200, "resnet200")->Arg(2)->Arg(4);
+BENCHMARK(BM_OsDpos)->Arg(2)->Arg(4);
+BENCHMARK_CAPTURE(BM_Simulate, vgg19, "vgg19")->Arg(2)->Arg(4);
+BENCHMARK_CAPTURE(BM_Simulate, bert, "bert_large")->Arg(2);
+BENCHMARK(BM_SplitOperation)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_RankU);
+
+}  // namespace
+}  // namespace fastt
+
+BENCHMARK_MAIN();

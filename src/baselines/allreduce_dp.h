@@ -1,0 +1,40 @@
+// Ring-allreduce data parallelism — the modern (NCCL-style) baseline.
+//
+// The paper's DP baseline is TF-slim in-graph replication with shared
+// variables, whose weight-broadcast/gradient-gather traffic through one
+// device is the headroom FastT exploits. Contemporary systems instead keep
+// per-replica weights and synchronize gradients with a ring allreduce whose
+// per-device traffic is constant in the replica count. This module builds
+// that graph — per-replica variables and optimizer updates, plus an explicit
+// 2(n-1)-step ring (reduce-scatter + all-gather) of chunked gradient
+// exchange ops — so experiments can quantify how much of FastT's Table 1
+// advantage survives against a stronger baseline (EXPERIMENTS.md discusses
+// the answer: less on CNNs, while placement wins on memory-bound and
+// multi-server cases remain).
+#pragma once
+
+#include "core/data_parallel.h"
+
+namespace fastt {
+
+struct AllReduceGraph {
+  Graph graph;
+  int replicas = 0;
+  int64_t global_batch = 0;
+  std::vector<int> replica_of;  // by OpId; ring ops belong to their replica
+};
+
+// Builds `replicas` full model copies (per-replica variables — NO sharing)
+// and wires one fused ring allreduce over each replica's flattened gradient
+// set: gradients feed a per-replica bucketing op, 2(n-1) ring steps exchange
+// chunks between neighbours, and each replica's optimizer updates consume
+// its reduced bucket.
+AllReduceGraph BuildAllReduceDataParallel(const ModelBuildFn& build,
+                                          const std::string& model_name,
+                                          int64_t batch, int replicas,
+                                          Scaling scaling);
+
+// Canonical placement: replica r (and its ring ops) on device r.
+std::vector<DeviceId> AllReducePlacement(const AllReduceGraph& ar);
+
+}  // namespace fastt

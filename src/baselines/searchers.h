@@ -1,0 +1,84 @@
+// Black-box comparator stand-ins for Fig. 3.
+//
+// The paper compares FastT against published numbers from four systems whose
+// search code is unavailable (REINFORCE, GDP, Post) or unreleasable
+// (FlexFlow). We reproduce the *comparison* by implementing searchers that
+// occupy the same solution spaces and search styles, evaluated against the
+// same simulated testbed:
+//
+//   * REINFORCE-like — black-box random search over model-parallel
+//     placements of the bare graph (no data parallelism, no splits): the
+//     solution space of the RL placement papers, with a sampling budget.
+//   * GDP-like — rank-ordered greedy placement of the bare graph (their
+//     GNN+transformer policy collapses to prioritized greedy placement in
+//     white-box form; still no DP, no splits).
+//   * Post-like — cross-entropy/local-search refinement: iterated
+//     hill-climbing over single-op moves from the best random placement.
+//   * FlexFlow-like — simulated annealing over placement AND operation
+//     splits of the data-parallel graph (the larger SOAP-style space),
+//     with a generous evaluation budget.
+//
+// All four consume simulator evaluations like their originals consume real
+// or simulated rollouts; none sees FastT's cost models.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/data_parallel.h"
+#include "core/strategy.h"
+#include "sim/exec_sim.h"
+
+namespace fastt {
+
+struct SearchResult {
+  Graph graph;
+  std::vector<DeviceId> placement;
+  double iteration_s = 0.0;  // best feasible candidate's simulated time
+  int evaluations = 0;       // simulator calls spent
+  int64_t global_batch = 0;
+};
+
+struct SearchOptions {
+  int budget = 200;        // candidate evaluations
+  uint64_t seed = 11;
+  double noise_cv = 0.0;   // evaluation noise (0: deterministic objective)
+};
+
+// REINFORCE-like: random model-parallel placements of the bare model graph.
+SearchResult RandomSearchPlacement(const ModelBuildFn& build,
+                                   const std::string& model_name,
+                                   int64_t batch, const Cluster& cluster,
+                                   const SearchOptions& options = {});
+
+// GDP-like: FLOP-rank-ordered greedy min-finish placement of the bare graph
+// (one deterministic construction; no splits, no DP).
+SearchResult GreedyRankPlacement(const ModelBuildFn& build,
+                                 const std::string& model_name,
+                                 int64_t batch, const Cluster& cluster,
+                                 const SearchOptions& options = {});
+
+// Spotlight-like: greedy start + single-op-move hill climbing on the bare
+// graph (proximal refinement of placements).
+SearchResult LocalSearchPlacement(const ModelBuildFn& build,
+                                  const std::string& model_name,
+                                  int64_t batch, const Cluster& cluster,
+                                  const SearchOptions& options = {});
+
+// Post-like: the cross-entropy method over model-parallel placements — a
+// per-op categorical distribution over devices is refit on the elite
+// fraction of each sampled population (Post's CEM core, minus the PPO
+// fine-tuning stage).
+SearchResult CrossEntropyPlacement(const ModelBuildFn& build,
+                                   const std::string& model_name,
+                                   int64_t batch, const Cluster& cluster,
+                                   const SearchOptions& options = {});
+
+// FlexFlow-like: simulated annealing over (placement, split) of the
+// data-parallel graph — the largest search space, the largest budget.
+SearchResult AnnealingSearch(const ModelBuildFn& build,
+                             const std::string& model_name, int64_t batch,
+                             const Cluster& cluster,
+                             const SearchOptions& options = {});
+
+}  // namespace fastt

@@ -1,0 +1,49 @@
+// Data-parallel training-graph construction.
+//
+// Replicates the model once per device and inserts a GradAggregate op per
+// parameter, summing the replicas' weight gradients before each replica's
+// optimizer update — the explicit form of the gradient synchronization that
+// TF-slim replicated training performs. This graph is both the DP baseline
+// (with the canonical one-replica-per-GPU placement) and FastT's start /
+// input graph when the model fits on a single device (paper §5.2).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/strategy.h"
+#include "graph/graph.h"
+#include "sim/cluster.h"
+
+namespace fastt {
+
+using ModelBuildFn =
+    std::function<void(Graph&, const std::string& prefix, int64_t batch)>;
+
+enum class Scaling {
+  kStrong,  // global batch fixed; each replica gets batch/replicas
+  kWeak,    // per-replica batch fixed; global batch grows with replicas
+};
+
+struct DataParallelGraph {
+  Graph graph;
+  int replicas = 0;
+  int64_t global_batch = 0;
+  // Replica index per OpId (aggregation ops belong to replica 0).
+  std::vector<int> replica_of;
+};
+
+// Builds `replicas` copies of the model and wires gradient aggregation.
+// Strong scaling requires batch >= replicas.
+DataParallelGraph BuildDataParallel(const ModelBuildFn& build,
+                                    const std::string& model_name,
+                                    int64_t batch, int replicas,
+                                    Scaling scaling);
+
+// The canonical DP placement: replica r on device r, aggregation ops on the
+// device hosting replica 0 (TF's default single-aggregator layout).
+std::vector<DeviceId> CanonicalDataParallelPlacement(
+    const DataParallelGraph& dp);
+
+}  // namespace fastt

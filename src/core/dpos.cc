@@ -1,0 +1,352 @@
+#include "core/dpos.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/rank.h"
+#include "core/timeline.h"
+#include "util/check.h"
+
+namespace fastt {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct ReadyOp {
+  double rank = 0.0;
+  OpId op = kInvalidOp;
+  bool operator<(const ReadyOp& other) const {
+    // max-heap by rank; ties resolved by smaller id for determinism.
+    if (rank != other.rank) return rank < other.rank;
+    return op > other.op;
+  }
+};
+
+}  // namespace
+
+int64_t MemNeed(const Graph& g, OpId id) {
+  const Operation& op = g.op(id);
+  int64_t need = op.resident_bytes();
+  if (!op.is_backward) {
+    // A forward activation consumed by the backward pass stays alive until
+    // then; that retained set (plus parameters) dominates training peaks.
+    for (OpId s : g.Succs(id)) {
+      if (g.op(s).is_backward) {
+        need += op.output_bytes();
+        break;
+      }
+    }
+  }
+  return need;
+}
+
+DposResult Dpos(const Graph& g, const Cluster& cluster,
+                const CompCostModel& comp, const CommCostModel& comm,
+                const DposOptions& options) {
+  const int32_t n_dev = cluster.num_devices();
+  FASTT_CHECK(n_dev >= 1);
+  const size_t slots = static_cast<size_t>(g.num_slots());
+
+  DposResult result;
+  result.rank = ComputeRankU(g, comp, comm, n_dev);
+  result.critical_path = CriticalPathByRank(g, result.rank);
+  result.start_time.assign(slots, 0.0);
+  result.finish_time.assign(slots, 0.0);
+  result.strategy.placement.assign(slots, kInvalidDevice);
+
+  std::vector<int64_t> planned_mem(static_cast<size_t>(n_dev), 0);
+  std::vector<int64_t> mem_budget(static_cast<size_t>(n_dev), 0);
+  for (DeviceId d = 0; d < n_dev; ++d)
+    mem_budget[static_cast<size_t>(d)] = static_cast<int64_t>(
+        options.memory_headroom *
+        static_cast<double>(cluster.device(d).usable_bytes()));
+  std::vector<DeviceTimeline> timeline(static_cast<size_t>(n_dev));
+
+  // ---- Critical-path device selection (Alg. 1 line 5) ---------------------
+  // Walk the CP, and for the ops not yet assigned pick the device with the
+  // smallest average compute time over the longest prefix it can host; when
+  // its memory fills, pick the next CP device for the remainder.
+  std::unordered_map<OpId, DeviceId> cp_device;
+  std::unordered_set<OpId> on_cp(result.critical_path.begin(),
+                                 result.critical_path.end());
+  if (options.use_critical_path_device) {
+    size_t pos = 0;
+    while (pos < result.critical_path.size()) {
+      DeviceId best = kInvalidDevice;
+      double best_avg = kInf;
+      size_t best_count = 0;
+      for (DeviceId d = 0; d < n_dev; ++d) {
+        int64_t free = mem_budget[static_cast<size_t>(d)] -
+                       planned_mem[static_cast<size_t>(d)];
+        double total = 0.0;
+        size_t count = 0;
+        for (size_t i = pos; i < result.critical_path.size(); ++i) {
+          const OpId cp_op = result.critical_path[i];
+          const Operation& op = g.op(cp_op);
+          if (MemNeed(g, cp_op) > free) break;
+          free -= MemNeed(g, cp_op);
+          total += comp.EstimateOrExplore(op, d);
+          ++count;
+        }
+        if (count == 0) continue;
+        const double avg = total / static_cast<double>(count);
+        if (avg < best_avg - 1e-15 ||
+            (avg <= best_avg + 1e-15 && count > best_count)) {
+          best_avg = avg;
+          best = d;
+          best_count = count;
+        }
+      }
+      if (best == kInvalidDevice) {
+        // No device can host even one more CP op: stop reserving; the
+        // min-EFT fallback below will place the remainder.
+        result.memory_overflow = true;
+        break;
+      }
+      for (size_t i = pos; i < pos + best_count; ++i) {
+        const OpId id = result.critical_path[i];
+        cp_device[id] = best;
+        planned_mem[static_cast<size_t>(best)] += MemNeed(g, id);
+      }
+      pos += best_count;
+    }
+  }
+
+  // ---- List scheduling ------------------------------------------------------
+  // Rank-ordered priority queue, gated by precedence (an op becomes eligible
+  // once all predecessors are placed) so ready times are always computable.
+  std::vector<int32_t> unplaced_preds(slots, 0);
+  for (OpId id : g.LiveOps()) {
+    for (EdgeId e : g.in_edges(id)) {
+      const Edge& edge = g.edge(e);
+      if (!edge.dead && !g.op(edge.src).dead)
+        ++unplaced_preds[static_cast<size_t>(id)];
+    }
+  }
+  std::priority_queue<ReadyOp> queue;
+  for (OpId id : g.LiveOps())
+    if (unplaced_preds[static_cast<size_t>(id)] == 0)
+      queue.push(ReadyOp{result.rank[static_cast<size_t>(id)], id});
+
+  // Channel model mirroring the executor: one egress and one ingress copy
+  // engine per device, and TF rendezvous dedup (a tensor is sent once per
+  // destination device). Without this, DPOS systematically under-prices
+  // placements that funnel many large tensors into one device — the exact
+  // error that made gradient-aggregation traffic look free.
+  std::vector<double> egress_free(static_cast<size_t>(n_dev), 0.0);
+  std::vector<double> ingress_free(static_cast<size_t>(n_dev), 0.0);
+  std::map<std::pair<OpId, DeviceId>, double> sent_arrival;
+
+  // Earliest data-ready time of `op` on device `d` given placed preds.
+  // Evaluation-only: consults but does not advance the channel state.
+  auto ready_time = [&](OpId op, DeviceId d) {
+    double t = 0.0;
+    for (EdgeId e : g.in_edges(op)) {
+      const Edge& edge = g.edge(e);
+      if (edge.dead || g.op(edge.src).dead) continue;
+      const DeviceId pd =
+          result.strategy.placement[static_cast<size_t>(edge.src)];
+      const double ft = result.finish_time[static_cast<size_t>(edge.src)];
+      double arrival = ft;
+      if (pd != d) {
+        auto it = sent_arrival.find({edge.src, d});
+        if (it != sent_arrival.end()) {
+          arrival = it->second;
+        } else {
+          const double start =
+              std::max({ft, egress_free[static_cast<size_t>(pd)],
+                        ingress_free[static_cast<size_t>(d)]});
+          arrival = start + comm.Estimate(pd, d, edge.bytes);
+        }
+      }
+      t = std::max(t, arrival);
+    }
+    return t;
+  };
+
+  auto schedule_on = [&](OpId op, DeviceId d) {
+    // Commit incoming transfers to the copy engines (dedup'd per tensor).
+    for (EdgeId e : g.in_edges(op)) {
+      const Edge& edge = g.edge(e);
+      if (edge.dead || g.op(edge.src).dead) continue;
+      const DeviceId pd =
+          result.strategy.placement[static_cast<size_t>(edge.src)];
+      if (pd == d) continue;
+      if (sent_arrival.count({edge.src, d}) > 0) continue;
+      const double ft = result.finish_time[static_cast<size_t>(edge.src)];
+      const double start =
+          std::max({ft, egress_free[static_cast<size_t>(pd)],
+                    ingress_free[static_cast<size_t>(d)]});
+      const double dur = comm.Estimate(pd, d, edge.bytes);
+      egress_free[static_cast<size_t>(pd)] = start + dur;
+      ingress_free[static_cast<size_t>(d)] = start + dur;
+      sent_arrival[{edge.src, d}] = start + dur;
+    }
+    const double w = comp.EstimateOrExplore(g.op(op), d);
+    const double ready = ready_time(op, d);
+    const double start = timeline[static_cast<size_t>(d)].EarliestSlot(ready, w);
+    timeline[static_cast<size_t>(d)].Commit(start, w, op);
+    result.strategy.placement[static_cast<size_t>(op)] = d;
+    result.start_time[static_cast<size_t>(op)] = start;
+    result.finish_time[static_cast<size_t>(op)] = start + w;
+  };
+
+  size_t placed = 0;
+  while (!queue.empty()) {
+    const OpId op = queue.top().op;
+    queue.pop();
+    const Operation& o = g.op(op);
+
+    DeviceId chosen = kInvalidDevice;
+    const auto colocate = o.colocate_with;
+    auto cp_it = cp_device.find(op);
+    if (colocate != kInvalidOp &&
+        result.strategy.placement[static_cast<size_t>(colocate)] !=
+            kInvalidDevice) {
+      chosen = result.strategy.placement[static_cast<size_t>(colocate)];
+      planned_mem[static_cast<size_t>(chosen)] += MemNeed(g, op);
+    } else if (cp_it != cp_device.end()) {
+      chosen = cp_it->second;  // memory already reserved in phase 1
+    } else {
+      // Min-(EFT + communication affinity) over memory-feasible devices.
+      double best_score = kInf;
+      for (DeviceId d = 0; d < n_dev; ++d) {
+        if (planned_mem[static_cast<size_t>(d)] + MemNeed(g, op) >
+            mem_budget[static_cast<size_t>(d)])
+          continue;
+        const double w = comp.EstimateOrExplore(o, d);
+        const double ready = ready_time(op, d);
+        const double eft =
+            timeline[static_cast<size_t>(d)].EarliestSlot(ready, w) + w;
+        double score = eft;
+        if (options.comm_affinity > 0.0) {
+          double traffic = 0.0;
+          for (EdgeId e : g.in_edges(op)) {
+            const Edge& edge = g.edge(e);
+            if (edge.dead || g.op(edge.src).dead) continue;
+            const DeviceId pd =
+                result.strategy.placement[static_cast<size_t>(edge.src)];
+            traffic += comm.Estimate(pd, d, edge.bytes);
+          }
+          for (EdgeId e : g.out_edges(op)) {
+            const Edge& edge = g.edge(e);
+            if (edge.dead || g.op(edge.dst).dead) continue;
+            // Consumers are unplaced, but colocation can already pin them
+            // (gradients flowing toward a parameter's aggregation/update
+            // site) — exactly the traffic §6.5's placements avoid.
+            const OpId anchor = g.op(edge.dst).colocate_with;
+            if (anchor == kInvalidOp) continue;
+            const DeviceId ad =
+                result.strategy.placement[static_cast<size_t>(anchor)];
+            if (ad != kInvalidDevice)
+              traffic += comm.Estimate(d, ad, edge.bytes);
+          }
+          score += options.comm_affinity * traffic;
+        }
+        if (const char* trace = std::getenv("FASTT_DPOS_TRACE");
+            trace != nullptr && o.name.find(trace) != std::string::npos) {
+          std::fprintf(stderr,
+                       "dpos %-28s d%d: w=%.4f ready=%.4f eft=%.4f "
+                       "score=%.4f\n",
+                       o.name.c_str(), d, w, ready, eft, score);
+        }
+        if (score < best_score) {
+          best_score = score;
+          chosen = d;
+        }
+      }
+      if (chosen == kInvalidDevice) {
+        // Nothing fits: overflow onto the device with the most headroom so a
+        // complete (if infeasible) schedule is still produced for diagnosis.
+        result.memory_overflow = true;
+        int64_t best_free = std::numeric_limits<int64_t>::min();
+        for (DeviceId d = 0; d < n_dev; ++d) {
+          const int64_t free = mem_budget[static_cast<size_t>(d)] -
+                               planned_mem[static_cast<size_t>(d)];
+          if (free > best_free) {
+            best_free = free;
+            chosen = d;
+          }
+        }
+      }
+      planned_mem[static_cast<size_t>(chosen)] += MemNeed(g, op);
+    }
+
+    schedule_on(op, chosen);
+    ++placed;
+
+    for (OpId succ : g.Succs(op)) {
+      // Succs deduplicates; count down per-edge.
+      int32_t dec = 0;
+      for (EdgeId e : g.out_edges(op)) {
+        const Edge& edge = g.edge(e);
+        if (!edge.dead && edge.dst == succ) ++dec;
+      }
+      auto& left = unplaced_preds[static_cast<size_t>(succ)];
+      left -= dec;
+      if (left == 0)
+        queue.push(ReadyOp{result.rank[static_cast<size_t>(succ)], succ});
+    }
+  }
+  FASTT_CHECK_MSG(placed == static_cast<size_t>(g.num_live_ops()),
+                  "DPOS failed to place every op (cycle?)");
+
+  // ---- Execution order & objective ------------------------------------------
+  std::vector<OpId> order = g.LiveOps();
+  std::sort(order.begin(), order.end(), [&](OpId a, OpId b) {
+    const double sa = result.start_time[static_cast<size_t>(a)];
+    const double sb = result.start_time[static_cast<size_t>(b)];
+    if (sa != sb) return sa < sb;
+    return a < b;
+  });
+  result.strategy.execution_order = std::move(order);
+  for (OpId id : g.LiveOps())
+    result.ft_exit =
+        std::max(result.ft_exit, result.finish_time[static_cast<size_t>(id)]);
+  result.strategy.predicted_makespan = result.ft_exit;
+  return result;
+}
+
+std::vector<OpId> RealizedCriticalPath(const Graph& g,
+                                       const DposResult& result,
+                                       const CommCostModel& comm) {
+  // Start from the op that finishes last, then repeatedly follow the
+  // predecessor whose arrival bound the op's start (largest arrival time).
+  OpId cur = kInvalidOp;
+  for (OpId id : g.LiveOps()) {
+    if (cur == kInvalidOp || result.finish_time[static_cast<size_t>(id)] >
+                                 result.finish_time[static_cast<size_t>(cur)])
+      cur = id;
+  }
+  std::vector<OpId> path;
+  while (cur != kInvalidOp) {
+    path.push_back(cur);
+    OpId binding = kInvalidOp;
+    double best_arrival = -1.0;
+    const DeviceId d = result.strategy.placement[static_cast<size_t>(cur)];
+    for (EdgeId e : g.in_edges(cur)) {
+      const Edge& edge = g.edge(e);
+      if (edge.dead || g.op(edge.src).dead) continue;
+      const DeviceId pd =
+          result.strategy.placement[static_cast<size_t>(edge.src)];
+      const double arrival =
+          result.finish_time[static_cast<size_t>(edge.src)] +
+          (pd == d ? 0.0 : comm.Estimate(pd, d, edge.bytes));
+      if (arrival > best_arrival) {
+        best_arrival = arrival;
+        binding = edge.src;
+      }
+    }
+    cur = binding;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace fastt

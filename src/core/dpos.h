@@ -1,0 +1,71 @@
+// DPOS — Device Placement and Operation Sequencing (paper Alg. 1).
+//
+// List scheduling in two phases:
+//   1. operation prioritization by critical-path rank (rank_u), and
+//   2. device selection: critical-path ops go to dedicated critical-path
+//      device(s) chosen by smallest average compute time within memory
+//      capacity; other ops take the device minimizing their earliest finish
+//      time, with insertion-based scheduling into idle timeline gaps.
+//
+// The scheduler consumes only the adaptive cost models — never the
+// simulator's ground truth — and prices unknown costs at 0 so that fresh
+// placements get explored and profiled (paper §4).
+#pragma once
+
+#include "core/strategy.h"
+#include "cost/comm_cost.h"
+#include "cost/comp_cost.h"
+#include "graph/graph.h"
+#include "sim/cluster.h"
+
+namespace fastt {
+
+struct DposOptions {
+  // Disable the critical-path device policy (ablation hook): every op then
+  // uses plain min-EFT selection.
+  bool use_critical_path_device = true;
+  // Communication-affinity weight in device selection. Plain min-EFT is
+  // myopic: an op's heavy tensors (weight broadcasts in, gradients toward a
+  // fixed aggregation site out) often overlap compute, so their cost only
+  // surfaces after the op is already placed. Scoring each candidate device
+  // with EFT + λ·(estimated remote traffic of the op's in-edges and of
+  // out-edges whose consumer is pinned by colocation) reproduces the
+  // placements the paper reports in §6.5 — replicas of large-parameter
+  // operations gathered on one GPU to avoid weight/gradient traffic. λ = 0
+  // recovers the plain min-EFT rule (ablation).
+  double comm_affinity = 1.0;
+  // Fraction of a device's usable memory the scheduler may plan to fill;
+  // the rest is headroom for transfer staging and transient gradients the
+  // MemNeed estimate does not capture.
+  double memory_headroom = 0.92;
+};
+
+struct DposResult {
+  Strategy strategy;
+  double ft_exit = 0.0;             // FT(o_exit), the objective
+  std::vector<double> rank;         // rank_u per slot
+  std::vector<OpId> critical_path;  // rank-based CP (placement phase)
+  std::vector<double> start_time;   // ST per slot
+  std::vector<double> finish_time;  // FT per slot
+  // True when some op could not fit on any device (the simulator will OOM).
+  bool memory_overflow = false;
+};
+
+DposResult Dpos(const Graph& g, const Cluster& cluster,
+                const CompCostModel& comp, const CommCostModel& comm,
+                const DposOptions& options = {});
+
+// Per-op device-memory demand used for placement feasibility: resident
+// parameters/optimizer slots, plus the op's output activation when that
+// activation is retained until the backward pass (i.e. some gradient op
+// consumes it). Retained activations dominate training peak memory; tensors
+// consumed only within the forward pass die quickly and are not charged.
+int64_t MemNeed(const Graph& g, OpId id);
+
+// The critical path realized by a concrete schedule: backtrack from the op
+// with the largest finish time through the binding predecessor constraint.
+std::vector<OpId> RealizedCriticalPath(const Graph& g,
+                                       const DposResult& result,
+                                       const CommCostModel& comm);
+
+}  // namespace fastt

@@ -1,0 +1,92 @@
+#include "core/os_dpos.h"
+
+#include <algorithm>
+
+#include "graph/rewrite.h"
+
+namespace fastt {
+namespace {
+
+std::vector<int> CandidateSplitCounts(int num_devices) {
+  std::vector<int> counts;
+  for (int n = 2; n <= num_devices; n *= 2) counts.push_back(n);
+  if (num_devices >= 2 &&
+      (counts.empty() || counts.back() != num_devices))
+    counts.push_back(num_devices);
+  return counts;
+}
+
+}  // namespace
+
+OsDposResult OsDpos(const Graph& g, const Cluster& cluster,
+                    const CompCostModel& comp, const CommCostModel& comm,
+                    const OsDposOptions& options) {
+  OsDposResult result;
+  result.graph = g;
+  result.schedule = Dpos(result.graph, cluster, comp, comm, options.dpos);
+  double ft_old = result.schedule.ft_exit;
+
+  // Critical path realized by the initial placement, by descending compute
+  // time (the heaviest ops are the most promising split candidates).
+  std::vector<OpId> cp =
+      RealizedCriticalPath(result.graph, result.schedule, comm);
+  std::sort(cp.begin(), cp.end(), [&](OpId a, OpId b) {
+    const auto& fa = result.schedule;
+    const double wa = fa.finish_time[static_cast<size_t>(a)] -
+                      fa.start_time[static_cast<size_t>(a)];
+    const double wb = fa.finish_time[static_cast<size_t>(b)] -
+                      fa.start_time[static_cast<size_t>(b)];
+    if (wa != wb) return wa > wb;
+    return a < b;
+  });
+
+  const std::vector<int> counts = CandidateSplitCounts(cluster.num_devices());
+  if (counts.empty()) return result;
+
+  int probed = 0;
+  for (OpId op : cp) {
+    if (static_cast<int>(result.splits.size()) >= options.max_splits) break;
+    if (probed >= options.max_probed_ops) break;
+    if (result.graph.op(op).dead) continue;  // consumed by an earlier commit
+    ++probed;
+
+    // Probe every (dimension, count) rewrite of this op.
+    double best_ft = ft_old;
+    Graph best_graph;
+    DposResult best_schedule;
+    SplitDecision best_decision;
+    bool improved = false;
+    for (SplitDim dim : ParallelizableDims(result.graph.op(op).type)) {
+      for (int n : counts) {
+        if (!CanSplit(result.graph, op, dim, n)) continue;
+        Graph trial = result.graph;
+        SplitOperation(trial, op, dim, n);
+        DposResult sched = Dpos(trial, cluster, comp, comm, options.dpos);
+        ++result.probes;
+        if (sched.memory_overflow) continue;
+        if (sched.ft_exit < best_ft) {
+          best_ft = sched.ft_exit;
+          best_graph = std::move(trial);
+          best_schedule = std::move(sched);
+          best_decision =
+              SplitDecision{result.graph.op(op).name, dim, n};
+          improved = true;
+        }
+      }
+    }
+
+    if (improved) {
+      ft_old = best_ft;
+      result.graph = std::move(best_graph);
+      result.schedule = std::move(best_schedule);
+      result.splits.push_back(std::move(best_decision));
+    } else {
+      break;  // paper's early exit: stop at the first non-improving CP op
+    }
+  }
+
+  result.schedule.strategy.splits = result.splits;
+  return result;
+}
+
+}  // namespace fastt

@@ -1,0 +1,38 @@
+// OS-DPOS — Operation Splitting + DPOS (paper Alg. 2).
+//
+// Starting from a DPOS schedule, walk the realized critical path in
+// descending order of computation time and, for each op, probe splitting it
+// along each parallelizable dimension with each candidate split count
+// (rescheduling the rewritten graph with DPOS every time). Commit the best
+// split only if it strictly improves FT(o_exit); stop at the first op whose
+// best split does not improve (the paper's early exit).
+#pragma once
+
+#include "core/dpos.h"
+
+namespace fastt {
+
+struct OsDposOptions {
+  DposOptions dpos;
+  // Candidate split counts are 2, 4, ..., up to the device count (plus the
+  // device count itself when it is not a power of two).
+  // Safety valve on pathological graphs: maximum number of committed splits
+  // (the paper's early exit usually stops far sooner; Table 6 reports only
+  // one or two split op kinds per model).
+  int max_splits = 8;
+  // Maximum number of CP ops probed (the early exit usually fires first).
+  int max_probed_ops = 32;
+};
+
+struct OsDposResult {
+  Graph graph;         // input graph with all committed splits applied
+  DposResult schedule; // final DPOS result on that graph
+  std::vector<SplitDecision> splits;
+  int probes = 0;      // DPOS invocations spent probing splits
+};
+
+OsDposResult OsDpos(const Graph& g, const Cluster& cluster,
+                    const CompCostModel& comp, const CommCostModel& comm,
+                    const OsDposOptions& options = {});
+
+}  // namespace fastt

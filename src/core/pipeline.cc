@@ -1,0 +1,62 @@
+#include "core/pipeline.h"
+
+#include <map>
+
+#include "core/model_parallel.h"
+#include "util/check.h"
+
+namespace fastt {
+
+PipelineGraph BuildPipeline(const ModelBuildFn& build,
+                            const std::string& model_name, int64_t batch,
+                            int micro_batches, const Cluster& cluster) {
+  FASTT_CHECK(micro_batches >= 1);
+  FASTT_CHECK_MSG(batch >= micro_batches,
+                  "batch must cover every micro-batch");
+
+  PipelineGraph pipeline;
+  pipeline.micro_batches = micro_batches;
+
+  // Micro-batches are replicas with shared variables and one optimizer
+  // update fed by the aggregated micro-batch gradients — exactly the
+  // shared-variable data-parallel construction, re-placed stage-wise below.
+  DataParallelGraph dp = BuildDataParallel(build, model_name, batch,
+                                           micro_batches, Scaling::kStrong);
+  pipeline.global_batch = dp.global_batch;
+
+  // Stage map from micro-batch 0's layer-wise cut: cost key → device. The
+  // cut also pins the shared variables (which live in replica 0's slice).
+  const auto reference =
+      GreedyModelParallelPlacement(dp.graph, cluster);
+  std::map<std::string, DeviceId> stage_of;
+  for (OpId id : dp.graph.LiveOps())
+    stage_of.emplace(dp.graph.op(id).CostKey(),
+                     reference[static_cast<size_t>(id)]);
+
+  pipeline.placement.assign(static_cast<size_t>(dp.graph.num_slots()), 0);
+  for (OpId id : dp.graph.LiveOps()) {
+    auto it = stage_of.find(dp.graph.op(id).CostKey());
+    pipeline.placement[static_cast<size_t>(id)] =
+        it != stage_of.end() ? it->second
+                             : reference[static_cast<size_t>(id)];
+  }
+  // Colocation constraints win over the stage map.
+  for (OpId id : dp.graph.TopoOrder()) {
+    const OpId target = dp.graph.op(id).colocate_with;
+    if (target != kInvalidOp && !dp.graph.op(target).dead)
+      pipeline.placement[static_cast<size_t>(id)] =
+          pipeline.placement[static_cast<size_t>(target)];
+  }
+
+  // Depth-first priorities: creation order is micro-batch-major, so OpId
+  // order already expresses "finish micro-batch m's stage before starting
+  // micro-batch m+1's".
+  pipeline.priorities.resize(static_cast<size_t>(dp.graph.num_slots()));
+  for (size_t i = 0; i < pipeline.priorities.size(); ++i)
+    pipeline.priorities[i] = static_cast<int64_t>(i);
+
+  pipeline.graph = std::move(dp.graph);
+  return pipeline;
+}
+
+}  // namespace fastt

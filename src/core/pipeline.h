@@ -1,0 +1,45 @@
+// Micro-batch pipeline parallelism — the paper's §7/§8 extension.
+//
+// "After FastT obtains operation placement and execution order, it can
+// further split a mini-batch into micro-batches and allow pipelined
+// training in the similar fashion as proposed in GPipe."
+//
+// Construction: the mini-batch is split into M micro-batches, each built as
+// a replica sharing the model's variables (exactly the shared-variable
+// machinery of the data-parallel constructor); a layer-wise model-parallel
+// cut assigns each *stage* to a device, and every micro-batch follows the
+// same stage → device map. Because micro-batches are independent until
+// gradient aggregation, the executor naturally overlaps micro-batch m's
+// stage s with micro-batch m+1's stage s-1 — the GPipe schedule emerges
+// from the dataflow. Synchronous semantics are preserved: all micro-batch
+// gradients are aggregated before the single optimizer update.
+#pragma once
+
+#include "core/data_parallel.h"
+#include "sim/cluster.h"
+
+namespace fastt {
+
+struct PipelineGraph {
+  Graph graph;
+  int micro_batches = 0;
+  int64_t global_batch = 0;
+  std::vector<DeviceId> placement;  // stage-mapped placement per OpId
+  // Depth-first (micro-batch-major) execution priorities. Without order
+  // enforcement the default executor advances all micro-batches in
+  // lockstep — every micro-batch reaches the stage boundary simultaneously
+  // and the pipeline degenerates to serial execution. Running each
+  // micro-batch through its stage before admitting the next (exactly the
+  // ordering FastT's priority enforcement expresses) produces the GPipe
+  // schedule. Use with DispatchMode::kPriority.
+  std::vector<int64_t> priorities;
+};
+
+// Builds the pipelined training graph for `micro_batches` micro-batches of
+// `batch / micro_batches` samples each (batch must be >= micro_batches) and
+// assigns stages over the cluster's devices.
+PipelineGraph BuildPipeline(const ModelBuildFn& build,
+                            const std::string& model_name, int64_t batch,
+                            int micro_batches, const Cluster& cluster);
+
+}  // namespace fastt

@@ -1,0 +1,39 @@
+#include "core/rank.h"
+
+#include <algorithm>
+
+namespace fastt {
+
+std::vector<double> ComputeRankU(const Graph& g, const CompCostModel& comp,
+                                 const CommCostModel& comm,
+                                 int32_t num_devices) {
+  return g.LongestPathFromExit(
+      [&](const Operation& op) {
+        return comp.MaxTimeOverDevices(op, num_devices);
+      },
+      [&](const Edge& e) { return comm.MaxOverPairs(e.bytes); });
+}
+
+std::vector<OpId> CriticalPathByRank(const Graph& g,
+                                     const std::vector<double>& rank) {
+  OpId best = kInvalidOp;
+  for (OpId id : g.LiveOps()) {
+    if (best == kInvalidOp ||
+        rank[static_cast<size_t>(id)] > rank[static_cast<size_t>(best)])
+      best = id;
+  }
+  std::vector<OpId> path;
+  while (best != kInvalidOp) {
+    path.push_back(best);
+    OpId next = kInvalidOp;
+    for (OpId s : g.Succs(best)) {
+      if (next == kInvalidOp ||
+          rank[static_cast<size_t>(s)] > rank[static_cast<size_t>(next)])
+        next = s;
+    }
+    best = next;
+  }
+  return path;
+}
+
+}  // namespace fastt

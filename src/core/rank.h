@@ -1,0 +1,28 @@
+// Operation prioritization (paper §5.1): the critical-path rank
+//
+//   rank_u(o_i) = w_i + max_{o_j in succ(o_i)} (c_{i,j} + rank_u(o_j))
+//
+// where w_i is the op's maximal execution time over devices and c_{i,j} the
+// maximal tensor transmission time over device pairs — both read from the
+// adaptive cost models (unknown costs price as 0, the exploration rule).
+#pragma once
+
+#include <vector>
+
+#include "cost/comm_cost.h"
+#include "cost/comp_cost.h"
+#include "graph/graph.h"
+
+namespace fastt {
+
+// rank_u per OpId slot (0 for dead slots).
+std::vector<double> ComputeRankU(const Graph& g, const CompCostModel& comp,
+                                 const CommCostModel& comm,
+                                 int32_t num_devices);
+
+// The critical path: starting from the live op with the largest rank,
+// repeatedly follow the successor with the largest rank.
+std::vector<OpId> CriticalPathByRank(const Graph& g,
+                                     const std::vector<double>& rank);
+
+}  // namespace fastt

@@ -1,0 +1,277 @@
+#include "core/strategy_calculator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "core/model_parallel.h"
+#include "sim/profiler.h"
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace fastt {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Runs `iters` profiled steps of (graph, placement, order) on the simulated
+// testbed, feeding the cost models; returns the mean iteration time and adds
+// the simulated wall time to *wall.
+double ProfileSteps(const Graph& g, const std::vector<DeviceId>& placement,
+                    const std::vector<int64_t>& priorities,
+                    DispatchMode dispatch, const Cluster& cluster, int iters,
+                    double noise_cv, uint64_t seed, CompCostModel& comp,
+                    CommCostModel& comm, double* wall,
+                    bool* oom = nullptr) {
+  double total = 0.0;
+  for (int i = 0; i < iters; ++i) {
+    SimOptions options;
+    options.dispatch = dispatch;
+    options.priorities = priorities;
+    options.noise_cv = noise_cv;
+    options.seed = seed + static_cast<uint64_t>(i) * 7919;
+    const SimResult sim = Simulate(g, placement, cluster, options);
+    const RunProfile profile = ExtractProfile(g, sim);
+    comp.AddProfile(profile);
+    comm.AddProfile(profile);
+    total += sim.makespan;
+    if (oom && sim.oom) *oom = true;
+  }
+  if (wall) *wall += total;
+  return total / iters;
+}
+
+// Measurement-only runs (no cost-model updates).
+double MeasureSteps(const Graph& g, const std::vector<DeviceId>& placement,
+                    const std::vector<int64_t>& priorities,
+                    DispatchMode dispatch, const Cluster& cluster, int iters,
+                    double noise_cv, uint64_t seed, SimResult* last) {
+  double total = 0.0;
+  for (int i = 0; i < iters; ++i) {
+    SimOptions options;
+    options.dispatch = dispatch;
+    options.priorities = priorities;
+    options.noise_cv = noise_cv;
+    options.seed = seed + 1000003 + static_cast<uint64_t>(i) * 104729;
+    const SimResult sim = Simulate(g, placement, cluster, options);
+    total += sim.makespan;
+    if (last) *last = sim;
+  }
+  return total / iters;
+}
+
+// Communication probe: a throwaway graph whose edges exercise every ordered
+// device pair at two tensor sizes, so each pair's linear regression can
+// recover latency and bandwidth. This is the paper's "try out different
+// placements" bootstrap, in the shape of the all-pairs bandwidth
+// microbenchmark practitioners run before training.
+void ProbeCommunication(const Cluster& cluster, double noise_cv,
+                        uint64_t seed, CommCostModel& comm, double* wall) {
+  const int32_t n = cluster.num_devices();
+  if (n < 2) return;
+  Graph g("comm_probe");
+  std::vector<DeviceId> placement;
+  auto add_op = [&](const std::string& name, int64_t bytes, DeviceId d) {
+    Operation op;
+    op.name = name;
+    op.type = OpType::kIdentity;
+    op.output_shape = TensorShape{bytes / 4};
+    op.bytes_touched = bytes;
+    const OpId id = g.AddOp(std::move(op));
+    placement.push_back(d);
+    return id;
+  };
+  const int64_t sizes[2] = {int64_t{1} << 20, int64_t{64} << 20};
+  for (DeviceId i = 0; i < n; ++i) {
+    for (DeviceId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      for (int s = 0; s < 2; ++s) {
+        const OpId a = add_op(StrFormat("probe/%d_%d_%d/src", i, j, s),
+                              sizes[s], i);
+        const OpId b = add_op(StrFormat("probe/%d_%d_%d/dst", i, j, s),
+                              sizes[s], j);
+        g.AddEdge(a, b, sizes[s]);
+      }
+    }
+  }
+  SimOptions options;
+  options.noise_cv = noise_cv;
+  options.seed = seed;
+  options.track_memory = false;
+  const SimResult sim = Simulate(g, placement, cluster, options);
+  const RunProfile profile = ExtractProfile(g, sim);
+  comm.AddProfile(profile);
+  if (wall) *wall += sim.makespan;
+}
+
+std::vector<std::string> CostKeys(const Graph& g) {
+  std::vector<std::string> keys;
+  keys.reserve(static_cast<size_t>(g.num_live_ops()));
+  for (OpId id : g.LiveOps()) keys.push_back(g.op(id).CostKey());
+  return keys;
+}
+
+}  // namespace
+
+double SamplesPerSecond(const CalculatorResult& result) {
+  return static_cast<double>(result.global_batch) /
+         (result.iteration_s + kSessionOverheadS);
+}
+
+CalculatorResult RunDataParallelBaseline(const ModelBuildFn& build,
+                                         const std::string& model_name,
+                                         int64_t batch, Scaling scaling,
+                                         const Cluster& cluster,
+                                         const CalculatorOptions& options) {
+  CalculatorResult result;
+  DataParallelGraph dp = BuildDataParallel(build, model_name, batch,
+                                           cluster.num_devices(), scaling);
+  result.global_batch = dp.global_batch;
+  const std::vector<DeviceId> placement = CanonicalDataParallelPlacement(dp);
+  // The TF default executor drains its ready queue in effectively arbitrary
+  // order (inter-op thread pool) — DispatchMode::kRandom.
+  result.iteration_s =
+      MeasureSteps(dp.graph, placement, {}, DispatchMode::kRandom, cluster,
+                   options.measure_iterations, options.noise_cv,
+                   options.seed, &result.final_sim);
+  result.strategy.placement = placement;
+  result.strategy.execution_order = dp.graph.TopoOrder();
+  result.graph = std::move(dp.graph);
+  return result;
+}
+
+CalculatorResult RunFastT(const ModelBuildFn& build,
+                          const std::string& model_name, int64_t batch,
+                          Scaling scaling, const Cluster& cluster,
+                          const CalculatorOptions& options) {
+  const auto host_start = Clock::now();
+  CalculatorResult result;
+
+  // ---- choose the start strategy (paper §4 / §5.2) -------------------------
+  // If one replica (at its per-replica batch) fits on one GPU, the input
+  // graph is the data-parallel replication (FastT then searches for
+  // something better than pure DP); otherwise the input is the bare model
+  // with a model-parallel placement.
+  const int64_t replica_batch =
+      scaling == Scaling::kStrong
+          ? std::max<int64_t>(1, batch / cluster.num_devices())
+          : batch;
+  Graph probe(model_name);
+  build(probe, "", replica_batch);
+  const bool fits = FitsOnOneDevice(probe, cluster);
+  result.started_model_parallel = !fits;
+
+  Graph base;
+  std::vector<DeviceId> start_placement;
+  if (fits && cluster.num_devices() > 1) {
+    DataParallelGraph dp = BuildDataParallel(build, model_name, batch,
+                                             cluster.num_devices(), scaling);
+    result.global_batch = dp.global_batch;
+    start_placement = CanonicalDataParallelPlacement(dp);
+    base = std::move(dp.graph);
+  } else {
+    // Single device, or model too large to replicate: operate on the bare
+    // model graph. (Weak scaling with an unreplicable model still trains the
+    // per-GPU batch; the devices jointly hold one replica.)
+    result.global_batch = batch;
+    base = std::move(probe);
+    start_placement = fits ? std::vector<DeviceId>(
+                                 static_cast<size_t>(base.num_slots()), 0)
+                           : GreedyModelParallelPlacement(base, cluster);
+  }
+
+  // ---- pre-training: profile, recompute, activate or roll back -------------
+  StabilityDetector stability(options.stability_tolerance,
+                              options.stability_patience);
+  ProbeCommunication(cluster, options.noise_cv, options.seed + 17,
+                     result.comm, &result.strategy_time_s);
+  Graph current_graph = base;
+  std::vector<DeviceId> current_placement = start_placement;
+  std::vector<int64_t> current_priorities;
+  DispatchMode current_dispatch = DispatchMode::kRandom;  // TF default
+  double current_measured = ProfileSteps(
+      current_graph, current_placement, current_priorities, current_dispatch,
+      cluster, options.profile_iterations, options.noise_cv, options.seed,
+      result.comp, result.comm, &result.strategy_time_s);
+  Strategy current_strategy;
+  current_strategy.placement = current_placement;
+  current_strategy.execution_order = current_graph.TopoOrder();
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    ++result.rounds;
+
+    // Recompute the strategy from the updated cost models. OS-DPOS always
+    // takes the *base* graph (DP replication or bare model) so split
+    // decisions are revisited as costs sharpen, not stacked blindly.
+    const auto algo_start = Clock::now();
+    OsDposOptions os = options.os_dpos;
+    os.dpos.use_critical_path_device = options.use_critical_path_device;
+    OsDposResult candidate;
+    if (options.enable_split) {
+      candidate = OsDpos(base, cluster, result.comp, result.comm, os);
+    } else {
+      candidate.graph = base;
+      candidate.schedule =
+          Dpos(base, cluster, result.comp, result.comm, os.dpos);
+    }
+    result.algorithm_time_s += SecondsSince(algo_start);
+
+    const std::vector<int64_t> priorities =
+        options.enable_order_enforcement
+            ? PrioritiesFromOrder(candidate.schedule.strategy.execution_order,
+                                  candidate.graph.num_slots())
+            : std::vector<int64_t>{};
+    const DispatchMode dispatch = options.enable_order_enforcement
+                                      ? DispatchMode::kPriority
+                                      : DispatchMode::kRandom;
+
+    // Activate (checkpoint/restart) and measure via profiled steps.
+    result.strategy_time_s += options.restart_overhead_s;
+    ++result.activations;
+    bool candidate_oom = false;
+    const double measured = ProfileSteps(
+        candidate.graph, candidate.schedule.strategy.placement, priorities,
+        dispatch, cluster, options.profile_iterations, options.noise_cv,
+        options.seed + static_cast<uint64_t>(round + 1) * 31337, result.comp,
+        result.comm, &result.strategy_time_s, &candidate_oom);
+
+    // An out-of-memory run crashes a real session: always roll back.
+    if (!candidate_oom && measured <= current_measured) {
+      current_graph = candidate.graph;
+      current_placement = candidate.schedule.strategy.placement;
+      current_priorities = priorities;
+      current_dispatch = dispatch;
+      current_measured = measured;
+      current_strategy = candidate.schedule.strategy;
+    } else {
+      // Slower than what we had: roll back (another restart).
+      ++result.rollbacks;
+      result.strategy_time_s += options.restart_overhead_s;
+    }
+
+    // Pre-training ends when the cost models are stable (paper's rule).
+    stability.Observe(result.comp, cluster.num_devices(),
+                      CostKeys(current_graph));
+    if (stability.IsStable()) break;
+  }
+
+  // ---- normal training: measure the final strategy --------------------------
+  result.iteration_s = MeasureSteps(
+      current_graph, current_placement, current_priorities, current_dispatch,
+      cluster, options.measure_iterations, options.noise_cv,
+      options.seed + 999331, &result.final_sim);
+  result.graph = std::move(current_graph);
+  result.strategy = std::move(current_strategy);
+  result.strategy.predicted_makespan = current_measured;
+
+  // Algorithm time is also part of the simulated strategy time.
+  result.strategy_time_s += result.algorithm_time_s;
+  (void)host_start;
+  return result;
+}
+
+}  // namespace fastt

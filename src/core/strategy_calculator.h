@@ -1,0 +1,87 @@
+// StrategyCalculator — the FastT workflow (paper §4).
+//
+// Pre-training stage: start from data parallelism (or greedy model
+// parallelism if the model cannot fit one GPU), run a few profiled
+// iterations, update the adaptive cost models, compute a new strategy with
+// OS-DPOS, activate it (checkpoint + restart, accounted as overhead), and
+// roll back if the measured per-iteration time regressed. Stop when the
+// computation cost model is stable. Profiled execution comes from the
+// simulated testbed; FastT's algorithms only ever see the profiles.
+#pragma once
+
+#include <cstdint>
+
+#include "core/data_parallel.h"
+#include "core/os_dpos.h"
+#include "cost/stability.h"
+#include "sim/exec_sim.h"
+
+namespace fastt {
+
+struct CalculatorOptions {
+  // Profiled training steps per pre-training round.
+  int profile_iterations = 3;
+  // Upper bound on pre-training rounds (stability usually stops earlier).
+  int max_rounds = 8;
+  // Simulated execution-time noise the profiler observes.
+  double noise_cv = 0.03;
+  // Cost-model stability rule: max relative change / rounds below it.
+  double stability_tolerance = 0.05;
+  int stability_patience = 3;
+  // Checkpoint + session-restart cost per strategy activation (seconds of
+  // simulated wall time; contributes to Table 4's strategy time).
+  double restart_overhead_s = 5.0;
+  // Feature toggles (ablations & Fig. 2 / Table 6 experiments).
+  bool enable_split = true;
+  bool enable_order_enforcement = true;
+  bool use_critical_path_device = true;
+  OsDposOptions os_dpos;
+  uint64_t seed = 7;
+  // Measurement iterations for the final reported per-iteration time.
+  int measure_iterations = 5;
+};
+
+struct CalculatorResult {
+  Graph graph;       // final training graph (with committed splits)
+  Strategy strategy; // final placement / order / split list
+  // Mean simulated per-iteration time of the final strategy.
+  double iteration_s = 0.0;
+  // Simulated wall-clock of the whole pre-training stage: profiling steps +
+  // restarts (what the paper's Table 4 reports, since their strategy time is
+  // dominated by profiled training and restarts).
+  double strategy_time_s = 0.0;
+  // Host CPU seconds actually spent inside DPOS/OS-DPOS.
+  double algorithm_time_s = 0.0;
+  int rounds = 0;
+  int rollbacks = 0;
+  int activations = 0;
+  bool started_model_parallel = false;
+  CompCostModel comp;
+  CommCostModel comm;
+  SimResult final_sim;  // one representative simulation of the final setup
+  int64_t global_batch = 0;
+};
+
+// Runs the complete FastT workflow for a model on a cluster.
+// `batch` semantics follow `scaling` (global for strong, per-GPU for weak).
+CalculatorResult RunFastT(const ModelBuildFn& build,
+                          const std::string& model_name, int64_t batch,
+                          Scaling scaling, const Cluster& cluster,
+                          const CalculatorOptions& options = {});
+
+// The data-parallel baseline measured the same way (FIFO executor, canonical
+// placement); shares the result type for easy comparison.
+CalculatorResult RunDataParallelBaseline(const ModelBuildFn& build,
+                                         const std::string& model_name,
+                                         int64_t batch, Scaling scaling,
+                                         const Cluster& cluster,
+                                         const CalculatorOptions& options = {});
+
+// Fixed per-iteration overhead outside the executor (session dispatch, feed,
+// summaries). Added when converting makespans to reported speeds.
+inline constexpr double kSessionOverheadS = 0.004;
+
+// samples/s given a result (applies the session overhead).
+double SamplesPerSecond(const CalculatorResult& result);
+
+}  // namespace fastt

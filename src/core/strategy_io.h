@@ -1,0 +1,20 @@
+// Strategy (de)serialization — the artifact the checkpoint/restart cycle
+// persists alongside the rewritten graph: a placement, an execution order,
+// and the operation split list.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/strategy.h"
+
+namespace fastt {
+
+std::string SerializeStrategy(const Strategy& strategy);
+void SerializeStrategy(const Strategy& strategy, std::ostream& out);
+
+// Throws std::logic_error on malformed input or version mismatch.
+Strategy DeserializeStrategy(const std::string& text);
+Strategy DeserializeStrategy(std::istream& in);
+
+}  // namespace fastt

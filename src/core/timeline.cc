@@ -1,0 +1,71 @@
+#include "core/timeline.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace fastt {
+namespace {
+// Tolerance for float comparisons when validating insertions.
+constexpr double kEps = 1e-12;
+}  // namespace
+
+double DeviceTimeline::EarliestSlot(double ready_time,
+                                    double duration) const {
+  double cursor = ready_time;
+  // First interval that could conflict: the one whose end > cursor.
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), cursor,
+      [](double t, const Interval& iv) { return t < iv.end; });
+  for (; it != intervals_.end(); ++it) {
+    if (it->start - cursor >= duration - kEps) return cursor;  // gap fits
+    cursor = std::max(cursor, it->end);
+  }
+  return cursor;  // after the last interval
+}
+
+void DeviceTimeline::Commit(double start, double duration, OpId op) {
+  FASTT_CHECK(duration >= 0.0);
+  Interval iv{start, start + duration, op};
+  // Lexicographic (start, end) order keeps ends sorted even when zero-width
+  // intervals share a start with real ones — EarliestSlot's binary search
+  // over interval ends depends on that.
+  auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), iv,
+      [](const Interval& a, const Interval& b) {
+        if (a.start != b.start) return a.start < b.start;
+        return a.end < b.end;
+      });
+  // Overlap validation against the nearest positive-width neighbours.
+  // Zero-width intervals (ops whose cost the model prices at 0 — the
+  // exploration rule) occupy no time and may legitimately share timestamps
+  // with real intervals, so they are skipped.
+  if (duration > 0.0) {
+    for (auto prev = it; prev != intervals_.begin();) {
+      --prev;
+      if (prev->end - prev->start <= 0.0) continue;
+      FASTT_CHECK_MSG(prev->end <= iv.start + kEps,
+                      "timeline overlap with previous interval");
+      break;
+    }
+    for (auto next = it; next != intervals_.end(); ++next) {
+      if (next->end - next->start <= 0.0) continue;
+      FASTT_CHECK_MSG(iv.end <= next->start + kEps,
+                      "timeline overlap with next interval");
+      break;
+    }
+  }
+  intervals_.insert(it, iv);
+}
+
+double DeviceTimeline::LastEnd() const {
+  return intervals_.empty() ? 0.0 : intervals_.back().end;
+}
+
+double DeviceTimeline::BusyTime() const {
+  double busy = 0.0;
+  for (const Interval& iv : intervals_) busy += iv.end - iv.start;
+  return busy;
+}
+
+}  // namespace fastt

@@ -1,0 +1,42 @@
+// Per-device schedule timeline with insertion-based slot search.
+//
+// DPOS's avail[j] is not simply "when the device finishes its last op": the
+// paper allows inserting an operation into the earliest idle gap between two
+// already-scheduled operations, provided the gap is long enough and
+// precedence is preserved (§5.1). This structure maintains the committed
+// intervals and answers that query.
+#pragma once
+
+#include <vector>
+
+#include "graph/operation.h"
+
+namespace fastt {
+
+class DeviceTimeline {
+ public:
+  // Earliest start >= ready_time of a gap that fits `duration`.
+  double EarliestSlot(double ready_time, double duration) const;
+
+  // Commits an interval previously obtained from EarliestSlot.
+  void Commit(double start, double duration, OpId op);
+
+  // When the device last becomes free (end of the final interval).
+  double LastEnd() const;
+
+  // Sum of committed interval lengths.
+  double BusyTime() const;
+
+  size_t num_intervals() const { return intervals_.size(); }
+
+ private:
+  struct Interval {
+    double start = 0.0;
+    double end = 0.0;
+    OpId op = kInvalidOp;
+  };
+  // Sorted by start, non-overlapping.
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace fastt

@@ -1,0 +1,73 @@
+#include "cost/comm_cost.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace fastt {
+
+void CommCostModel::AddSample(DeviceId src, DeviceId dst, int64_t bytes,
+                              double duration_s) {
+  models_[{src, dst}].Add(static_cast<double>(bytes), duration_s);
+}
+
+void CommCostModel::AddProfile(const RunProfile& profile) {
+  for (const CommProfile& t : profile.transfers)
+    AddSample(t.src, t.dst, t.bytes, t.duration_s);
+}
+
+double CommCostModel::Estimate(DeviceId src, DeviceId dst,
+                               int64_t bytes) const {
+  if (src == dst) return 0.0;
+  auto it = models_.find({src, dst});
+  if (it == models_.end()) return 0.0;  // unknown pair: explore
+  return std::max(0.0, it->second.Predict(static_cast<double>(bytes)));
+}
+
+double CommCostModel::MaxOverPairs(int64_t bytes) const {
+  double best = 0.0;
+  for (const auto& [pair, model] : models_)
+    best = std::max(best,
+                    std::max(0.0, model.Predict(static_cast<double>(bytes))));
+  return best;
+}
+
+bool CommCostModel::KnowsPair(DeviceId src, DeviceId dst) const {
+  return models_.find({src, dst}) != models_.end();
+}
+
+std::optional<std::pair<double, double>> CommCostModel::InterceptSlope(
+    DeviceId src, DeviceId dst) const {
+  auto it = models_.find({src, dst});
+  if (it == models_.end()) return std::nullopt;
+  return std::make_pair(it->second.intercept(), it->second.slope());
+}
+
+std::string CommCostModel::Serialize() const {
+  std::string out;
+  for (const auto& [pair, model] : models_) {
+    out += StrFormat("%d\t%d\t%.17e\t%.17e\n", pair.first, pair.second,
+                     model.intercept(), model.slope());
+  }
+  return out;
+}
+
+CommCostModel CommCostModel::Deserialize(const std::string& text) {
+  CommCostModel model;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    DeviceId src = 0, dst = 0;
+    double intercept = 0.0, slope = 0.0;
+    ls >> src >> dst >> intercept >> slope;
+    // Two synthetic samples on the fitted line reconstruct it exactly.
+    model.AddSample(src, dst, 0, intercept);
+    model.AddSample(src, dst, 1 << 20, intercept + slope * (1 << 20));
+  }
+  return model;
+}
+
+}  // namespace fastt

@@ -1,0 +1,50 @@
+// Communication cost model: per ordered device pair, a linear model of tensor
+// size → transfer time, fitted from profiled transfers (paper §4, "Cost
+// Models"). The fitted intercept absorbs link latency and the slope the
+// inverse effective bandwidth, including whatever congestion the profiles saw.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "cost/linreg.h"
+#include "sim/device.h"
+#include "sim/profiler.h"
+
+namespace fastt {
+
+class CommCostModel {
+ public:
+  void AddSample(DeviceId src, DeviceId dst, int64_t bytes,
+                 double duration_s);
+  void AddProfile(const RunProfile& profile);
+
+  // Estimated transfer time of `bytes` from src to dst. Same device → 0.
+  // Unknown pair → 0 (explore, mirroring the computation model's rule).
+  double Estimate(DeviceId src, DeviceId dst, int64_t bytes) const;
+
+  // Maximal estimated transfer time of `bytes` over all known ordered pairs —
+  // the c_{i,j} term in rank_u (paper uses the max over device pairs).
+  double MaxOverPairs(int64_t bytes) const;
+
+  bool KnowsPair(DeviceId src, DeviceId dst) const;
+  size_t num_pairs() const { return models_.size(); }
+  void Clear() { models_.clear(); }
+
+  // Fitted parameters for inspection/tests.
+  std::optional<std::pair<double, double>> InterceptSlope(DeviceId src,
+                                                          DeviceId dst) const;
+
+  // Text (de)serialization: one "src<TAB>dst<TAB>intercept<TAB>slope" line
+  // per pair (checkpoint parity with CompCostModel; the fitted line, not
+  // the raw samples, is what the scheduler consumes).
+  std::string Serialize() const;
+  static CommCostModel Deserialize(const std::string& text);
+
+ private:
+  std::map<std::pair<DeviceId, DeviceId>, LinearRegression> models_;
+};
+
+}  // namespace fastt

@@ -1,0 +1,91 @@
+#include "cost/comp_cost.h"
+
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace fastt {
+
+void CompCostModel::AddSample(const std::string& cost_key, DeviceId device,
+                              double duration_s) {
+  entries_[cost_key].by_device[device].Add(duration_s);
+}
+
+void CompCostModel::AddProfile(const RunProfile& profile) {
+  for (const OpProfile& p : profile.ops)
+    AddSample(p.cost_key, p.device, p.duration_s);
+}
+
+std::optional<double> CompCostModel::Lookup(const std::string& cost_key,
+                                            DeviceId device) const {
+  auto it = entries_.find(cost_key);
+  if (it == entries_.end()) return std::nullopt;
+  auto jt = it->second.by_device.find(device);
+  if (jt == it->second.by_device.end()) return std::nullopt;
+  return jt->second.mean();
+}
+
+double CompCostModel::EstimateOrExplore(const Operation& op,
+                                        DeviceId device) const {
+  if (auto exact = Lookup(op.CostKey(), device)) return *exact;
+  if (!op.cost_basis_key.empty()) {
+    if (auto basis = Lookup(op.cost_basis_key, device))
+      return *basis * op.cost_scale;
+  }
+  return 0.0;  // unknown: explore
+}
+
+double CompCostModel::MaxTimeOverDevices(const Operation& op,
+                                         int32_t num_devices) const {
+  double best = 0.0;
+  for (DeviceId d = 0; d < num_devices; ++d)
+    best = std::max(best, EstimateOrExplore(op, d));
+  return best;
+}
+
+bool CompCostModel::Knows(const std::string& cost_key) const {
+  auto it = entries_.find(cost_key);
+  return it != entries_.end() && !it->second.by_device.empty();
+}
+
+size_t CompCostModel::num_entries() const {
+  size_t n = 0;
+  for (const auto& [key, per] : entries_) n += per.by_device.size();
+  return n;
+}
+
+void CompCostModel::Clear() { entries_.clear(); }
+
+std::string CompCostModel::Serialize() const {
+  std::string out;
+  for (const auto& [key, per] : entries_) {
+    for (const auto& [device, mean] : per.by_device) {
+      out += StrFormat("%s\t%d\t%.9e\t%zu\n", key.c_str(), device,
+                       mean.mean(), mean.count());
+    }
+  }
+  return out;
+}
+
+CompCostModel CompCostModel::Deserialize(const std::string& text) {
+  CompCostModel model;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string key;
+    int device = 0;
+    double mean = 0.0;
+    size_t count = 0;
+    std::getline(ls, key, '\t');
+    ls >> device >> mean >> count;
+    // Replay the mean `count` times: reconstructs mean exactly (variance is
+    // not persisted — acceptable; only means feed the scheduler).
+    for (size_t i = 0; i < count; ++i)
+      model.AddSample(key, device, mean);
+  }
+  return model;
+}
+
+}  // namespace fastt

@@ -1,0 +1,63 @@
+// Computation cost model: (operation cost-key, device) → execution time.
+//
+// Built from profiles, never from ground truth. Queries follow the paper's
+// exploration rule: "when our algorithm finds a cost it needs is not in the
+// cost model, it sets the cost to 0, so that the algorithm prefers to explore
+// the placement" — the next profiled run then records the real cost. For
+// sub-ops created by hypothetical splits (OS-DPOS probes dozens of candidate
+// rewrites per decision) we additionally support a recorded fallback (parent
+// key × fractional scale), which plays the role of the extra profiled
+// iterations the paper spends before a split's costs are known.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/operation.h"
+#include "sim/device.h"
+#include "sim/profiler.h"
+#include "util/stats.h"
+
+namespace fastt {
+
+class CompCostModel {
+ public:
+  // Record one observed execution.
+  void AddSample(const std::string& cost_key, DeviceId device,
+                 double duration_s);
+  void AddProfile(const RunProfile& profile);
+
+  // Mean observed time of this key on this device, if any sample exists.
+  std::optional<double> Lookup(const std::string& cost_key,
+                               DeviceId device) const;
+
+  // Cost used by the scheduler for a concrete (op, device):
+  //   1. exact (key, device) profile;
+  //   2. op.cost_basis_key profile on that device × op.cost_scale;
+  //   3. 0 — explore (paper's rule).
+  double EstimateOrExplore(const Operation& op, DeviceId device) const;
+
+  // Maximal estimated time of the op over the given devices — the w_i term in
+  // rank_u. Zero if nothing is known anywhere.
+  double MaxTimeOverDevices(const Operation& op, int32_t num_devices) const;
+
+  // True if any device has a sample for this key.
+  bool Knows(const std::string& cost_key) const;
+
+  size_t num_entries() const;
+  void Clear();
+
+  // Text (de)serialization: one "key<TAB>device<TAB>mean<TAB>count" per line.
+  std::string Serialize() const;
+  static CompCostModel Deserialize(const std::string& text);
+
+ private:
+  struct PerDevice {
+    std::unordered_map<DeviceId, OnlineMean> by_device;
+  };
+  std::unordered_map<std::string, PerDevice> entries_;
+};
+
+}  // namespace fastt

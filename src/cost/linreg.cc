@@ -1,0 +1,34 @@
+#include "cost/linreg.h"
+
+#include <cmath>
+
+namespace fastt {
+
+void LinearRegression::Add(double x, double y) {
+  ++n_;
+  sum_x_ += x;
+  sum_y_ += y;
+  sum_xx_ += x * x;
+  sum_xy_ += x * y;
+}
+
+double LinearRegression::slope() const {
+  if (n_ < 2) return 0.0;
+  const double n = static_cast<double>(n_);
+  const double denom = n * sum_xx_ - sum_x_ * sum_x_;
+  // All samples at (numerically) the same x: fall back to a constant model.
+  if (std::fabs(denom) < 1e-12 * (1.0 + sum_xx_ * n)) return 0.0;
+  return (n * sum_xy_ - sum_x_ * sum_y_) / denom;
+}
+
+double LinearRegression::intercept() const {
+  if (n_ == 0) return 0.0;
+  const double n = static_cast<double>(n_);
+  return (sum_y_ - slope() * sum_x_) / n;
+}
+
+double LinearRegression::Predict(double x) const {
+  return intercept() + slope() * x;
+}
+
+}  // namespace fastt

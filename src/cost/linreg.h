@@ -1,0 +1,29 @@
+// Online simple linear regression y = a + b·x.
+//
+// The paper fits, per source-destination device pair, a linear model of
+// tensor size vs. transfer time; "in each update of the cost model, newly
+// collected data are fed and parameters of the linear model are re-computed".
+// We keep sufficient statistics so refits are O(1).
+#pragma once
+
+#include <cstddef>
+
+namespace fastt {
+
+class LinearRegression {
+ public:
+  void Add(double x, double y);
+
+  size_t count() const { return n_; }
+  // Intercept / slope of the least-squares fit. With one sample the model is
+  // the constant y; with zero samples both are 0.
+  double intercept() const;
+  double slope() const;
+  double Predict(double x) const;
+
+ private:
+  size_t n_ = 0;
+  double sum_x_ = 0.0, sum_y_ = 0.0, sum_xx_ = 0.0, sum_xy_ = 0.0;
+};
+
+}  // namespace fastt

@@ -1,0 +1,44 @@
+#include "cost/stability.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/strings.h"
+
+namespace fastt {
+
+double StabilityDetector::Observe(const CompCostModel& model,
+                                  int32_t num_devices,
+                                  const std::vector<std::string>& keys) {
+  double max_change = 0.0;
+  bool new_entry = false;
+  std::unordered_map<std::string, double> current;
+  for (const std::string& key : keys) {
+    for (DeviceId d = 0; d < num_devices; ++d) {
+      auto value = model.Lookup(key, d);
+      if (!value) continue;
+      const std::string entry = key + "@" + StrFormat("%d", d);
+      current[entry] = *value;
+      auto it = last_.find(entry);
+      if (it == last_.end()) {
+        new_entry = true;
+      } else if (it->second > 0.0) {
+        max_change =
+            std::max(max_change, std::fabs(*value - it->second) / it->second);
+      }
+    }
+  }
+  last_ = std::move(current);
+  if (new_entry) {
+    stable_rounds_ = 0;
+    return std::numeric_limits<double>::infinity();
+  }
+  if (max_change <= tolerance_) {
+    ++stable_rounds_;
+  } else {
+    stable_rounds_ = 0;
+  }
+  return max_change;
+}
+
+}  // namespace fastt

@@ -1,0 +1,37 @@
+// Pre-training termination rule (paper §4): "when the cost models become
+// stable (the average time of the same (sub-)operation(s) on the same
+// device(s) does not vary much), we finish the pre-training stage."
+//
+// The detector snapshots the per-entry means each round and reports stability
+// once the maximal relative change between consecutive snapshots stays below
+// a tolerance for `patience` rounds.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "cost/comp_cost.h"
+
+namespace fastt {
+
+class StabilityDetector {
+ public:
+  explicit StabilityDetector(double tolerance = 0.05, int patience = 2)
+      : tolerance_(tolerance), patience_(patience) {}
+
+  // Feed the current model state; returns the max relative change vs. the
+  // previous snapshot (infinity on first call or when new keys appeared).
+  double Observe(const CompCostModel& model, int32_t num_devices,
+                 const std::vector<std::string>& keys);
+
+  bool IsStable() const { return stable_rounds_ >= patience_; }
+  int stable_rounds() const { return stable_rounds_; }
+
+ private:
+  double tolerance_;
+  int patience_;
+  int stable_rounds_ = 0;
+  std::unordered_map<std::string, double> last_;
+};
+
+}  // namespace fastt

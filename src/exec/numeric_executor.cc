@@ -1,0 +1,560 @@
+#include "exec/numeric_executor.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace fastt {
+namespace {
+
+// Stable per-op seed so Inputs/Variables initialize identically regardless
+// of graph transformations (cost keys survive rewrites; names of replicas
+// differ, which is intended — each replica gets its own data shard).
+uint64_t OpSeed(uint64_t base, const Operation& op) {
+  uint64_t h = base;
+  for (char c : op.name) h = h * 1099511628211ULL + static_cast<uint8_t>(c);
+  return h;
+}
+
+// Synthetic classification labels, deterministic per row.
+int LabelFor(uint64_t seed, int64_t row, int64_t classes) {
+  return static_cast<int>((seed + static_cast<uint64_t>(row) * 2654435761ULL)
+                          % static_cast<uint64_t>(classes));
+}
+
+struct Interpreter {
+  const Graph& g;
+  const NumericOptions& options;
+  std::vector<Tensor> value;  // by OpId
+  NumericResult result;
+
+  Interpreter(const Graph& graph, const NumericOptions& opts)
+      : g(graph), options(opts),
+        value(static_cast<size_t>(graph.num_slots())) {}
+
+  struct In {
+    const Tensor* tensor = nullptr;
+    const Operation* producer = nullptr;
+  };
+
+  // Live input tensors of `id`, in edge-insertion order, with the slice
+  // semantics of Alg. 2's split nodes applied. Rewrites reorder edges, so
+  // kernels classify inputs by producer kind, never by position.
+  std::vector<In> Inputs(OpId id, std::vector<Tensor>& scratch) {
+    std::vector<EdgeId> live;
+    for (EdgeId e : g.in_edges(id)) {
+      const Edge& edge = g.edge(e);
+      if (!edge.dead && !g.op(edge.src).dead) live.push_back(e);
+    }
+    // Two passes: slices land in `scratch` first so pointers stay stable.
+    std::vector<In> inputs(live.size());
+    for (size_t i = 0; i < live.size(); ++i) {
+      const Edge& edge = g.edge(live[i]);
+      if (g.op(edge.src).type == OpType::kSplit)
+        scratch.push_back(SplitView(edge.src, id));
+    }
+    size_t scratch_next = 0;
+    for (size_t i = 0; i < live.size(); ++i) {
+      const Edge& edge = g.edge(live[i]);
+      inputs[i].producer = &g.op(edge.src);
+      inputs[i].tensor =
+          g.op(edge.src).type == OpType::kSplit
+              ? &scratch[scratch_next++]
+              : &value[static_cast<size_t>(edge.src)];
+    }
+    return inputs;
+  }
+
+  // A parameter tensor arrives either straight from a Variable or through a
+  // chain of split nodes broadcasting one (nested rewrites nest the glue).
+  static bool CarriesParams(const Graph& graph, OpId id) {
+    while (graph.op(id).type == OpType::kSplit) {
+      const auto preds = graph.Preds(id);
+      if (preds.size() != 1) return false;
+      id = preds[0];
+    }
+    return graph.op(id).type == OpType::kVariable;
+  }
+
+  static bool IsParamInput(const Graph& graph, const In& in) {
+    return CarriesParams(graph, in.producer->id);
+  }
+
+  // First input matching / not matching a predicate; throws when absent.
+  template <typename Pred>
+  static const Tensor& Pick(const std::vector<In>& inputs, Pred pred,
+                            const char* what) {
+    for (const In& in : inputs)
+      if (pred(in)) return *in.tensor;
+    FASTT_CHECK_MSG(false, std::string("missing expected input: ") + what);
+    return *inputs.front().tensor;  // unreachable
+  }
+
+  // The slice of split node `sp` that consumer `consumer` (a ".../partI"
+  // sub-op, or a nested split node standing in for one) reads. Weight
+  // tensors broadcast whole: batch splits replicate parameters into every
+  // partition.
+  Tensor SplitView(OpId sp, OpId consumer) {
+    const Tensor& full = value[static_cast<size_t>(sp)];
+    // Weight-broadcast chains forward the whole tensor.
+    if (CarriesParams(g, sp)) return full;
+
+    const std::string& name = g.op(consumer).name;
+    const size_t pos = name.rfind("/part");
+    FASTT_CHECK_MSG(pos != std::string::npos,
+                    "split consumer is not a partition: " + name);
+    const int index = std::atoi(name.c_str() + pos + 5);
+    // Partition row ranges mirror SplitOperation's remainder distribution.
+    const auto siblings = g.Succs(sp);
+    const int n = static_cast<int>(siblings.size());
+    const int64_t rows = full.rows();
+    int64_t begin = 0;
+    for (int i = 0; i < index; ++i)
+      begin += rows / n + (i < rows % n ? 1 : 0);
+    const int64_t size = rows / n + (index < rows % n ? 1 : 0);
+    if (g.op(consumer).type != OpType::kSplit) {
+      FASTT_CHECK_MSG(g.op(consumer).batch == size,
+                      "numeric executor supports batch splits only");
+    }
+    return full.SliceRows(begin, begin + size);
+  }
+
+  // Partition index of a concat input's producer relative to the concat's
+  // base op name, or -1 when the input is not a ".../partI..." producer.
+  static int PartitionIndex(const std::string& concat_name,
+                            const std::string& producer_name) {
+    const size_t base_len = concat_name.rfind("/concat");
+    if (base_len == std::string::npos) return -1;
+    const std::string needle =
+        concat_name.substr(0, base_len) + "/part";
+    if (producer_name.compare(0, needle.size(), needle) != 0) return -1;
+    return std::atoi(producer_name.c_str() + needle.size());
+  }
+
+  // y = x · W, where W is the flat `weights` reshaped to [k, n].
+  static Tensor MatMulForward(const Tensor& x, const Tensor& weights,
+                              int64_t n) {
+    const int64_t b = x.rows();
+    const int64_t k = x.row_size();
+    FASTT_CHECK_MSG(weights.size() == k * n, "weight shape mismatch");
+    Tensor y(TensorShape{b, n});
+    for (int64_t i = 0; i < b; ++i)
+      for (int64_t j = 0; j < n; ++j) {
+        float acc = 0.0f;
+        for (int64_t p = 0; p < k; ++p)
+          acc += x.at(i * k + p) * weights.at(p * n + j);
+        y.at(i * n + j) = acc;
+      }
+    return y;
+  }
+
+  // dX = dY · Wᵀ.
+  static Tensor MatMulGradInput(const Tensor& dy, const Tensor& weights,
+                                int64_t k) {
+    const int64_t b = dy.rows();
+    const int64_t n = dy.row_size();
+    Tensor dx(TensorShape{b, k});
+    for (int64_t i = 0; i < b; ++i)
+      for (int64_t p = 0; p < k; ++p) {
+        float acc = 0.0f;
+        for (int64_t j = 0; j < n; ++j)
+          acc += dy.at(i * n + j) * weights.at(p * n + j);
+        dx.at(i * k + p) = acc;
+      }
+    return dx;
+  }
+
+  // dW = Xᵀ · dY (flat [k*n]).
+  static Tensor MatMulGradWeights(const Tensor& x, const Tensor& dy) {
+    const int64_t b = x.rows();
+    const int64_t k = x.row_size();
+    const int64_t n = dy.row_size();
+    Tensor dw(TensorShape{k * n});
+    for (int64_t p = 0; p < k; ++p)
+      for (int64_t j = 0; j < n; ++j) {
+        float acc = 0.0f;
+        for (int64_t i = 0; i < b; ++i)
+          acc += x.at(i * k + p) * dy.at(i * n + j);
+        dw.at(p * n + j) = acc;
+      }
+    return dw;
+  }
+
+  struct ConvDims {
+    int64_t b, h, w, cin, ho, wo, cout, k, stride, pad;
+  };
+
+  // Recovers kernel geometry from the activation/weight shapes (builders
+  // emit SAME padding; weights are [k,k,cin,cout] + cout bias, flattened).
+  static ConvDims InferConv(const TensorShape& in, const TensorShape& out,
+                            int64_t weight_elems) {
+    ConvDims d{};
+    d.b = in.dim(0);
+    d.h = in.dim(1);
+    d.w = in.dim(2);
+    d.cin = in.dim(3);
+    d.ho = out.dim(1);
+    d.wo = out.dim(2);
+    d.cout = out.dim(3);
+    const int64_t kk = (weight_elems - d.cout) / (d.cin * d.cout);
+    d.k = 1;
+    while (d.k * d.k < kk) ++d.k;
+    FASTT_CHECK_MSG(d.k * d.k == kk, "non-square conv kernel");
+    d.stride = (d.h + d.ho - 1) / d.ho;
+    FASTT_CHECK_MSG((d.h + d.stride - 1) / d.stride == d.ho,
+                    "numeric executor supports SAME padding only");
+    d.pad = ((d.ho - 1) * d.stride + d.k - d.h) / 2;
+    return d;
+  }
+
+  static Tensor ConvForward(const Tensor& x, const Tensor& w,
+                            const ConvDims& d, const TensorShape& out_shape) {
+    Tensor y(out_shape);
+    const float* bias = w.data() + d.k * d.k * d.cin * d.cout;
+    for (int64_t n = 0; n < d.b; ++n)
+      for (int64_t oy = 0; oy < d.ho; ++oy)
+        for (int64_t ox = 0; ox < d.wo; ++ox)
+          for (int64_t oc = 0; oc < d.cout; ++oc) {
+            float acc = bias[oc];
+            for (int64_t ky = 0; ky < d.k; ++ky)
+              for (int64_t kx = 0; kx < d.k; ++kx) {
+                const int64_t iy = oy * d.stride + ky - d.pad;
+                const int64_t ix = ox * d.stride + kx - d.pad;
+                if (iy < 0 || iy >= d.h || ix < 0 || ix >= d.w) continue;
+                for (int64_t ic = 0; ic < d.cin; ++ic)
+                  acc += x.at(((n * d.h + iy) * d.w + ix) * d.cin + ic) *
+                         w.at(((ky * d.k + kx) * d.cin + ic) * d.cout + oc);
+              }
+            y.at(((n * d.ho + oy) * d.wo + ox) * d.cout + oc) = acc;
+          }
+    return y;
+  }
+
+  static Tensor ConvGradInput(const Tensor& dy, const Tensor& w,
+                              const ConvDims& d,
+                              const TensorShape& in_shape) {
+    Tensor dx(in_shape);
+    for (int64_t n = 0; n < d.b; ++n)
+      for (int64_t oy = 0; oy < d.ho; ++oy)
+        for (int64_t ox = 0; ox < d.wo; ++ox)
+          for (int64_t oc = 0; oc < d.cout; ++oc) {
+            const float g =
+                dy.at(((n * d.ho + oy) * d.wo + ox) * d.cout + oc);
+            for (int64_t ky = 0; ky < d.k; ++ky)
+              for (int64_t kx = 0; kx < d.k; ++kx) {
+                const int64_t iy = oy * d.stride + ky - d.pad;
+                const int64_t ix = ox * d.stride + kx - d.pad;
+                if (iy < 0 || iy >= d.h || ix < 0 || ix >= d.w) continue;
+                for (int64_t ic = 0; ic < d.cin; ++ic)
+                  dx.at(((n * d.h + iy) * d.w + ix) * d.cin + ic) +=
+                      g * w.at(((ky * d.k + kx) * d.cin + ic) * d.cout + oc);
+              }
+          }
+    return dx;
+  }
+
+  static Tensor ConvGradWeights(const Tensor& x, const Tensor& dy,
+                                const ConvDims& d, int64_t weight_elems) {
+    Tensor dw(TensorShape{weight_elems});
+    float* dbias = dw.data() + d.k * d.k * d.cin * d.cout;
+    for (int64_t n = 0; n < d.b; ++n)
+      for (int64_t oy = 0; oy < d.ho; ++oy)
+        for (int64_t ox = 0; ox < d.wo; ++ox)
+          for (int64_t oc = 0; oc < d.cout; ++oc) {
+            const float g =
+                dy.at(((n * d.ho + oy) * d.wo + ox) * d.cout + oc);
+            dbias[oc] += g;
+            for (int64_t ky = 0; ky < d.k; ++ky)
+              for (int64_t kx = 0; kx < d.k; ++kx) {
+                const int64_t iy = oy * d.stride + ky - d.pad;
+                const int64_t ix = ox * d.stride + kx - d.pad;
+                if (iy < 0 || iy >= d.h || ix < 0 || ix >= d.w) continue;
+                for (int64_t ic = 0; ic < d.cin; ++ic)
+                  dw.at(((ky * d.k + kx) * d.cin + ic) * d.cout + oc) +=
+                      g * x.at(((n * d.h + iy) * d.w + ix) * d.cin + ic);
+              }
+          }
+    return dw;
+  }
+
+  // Softmax probabilities per row.
+  static Tensor Softmax(const Tensor& logits) {
+    const int64_t b = logits.rows();
+    const int64_t c = logits.row_size();
+    Tensor p(logits.shape());
+    for (int64_t i = 0; i < b; ++i) {
+      float max_logit = logits.at(i * c);
+      for (int64_t j = 1; j < c; ++j)
+        max_logit = std::max(max_logit, logits.at(i * c + j));
+      float total = 0.0f;
+      for (int64_t j = 0; j < c; ++j) {
+        const float e = std::exp(logits.at(i * c + j) - max_logit);
+        p.at(i * c + j) = e;
+        total += e;
+      }
+      for (int64_t j = 0; j < c; ++j) p.at(i * c + j) /= total;
+    }
+    return p;
+  }
+
+  void Execute(OpId id) {
+    const Operation& op = g.op(id);
+    std::vector<Tensor> scratch;
+    scratch.reserve(4);
+    const auto inputs = Inputs(id, scratch);
+    Tensor out;
+
+    switch (op.type) {
+      case OpType::kInput:
+        (void)inputs;
+        out = RandomTensor(op.output_shape, OpSeed(options.seed, op), 1.0f);
+        break;
+      case OpType::kVariable:
+        out = RandomTensor(op.output_shape,
+                           OpSeed(options.seed * 31 + 7, op), 0.1f);
+        break;
+      case OpType::kSplit:
+        // Pass-through; consumers slice via SplitView.
+        FASTT_CHECK(inputs.size() == 1);
+        out = *inputs[0].tensor;
+        break;
+      case OpType::kConcat: {
+        // Rewrite concats must reassemble partitions in index order even
+        // when later rewrites appended edges out of order.
+        std::vector<std::pair<int, const Tensor*>> ordered;
+        for (size_t i = 0; i < inputs.size(); ++i) {
+          const int index =
+              PartitionIndex(op.name, inputs[i].producer->name);
+          ordered.emplace_back(index >= 0 ? index : static_cast<int>(i),
+                               inputs[i].tensor);
+        }
+        std::sort(ordered.begin(), ordered.end(),
+                  [](const auto& a, const auto& b) {
+                    return a.first < b.first;
+                  });
+        std::vector<Tensor> parts;
+        for (const auto& [index, tensor] : ordered)
+          parts.push_back(*tensor);
+        out = ConcatRows(parts);
+        break;
+      }
+      case OpType::kIdentity:
+        FASTT_CHECK(!inputs.empty());
+        out = *inputs[0].tensor;
+        break;
+      case OpType::kAdd:           // residual add or generated grad_sum
+      case OpType::kGradAggregate: {
+        FASTT_CHECK(!inputs.empty());
+        out = *inputs[0].tensor;
+        for (size_t i = 1; i < inputs.size(); ++i) {
+          FASTT_CHECK(inputs[i].tensor->size() == out.size());
+          for (int64_t j = 0; j < out.size(); ++j)
+            out.at(j) += inputs[i].tensor->at(j);
+        }
+        break;
+      }
+      case OpType::kRelu: {
+        FASTT_CHECK(inputs.size() == 1);
+        out = *inputs[0].tensor;
+        for (int64_t j = 0; j < out.size(); ++j)
+          out.at(j) = std::max(0.0f, out.at(j));
+        break;
+      }
+      case OpType::kReluGrad: {
+        const Tensor& dy = Pick(
+            inputs, [](const In& in) { return in.producer->is_backward; },
+            "upstream gradient");
+        const Tensor& y = Pick(
+            inputs, [](const In& in) { return !in.producer->is_backward; },
+            "relu output");
+        out = dy;
+        for (int64_t j = 0; j < out.size(); ++j)
+          if (y.at(j) <= 0.0f) out.at(j) = 0.0f;
+        break;
+      }
+      case OpType::kBiasAdd: {
+        const Tensor& bias = Pick(
+            inputs,
+            [&](const In& in) { return IsParamInput(g, in); }, "bias");
+        const Tensor& x = Pick(
+            inputs,
+            [&](const In& in) { return !IsParamInput(g, in); }, "input");
+        out = x;
+        const int64_t n = out.row_size();
+        FASTT_CHECK(bias.size() == n);
+        for (int64_t i = 0; i < out.rows(); ++i)
+          for (int64_t j = 0; j < n; ++j) out.at(i * n + j) += bias.at(j);
+        break;
+      }
+      case OpType::kBiasAddGrad: {
+        // db = sum over rows of dY.
+        FASTT_CHECK(!inputs.empty());
+        const Tensor& dy = *inputs[0].tensor;
+        const int64_t n = dy.row_size();
+        out = Tensor(TensorShape{n});
+        for (int64_t i = 0; i < dy.rows(); ++i)
+          for (int64_t j = 0; j < n; ++j) out.at(j) += dy.at(i * n + j);
+        break;
+      }
+      case OpType::kMatMul: {
+        FASTT_CHECK(inputs.size() == 2);
+        if (EndsWith(op.name, "/wgrad")) {
+          // dW = Xᵀ · dY: the gradient comes from the backward sweep, the
+          // activation from the forward one.
+          const Tensor& dy = Pick(
+              inputs, [](const In& in) { return in.producer->is_backward; },
+              "upstream gradient");
+          const Tensor& x = Pick(
+              inputs,
+              [](const In& in) { return !in.producer->is_backward; },
+              "activation");
+          out = MatMulGradWeights(x, dy);
+        } else if (Contains(op.name, "/grad_to/")) {
+          // dX = dY · Wᵀ.
+          const Tensor& weights = Pick(
+              inputs, [&](const In& in) { return IsParamInput(g, in); },
+              "weights");
+          const Tensor& dy = Pick(
+              inputs, [&](const In& in) { return !IsParamInput(g, in); },
+              "upstream gradient");
+          const int64_t n = dy.row_size();
+          const int64_t k = weights.size() / n;
+          out = MatMulGradInput(dy, weights, k);
+        } else {
+          const Tensor& weights = Pick(
+              inputs, [&](const In& in) { return IsParamInput(g, in); },
+              "weights");
+          const Tensor& x = Pick(
+              inputs, [&](const In& in) { return !IsParamInput(g, in); },
+              "input");
+          const int64_t cols =
+              op.output_shape.dim(op.output_shape.rank() - 1);
+          out = MatMulForward(x, weights, cols);
+        }
+        break;
+      }
+      case OpType::kConv2D: {
+        const Tensor& w = Pick(
+            inputs, [&](const In& in) { return IsParamInput(g, in); },
+            "filter");
+        const Tensor& x = Pick(
+            inputs, [&](const In& in) { return !IsParamInput(g, in); },
+            "input");
+        const ConvDims d = InferConv(x.shape(), op.output_shape, w.size());
+        out = ConvForward(x, w, d, op.output_shape);
+        break;
+      }
+      case OpType::kConv2DBackpropInput: {
+        const Tensor& w = Pick(
+            inputs, [&](const In& in) { return IsParamInput(g, in); },
+            "filter");
+        const Tensor& dy = Pick(
+            inputs, [&](const In& in) { return !IsParamInput(g, in); },
+            "upstream gradient");
+        const ConvDims d =
+            InferConv(op.output_shape, dy.shape(), w.size());
+        out = ConvGradInput(dy, w, d, op.output_shape);
+        break;
+      }
+      case OpType::kConv2DBackpropFilter: {
+        const Tensor& dy = Pick(
+            inputs, [](const In& in) { return in.producer->is_backward; },
+            "upstream gradient");
+        const Tensor& x = Pick(
+            inputs, [](const In& in) { return !in.producer->is_backward; },
+            "activation");
+        const ConvDims d =
+            InferConv(x.shape(), dy.shape(), op.output_shape.num_elements());
+        out = ConvGradWeights(x, dy, d, op.output_shape.num_elements());
+        break;
+      }
+      case OpType::kSoftmaxCrossEntropy: {
+        FASTT_CHECK(inputs.size() == 1);
+        const Tensor probs = Softmax(*inputs[0].tensor);
+        const int64_t b = probs.rows();
+        const int64_t c = probs.row_size();
+        out = Tensor(TensorShape{b});
+        double total = 0.0;
+        for (int64_t i = 0; i < b; ++i) {
+          const int label = LabelFor(options.seed, i, c);
+          const float p = std::max(probs.at(i * c + label), 1e-12f);
+          out.at(i) = -std::log(p);
+          total += out.at(i);
+        }
+        result.loss = total / static_cast<double>(b);
+        break;
+      }
+      case OpType::kSoftmaxCrossEntropyGrad: {
+        const Tensor& logits = Pick(
+            inputs,
+            [](const In& in) {
+              return in.producer->type != OpType::kSoftmaxCrossEntropy;
+            },
+            "logits");
+        const Tensor probs = Softmax(logits);
+        const int64_t b = probs.rows();
+        const int64_t c = probs.row_size();
+        out = probs;
+        for (int64_t i = 0; i < b; ++i) {
+          const int label = LabelFor(options.seed, i, c);
+          out.at(i * c + label) -= 1.0f;
+          for (int64_t j = 0; j < c; ++j)
+            out.at(i * c + j) /= static_cast<float>(b);
+        }
+        break;
+      }
+      case OpType::kApplyGradient: {
+        // SGD on the colocated variable: W' = W - lr * g.
+        FASTT_CHECK(inputs.size() == 1);
+        const OpId var = op.colocate_with;
+        FASTT_CHECK_MSG(var != kInvalidOp && !g.op(var).dead,
+                        "apply without a variable: " + op.name);
+        Tensor updated = value[static_cast<size_t>(var)];
+        FASTT_CHECK(inputs[0].tensor->size() == updated.size());
+        for (int64_t j = 0; j < updated.size(); ++j)
+          updated.at(j) -= options.learning_rate * inputs[0].tensor->at(j);
+        result.parameters.emplace(g.op(var).name, updated);
+        out = Tensor(TensorShape{0});
+        break;
+      }
+      default:
+        FASTT_CHECK_MSG(false, std::string("numeric executor does not "
+                                           "support op type ") +
+                                   OpTypeName(op.type) + " (" + op.name +
+                                   ")");
+    }
+
+    // Normalize to the op's declared logical shape (matmul kernels produce
+    // flat [rows, cols] tensors even when the logical tensor is NHWC).
+    // Split nodes keep their input's true shape: row slicing depends on it.
+    if (op.type != OpType::kSplit &&
+        out.size() == op.output_shape.num_elements() &&
+        !(out.shape() == op.output_shape)) {
+      out = Tensor(op.output_shape, out.values());
+    }
+    result.outputs.emplace(op.name, out);
+    value[static_cast<size_t>(id)] = std::move(out);
+  }
+};
+
+}  // namespace
+
+NumericResult ExecuteNumerically(const Graph& g,
+                                 const NumericOptions& options) {
+  Interpreter interp(g, options);
+  for (OpId id : g.TopoOrder()) {
+    try {
+      interp.Execute(id);
+    } catch (const std::logic_error& e) {
+      throw std::logic_error(std::string(e.what()) + " [while executing " +
+                             g.op(id).name + "]");
+    }
+  }
+  return std::move(interp.result);
+}
+
+}  // namespace fastt

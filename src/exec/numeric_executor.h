@@ -1,0 +1,46 @@
+// Numeric executor: runs a training graph built by ModelBuilder with real
+// float values, for the dense/relu/softmax-xent family of layers.
+//
+// Purpose: semantic validation. Placement, execution order and operation
+// splitting are *structural* transforms — any topologically valid execution
+// must produce bit-identical losses and weight updates. The executor
+// interprets the graph the builder emitted (forward ops, the generated
+// gradient ops, SGD updates, Alg. 2's split/concat glue) and exposes the
+// loss and the updated parameters so tests can compare transformed against
+// untransformed graphs.
+//
+// Supported op vocabulary (everything a Dense/Relu/SoftmaxCrossEntropy
+// model and its rewrites contain): Input, Variable, MatMul (forward, dX,
+// dW), BiasAdd (+grad), Relu (+grad), Add / grad_sum, Identity,
+// SoftmaxCrossEntropy (+grad), ApplyGradient (SGD), GradAggregate, Split,
+// Concat. Convolutions and recurrent cells are out of scope — the rewrite
+// mechanics they share with MatMul are what is under test.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "exec/tensor.h"
+#include "graph/graph.h"
+
+namespace fastt {
+
+struct NumericOptions {
+  uint64_t seed = 42;        // deterministic Input / Variable initialization
+  float learning_rate = 0.1f;
+};
+
+struct NumericResult {
+  double loss = 0.0;
+  // Updated parameter values by variable op NAME (post-ApplyGradient).
+  std::map<std::string, Tensor> parameters;
+  // Every op's output by name (for fine-grained inspection).
+  std::map<std::string, Tensor> outputs;
+};
+
+// Executes one training step of the graph. Throws std::logic_error when the
+// graph contains an op kind outside the supported vocabulary.
+NumericResult ExecuteNumerically(const Graph& g,
+                                 const NumericOptions& options = {});
+
+}  // namespace fastt

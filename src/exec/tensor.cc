@@ -1,0 +1,76 @@
+#include "exec/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace fastt {
+
+Tensor::Tensor(TensorShape shape)
+    : shape_(std::move(shape)),
+      values_(static_cast<size_t>(shape_.num_elements()), 0.0f) {}
+
+Tensor::Tensor(TensorShape shape, std::vector<float> values)
+    : shape_(std::move(shape)), values_(std::move(values)) {
+  FASTT_CHECK_MSG(
+      static_cast<int64_t>(values_.size()) == shape_.num_elements(),
+      "tensor values do not match shape");
+}
+
+int64_t Tensor::rows() const {
+  return shape_.rank() == 0 ? 1 : shape_.dim(0);
+}
+
+int64_t Tensor::row_size() const {
+  const int64_t r = rows();
+  return r == 0 ? 0 : size() / r;
+}
+
+Tensor Tensor::SliceRows(int64_t begin, int64_t end) const {
+  FASTT_CHECK(begin >= 0 && begin <= end && end <= rows());
+  const int64_t stride = row_size();
+  Tensor out(shape_.WithDim(0, end - begin));
+  std::copy(values_.begin() + begin * stride,
+            values_.begin() + end * stride, out.values_.begin());
+  return out;
+}
+
+double Tensor::MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  if (a.size() != b.size())
+    return std::numeric_limits<double>::infinity();
+  double worst = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i)
+    worst = std::max(worst, std::fabs(static_cast<double>(a.at(i)) -
+                                      static_cast<double>(b.at(i))));
+  return worst;
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  FASTT_CHECK(!parts.empty());
+  int64_t total_rows = 0;
+  for (const Tensor& p : parts) {
+    FASTT_CHECK_MSG(p.row_size() == parts[0].row_size(),
+                    "row size mismatch in concat");
+    total_rows += p.rows();
+  }
+  Tensor out(parts[0].shape().WithDim(0, total_rows));
+  float* cursor = out.data();
+  for (const Tensor& p : parts) {
+    std::copy(p.data(), p.data() + p.size(), cursor);
+    cursor += p.size();
+  }
+  return out;
+}
+
+Tensor RandomTensor(TensorShape shape, uint64_t seed, float scale) {
+  Tensor out(std::move(shape));
+  Rng rng(seed);
+  for (int64_t i = 0; i < out.size(); ++i)
+    out.at(i) = static_cast<float>(rng.NextDouble(-scale, scale));
+  return out;
+}
+
+}  // namespace fastt

@@ -1,0 +1,53 @@
+// Dense float tensors for the numeric executor.
+//
+// Everything else in the repository treats tensors as metadata; this small
+// runtime gives them real values so that semantic-preservation claims — in
+// particular the paper's §5.2 statement that operation splitting "does not
+// change training semantics … resulting in no model accuracy loss" — can be
+// verified by executing the same training step on the original and the
+// rewritten graph and comparing the numbers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/shape.h"
+
+namespace fastt {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(TensorShape shape);
+  Tensor(TensorShape shape, std::vector<float> values);
+
+  const TensorShape& shape() const { return shape_; }
+  int64_t size() const { return static_cast<int64_t>(values_.size()); }
+  float* data() { return values_.data(); }
+  const float* data() const { return values_.data(); }
+  float& at(int64_t i) { return values_[static_cast<size_t>(i)]; }
+  float at(int64_t i) const { return values_[static_cast<size_t>(i)]; }
+  const std::vector<float>& values() const { return values_; }
+
+  // Leading (batch) dimension and the per-row stride.
+  int64_t rows() const;
+  int64_t row_size() const;
+
+  // Rows [begin, end) as a new tensor.
+  Tensor SliceRows(int64_t begin, int64_t end) const;
+
+  // Largest absolute elementwise difference; infinity on shape mismatch.
+  static double MaxAbsDiff(const Tensor& a, const Tensor& b);
+
+ private:
+  TensorShape shape_;
+  std::vector<float> values_;
+};
+
+// Stacks tensors along the leading dimension.
+Tensor ConcatRows(const std::vector<Tensor>& parts);
+
+// Deterministic pseudo-random fill in [-scale, scale] (seeded per tensor).
+Tensor RandomTensor(TensorShape shape, uint64_t seed, float scale = 0.1f);
+
+}  // namespace fastt

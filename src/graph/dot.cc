@@ -1,0 +1,36 @@
+#include "graph/dot.h"
+
+#include "util/strings.h"
+
+namespace fastt {
+
+std::string ExportDot(const Graph& g, const std::vector<int>& placement) {
+  static const char* kPalette[] = {"lightblue", "lightsalmon", "palegreen",
+                                   "plum",      "khaki",       "lightcyan",
+                                   "mistyrose", "lavender"};
+  std::string out = "digraph \"" + g.name() + "\" {\n  rankdir=TB;\n";
+  for (OpId id : g.LiveOps()) {
+    const Operation& op = g.op(id);
+    std::string attrs = StrFormat(
+        "label=\"%s\\n%s %s\"", op.name.c_str(), OpTypeName(op.type),
+        op.output_shape.ToString().c_str());
+    if (static_cast<size_t>(id) < placement.size() && placement[id] >= 0) {
+      attrs += StrFormat(
+          ", style=filled, fillcolor=%s",
+          kPalette[static_cast<size_t>(placement[id]) % 8]);
+    }
+    out += StrFormat("  n%d [%s];\n", id, attrs.c_str());
+  }
+  for (OpId id : g.LiveOps()) {
+    for (EdgeId e : g.out_edges(id)) {
+      const Edge& edge = g.edge(e);
+      if (edge.dead || g.op(edge.dst).dead) continue;
+      out += StrFormat("  n%d -> n%d [label=\"%s\"];\n", edge.src, edge.dst,
+                       HumanBytes(static_cast<double>(edge.bytes)).c_str());
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace fastt

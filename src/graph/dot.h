@@ -1,0 +1,16 @@
+// Graphviz export for debugging placements and rewrites.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fastt {
+
+// Renders the live subgraph as DOT. If `placement` is non-empty it must be
+// indexed by OpId; nodes are colored per device.
+std::string ExportDot(const Graph& g,
+                      const std::vector<int>& placement = {});
+
+}  // namespace fastt

@@ -1,0 +1,113 @@
+// The computation DAG: operations (nodes) connected by tensors (edges).
+//
+// This is the structure every FastT algorithm consumes — ranks (§5.1), DPOS
+// device selection, OS-DPOS splitting (§5.2) — and the structure the
+// simulator executes. Rewrites tombstone nodes/edges rather than renumbering,
+// so OpIds remain stable across SplitOperation calls.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/operation.h"
+
+namespace fastt {
+
+using EdgeId = int32_t;
+
+struct Edge {
+  EdgeId id = -1;
+  OpId src = kInvalidOp;
+  OpId dst = kInvalidOp;
+  int64_t bytes = 0;  // tensor size carried by this edge
+  bool dead = false;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // ---- Construction ----------------------------------------------------
+
+  // Adds an operation; assigns and returns its id. Names must be unique.
+  OpId AddOp(Operation op);
+
+  // Adds an edge carrying `bytes` (or, if bytes < 0, the source op's output
+  // tensor size). Self-edges and duplicate (src,dst) pairs are allowed —
+  // TF graphs routinely carry several tensors between the same pair.
+  EdgeId AddEdge(OpId src, OpId dst, int64_t bytes = -1);
+
+  // Tombstones an op and every edge touching it.
+  void RemoveOp(OpId id);
+  void RemoveEdge(EdgeId id);
+
+  // ---- Access ------------------------------------------------------------
+
+  // Total slots including tombstones; iterate with op(i).dead checks, or use
+  // LiveOps().
+  int32_t num_slots() const { return static_cast<int32_t>(ops_.size()); }
+  int32_t num_live_ops() const { return num_live_; }
+  int64_t num_live_edges() const;
+
+  const Operation& op(OpId id) const;
+  Operation& mutable_op(OpId id);
+  const Edge& edge(EdgeId id) const;
+
+  // Live op ids in insertion order.
+  std::vector<OpId> LiveOps() const;
+
+  // Edge-id lists (may include dead edges; filter with edge(e).dead).
+  const std::vector<EdgeId>& out_edges(OpId id) const;
+  const std::vector<EdgeId>& in_edges(OpId id) const;
+
+  // Live predecessor / successor op ids (deduplicated, insertion order).
+  std::vector<OpId> Preds(OpId id) const;
+  std::vector<OpId> Succs(OpId id) const;
+
+  // Lookup by name; kInvalidOp if absent (or dead).
+  OpId FindOp(const std::string& name) const;
+
+  // Ops with no live in-edges / no live out-edges.
+  std::vector<OpId> EntryOps() const;
+  std::vector<OpId> ExitOps() const;
+
+  // ---- Algorithms --------------------------------------------------------
+
+  // Topological order of live ops. Throws std::logic_error on a cycle.
+  std::vector<OpId> TopoOrder() const;
+
+  // True iff the live subgraph is acyclic.
+  bool IsAcyclic() const;
+
+  // Validates ids, name uniqueness among live ops, acyclicity.
+  void Validate() const;
+
+  // Longest path value per op given node weights and edge weights: for each
+  // live op, weight(op) + max over live out-edges of (edge_w + value(succ)).
+  // This is exactly the paper's rank_u recursion with pluggable costs.
+  std::vector<double> LongestPathFromExit(
+      const std::function<double(const Operation&)>& node_w,
+      const std::function<double(const Edge&)>& edge_w) const;
+
+  // ---- Aggregate stats ----------------------------------------------------
+  double TotalFlops() const;
+  int64_t TotalParamBytes() const;
+
+ private:
+  std::string name_;
+  std::vector<Operation> ops_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_edges_;
+  std::vector<std::vector<EdgeId>> in_edges_;
+  std::unordered_map<std::string, OpId> by_name_;
+  int32_t num_live_ = 0;
+};
+
+}  // namespace fastt

@@ -1,0 +1,35 @@
+#include "graph/loops.h"
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace fastt {
+
+UnrolledLoop UnrollLoop(Graph& g, const LoopSpec& loop,
+                        const std::string& prefix, int trip_count,
+                        const std::vector<OpId>& initial) {
+  FASTT_CHECK_MSG(trip_count >= 1, "loop needs at least one iteration");
+  FASTT_CHECK_MSG(static_cast<bool>(loop.body), "loop has no body");
+
+  UnrolledLoop result;
+  result.carried = initial;
+  for (int t = 0; t < trip_count; ++t) {
+    const int32_t before = g.num_slots();
+    const std::vector<OpId> next = loop.body(
+        g, StrFormat("%s/iter%d", prefix.c_str(), t), result.carried);
+    FASTT_CHECK_MSG(next.size() == result.carried.size(),
+                    "body changed the loop-carried arity");
+    for (OpId id : next)
+      FASTT_CHECK_MSG(id >= 0 && id < g.num_slots() && !g.op(id).dead,
+                      "body returned an invalid carried op");
+    std::vector<OpId> instantiated;
+    for (OpId id = before; id < g.num_slots(); ++id)
+      if (!g.op(id).dead) instantiated.push_back(id);
+    result.per_iteration_ops.push_back(std::move(instantiated));
+    result.carried = next;
+  }
+  FASTT_CHECK_MSG(g.IsAcyclic(), "unrolled body introduced a cycle");
+  return result;
+}
+
+}  // namespace fastt

@@ -1,0 +1,49 @@
+// Cyclic-graph support via unrolling — the paper's stated future work.
+//
+// §8: "some new features … allow cycles in computation graphs, such as
+// dynamic RNN layers. Currently, FastT does not handle graphs with cycles.
+// A potential solution is to break the cycles and reorganize the graph to
+// be a DAG." This module implements that solution: a while-loop construct
+// is described as a body builder plus its loop-carried values, and
+// UnrollLoop instantiates the body `trip_count` times, threading each
+// instance's carried outputs into the next instance's carried inputs — a
+// DAG every FastT algorithm already handles. Dynamic trip counts are bounded
+// by their maximum (exactly how bucketing/max-sequence-length padding works
+// in practice); §3 of the paper likewise optimizes "the DAG within each of
+// its loops".
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fastt {
+
+struct LoopSpec {
+  // Builds ONE body instance into the graph under `prefix`, consuming the
+  // loop-carried values of this iteration (op ids producing them) and
+  // returning the next iteration's carried values. The body may reference
+  // ops outside the loop (weights, inputs) freely — they become shared
+  // predecessors of every instance.
+  std::function<std::vector<OpId>(Graph&, const std::string& prefix,
+                                  const std::vector<OpId>& carried)>
+      body;
+};
+
+struct UnrolledLoop {
+  // Final values of the loop-carried variables (outputs of the last body).
+  std::vector<OpId> carried;
+  // Every op instantiated, per iteration (for placement diagnostics).
+  std::vector<std::vector<OpId>> per_iteration_ops;
+};
+
+// Unrolls `loop` for `trip_count` iterations under `prefix` ("while0"),
+// starting from `initial` carried values. Throws if the body changes the
+// carried arity or introduces a cycle.
+UnrolledLoop UnrollLoop(Graph& g, const LoopSpec& loop,
+                        const std::string& prefix, int trip_count,
+                        const std::vector<OpId>& initial);
+
+}  // namespace fastt

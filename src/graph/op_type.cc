@@ -1,0 +1,140 @@
+#include "graph/op_type.h"
+
+namespace fastt {
+
+const char* OpTypeName(OpType type) {
+  switch (type) {
+    case OpType::kInput: return "Input";
+    case OpType::kVariable: return "Variable";
+    case OpType::kConv2D: return "Conv2D";
+    case OpType::kConv2DBackpropInput: return "Conv2DBackpropInput";
+    case OpType::kConv2DBackpropFilter: return "Conv2DBackpropFilter";
+    case OpType::kMaxPool: return "MaxPool";
+    case OpType::kMaxPoolGrad: return "MaxPoolGrad";
+    case OpType::kAvgPool: return "AvgPool";
+    case OpType::kAvgPoolGrad: return "AvgPoolGrad";
+    case OpType::kLRN: return "LRN";
+    case OpType::kLRNGrad: return "LRNGrad";
+    case OpType::kBatchNorm: return "BatchNorm";
+    case OpType::kBatchNormGrad: return "BatchNormGrad";
+    case OpType::kMatMul: return "MatMul";
+    case OpType::kBiasAdd: return "BiasAdd";
+    case OpType::kBiasAddGrad: return "BiasAddGrad";
+    case OpType::kLayerNorm: return "LayerNorm";
+    case OpType::kLayerNormGrad: return "LayerNormGrad";
+    case OpType::kSoftmax: return "Softmax";
+    case OpType::kSoftmaxGrad: return "SoftmaxGrad";
+    case OpType::kEmbeddingLookup: return "EmbeddingLookup";
+    case OpType::kEmbeddingGrad: return "EmbeddingGrad";
+    case OpType::kGelu: return "Gelu";
+    case OpType::kGeluGrad: return "GeluGrad";
+    case OpType::kLSTMCell: return "LSTMCell";
+    case OpType::kLSTMCellGrad: return "LSTMCellGrad";
+    case OpType::kRelu: return "Relu";
+    case OpType::kReluGrad: return "ReluGrad";
+    case OpType::kAdd: return "Add";
+    case OpType::kDropout: return "Dropout";
+    case OpType::kDropoutGrad: return "DropoutGrad";
+    case OpType::kIdentity: return "Identity";
+    case OpType::kSoftmaxCrossEntropy: return "SoftmaxCrossEntropy";
+    case OpType::kSoftmaxCrossEntropyGrad: return "SoftmaxCrossEntropyGrad";
+    case OpType::kGradAggregate: return "GradAggregate";
+    case OpType::kApplyGradient: return "ApplyGradient";
+    case OpType::kSplit: return "Split";
+    case OpType::kConcat: return "Concat";
+  }
+  return "Unknown";
+}
+
+const char* SplitDimName(SplitDim dim) {
+  switch (dim) {
+    case SplitDim::kNone: return "none";
+    case SplitDim::kBatch: return "batch";
+    case SplitDim::kChannel: return "channel";
+  }
+  return "?";
+}
+
+std::vector<SplitDim> ParallelizableDims(OpType type) {
+  switch (type) {
+    // Conv2D and its gradients split on both batch (fine-grained data
+    // parallelism) and channel (fine-grained model parallelism) — paper §5.2.
+    case OpType::kConv2D:
+    case OpType::kConv2DBackpropInput:
+    case OpType::kConv2DBackpropFilter:
+      return {SplitDim::kBatch, SplitDim::kChannel};
+    // MatMul splits on the row (batch) dimension and the output-column
+    // dimension (which partitions the weight matrix — channel-style).
+    case OpType::kMatMul:
+      return {SplitDim::kBatch, SplitDim::kChannel};
+    // Cheap elementwise / pooling ops are batch-splittable in principle;
+    // OS-DPOS virtually never picks them because the split/concat overhead
+    // dominates, but the solution space includes them.
+    case OpType::kRelu:
+    case OpType::kReluGrad:
+    case OpType::kMaxPool:
+    case OpType::kMaxPoolGrad:
+    case OpType::kAvgPool:
+    case OpType::kAvgPoolGrad:
+    case OpType::kGelu:
+    case OpType::kGeluGrad:
+    case OpType::kLSTMCell:
+    case OpType::kLSTMCellGrad:
+      return {SplitDim::kBatch};
+    // BatchNorm is the paper's explicit example of a non-splittable op (its
+    // statistics couple the whole batch); normalization and glue likewise.
+    default:
+      return {};
+  }
+}
+
+bool IsComputeBound(OpType type) {
+  switch (type) {
+    case OpType::kConv2D:
+    case OpType::kConv2DBackpropInput:
+    case OpType::kConv2DBackpropFilter:
+    case OpType::kMatMul:
+    case OpType::kLSTMCell:
+    case OpType::kLSTMCellGrad:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsMathOp(OpType type) {
+  switch (type) {
+    case OpType::kInput:
+    case OpType::kVariable:
+    case OpType::kSplit:
+    case OpType::kConcat:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool IsGradOp(OpType type) {
+  switch (type) {
+    case OpType::kConv2DBackpropInput:
+    case OpType::kConv2DBackpropFilter:
+    case OpType::kMaxPoolGrad:
+    case OpType::kAvgPoolGrad:
+    case OpType::kLRNGrad:
+    case OpType::kBatchNormGrad:
+    case OpType::kBiasAddGrad:
+    case OpType::kLayerNormGrad:
+    case OpType::kSoftmaxGrad:
+    case OpType::kEmbeddingGrad:
+    case OpType::kGeluGrad:
+    case OpType::kLSTMCellGrad:
+    case OpType::kReluGrad:
+    case OpType::kDropoutGrad:
+    case OpType::kSoftmaxCrossEntropyGrad:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace fastt

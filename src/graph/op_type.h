@@ -1,0 +1,95 @@
+// Operation taxonomy.
+//
+// Mirrors the TensorFlow op kinds that appear in the paper's nine benchmark
+// models, plus the glue nodes FastT's graph rewrites introduce (Split/Concat,
+// Alg. 2) and the gradient-aggregation traffic data parallelism creates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fastt {
+
+enum class OpType : uint8_t {
+  // Sources / parameters.
+  kInput,        // training-batch feed
+  kVariable,     // parameter read (weights resident on the op's device)
+
+  // Convolutional nets.
+  kConv2D,
+  kConv2DBackpropInput,
+  kConv2DBackpropFilter,
+  kMaxPool,
+  kMaxPoolGrad,
+  kAvgPool,
+  kAvgPoolGrad,
+  kLRN,
+  kLRNGrad,
+  kBatchNorm,
+  kBatchNormGrad,
+
+  // Dense / attention nets.
+  kMatMul,        // also all MatMul-shaped gradient ops
+  kBiasAdd,
+  kBiasAddGrad,
+  kLayerNorm,
+  kLayerNormGrad,
+  kSoftmax,
+  kSoftmaxGrad,
+  kEmbeddingLookup,
+  kEmbeddingGrad,
+  kGelu,
+  kGeluGrad,
+
+  // Recurrent nets.
+  kLSTMCell,
+  kLSTMCellGrad,
+
+  // Elementwise / misc.
+  kRelu,
+  kReluGrad,
+  kAdd,           // residual adds etc.
+  kDropout,
+  kDropoutGrad,
+  kIdentity,
+
+  // Loss.
+  kSoftmaxCrossEntropy,
+  kSoftmaxCrossEntropyGrad,
+
+  // Optimizer / data-parallel glue.
+  kGradAggregate,  // sums replica gradients (the all-reduce stand-in)
+  kApplyGradient,  // SGD parameter update
+
+  // Graph-rewrite glue (Alg. 2 SplitOperation).
+  kSplit,
+  kConcat,
+};
+
+// Dimension an operation may be partitioned along (paper §5.2): batch-dim
+// split is fine-grained data parallelism, channel-dim split is fine-grained
+// model parallelism. kNone means the op is not splittable (e.g. BatchNorm).
+enum class SplitDim : uint8_t {
+  kNone,
+  kBatch,
+  kChannel,
+};
+
+const char* OpTypeName(OpType type);
+const char* SplitDimName(SplitDim dim);
+
+// Dimensions along which ops of this type can be split. Empty if none.
+std::vector<SplitDim> ParallelizableDims(OpType type);
+
+// Compute-bound ops are priced by FLOPs; memory-bound ops by bytes touched.
+bool IsComputeBound(OpType type);
+
+// True for ops that do real numerical work (excludes Input/Variable/Identity
+// and the Split/Concat/aggregation glue) — used when reporting "computation
+// time" in the Fig. 5 breakdown.
+bool IsMathOp(OpType type);
+
+// True for backward-pass op kinds; used by tests and placement diagnostics.
+bool IsGradOp(OpType type);
+
+}  // namespace fastt

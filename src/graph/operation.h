@@ -1,0 +1,90 @@
+// A single node of the computation DAG.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/op_type.h"
+#include "graph/shape.h"
+
+namespace fastt {
+
+using OpId = int32_t;
+inline constexpr OpId kInvalidOp = -1;
+
+struct Operation {
+  OpId id = kInvalidOp;
+  std::string name;          // unique within a graph, e.g. "rep0/conv1_2"
+  OpType type = OpType::kIdentity;
+
+  // Shape/dtype of the op's (single, logical) output tensor. Edge byte counts
+  // default to this tensor's size.
+  TensorShape output_shape;
+  DType dtype = DType::kF32;
+
+  // Analytic cost inputs. The simulator derives ground-truth durations from
+  // these; FastT itself only ever sees profiled times.
+  double flops = 0.0;         // floating-point operations performed
+  int64_t bytes_touched = 0;  // memory traffic for memory-bound ops
+  // Kernel efficiency override (fraction of device peak). 0 = use the
+  // per-op-type default. Model builders set this where the kernel shape
+  // matters (e.g. Winograd-eligible 3x3 convs vs. bandwidth-bound 1x1s).
+  double efficiency_override = 0.0;
+
+  // Memory footprint on the device the op is placed on.
+  int64_t param_bytes = 0;    // persistent (weights owned by this op)
+  int64_t temp_bytes = 0;     // transient workspace while executing
+
+  // Split bookkeeping (Alg. 2): current extents along the splittable dims.
+  int64_t batch = 0;          // samples this op processes (0 = n/a)
+  int64_t channels = 0;       // output channels / columns (0 = n/a)
+
+  // Cost-model key. Data-parallel replicas of the same logical op share this
+  // key so a profile of one replica prices all of them — matching the paper's
+  // observation that DP bootstrapping learns each op's time on every device
+  // in a handful of iterations.
+  std::string cost_key;
+
+  // When a fresh op is created by a graph rewrite (a split sub-op), the cost
+  // model has no profile for it yet. The paper explores such ops by pricing
+  // them at zero and profiling the next run; to let OS-DPOS evaluate
+  // hypothetical splits without a profiling round-trip we also record the
+  // parent op's key and a scale factor as an estimation fallback.
+  std::string cost_basis_key;
+  double cost_scale = 1.0;
+
+  // Colocation constraint (TF-style): this op must be placed on the same
+  // device as the referenced op — optimizer updates run where the parameters
+  // live; LSTM timestep cells run where the (shared) layer weights live.
+  // Placement algorithms resolve this after placing the referenced op.
+  OpId colocate_with = kInvalidOp;
+
+  // True for ops whose output is a reduction over the batch dimension
+  // (weight gradients, bias gradients): Alg. 2's split/concat rewrite is
+  // only valid along dimensions that partition the OUTPUT, so batch splits
+  // of such ops are rejected — their batch-partitioned partials would need
+  // a sum, not a concat. (The paper notes different split methods exist for
+  // different op types; the concat method is the one it details.)
+  bool reduces_batch = false;
+
+  // True for ops created by backward-pass generation (gradients, gradient
+  // sums, optimizer updates, aggregation). Backward tensors are transient —
+  // produced and consumed within the backward sweep — so placement memory
+  // accounting does not charge their outputs as retained activations.
+  bool is_backward = false;
+
+  // Rewrites tombstone ops instead of compacting ids.
+  bool dead = false;
+
+  int64_t output_bytes() const { return output_shape.ByteSize(dtype); }
+
+  // Resident memory the op demands on its device (activations are accounted
+  // dynamically by the simulator; this is the static part).
+  int64_t resident_bytes() const { return param_bytes; }
+
+  const std::string& CostKey() const {
+    return cost_key.empty() ? name : cost_key;
+  }
+};
+
+}  // namespace fastt

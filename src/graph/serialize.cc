@@ -1,0 +1,140 @@
+#include "graph/serialize.h"
+
+#include <sstream>
+#include <vector>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace fastt {
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+// Dead slots keep their position (so OpId-indexed vectors stay valid) but
+// not their name: the name pool belongs to live ops.
+std::string DeadName(OpId id) { return StrFormat("~dead~%d", id); }
+
+}  // namespace
+
+void SerializeGraph(const Graph& g, std::ostream& out) {
+  out.precision(17);  // round-trip doubles exactly
+  out << "fastt_graph " << kFormatVersion << "\n";
+  out << "graph " << g.name() << "\n";
+  for (OpId id = 0; id < g.num_slots(); ++id) {
+    const Operation& op = g.op(id);
+    int flags = 0;
+    if (op.dead) flags |= 1;
+    if (op.is_backward) flags |= 2;
+    out << "op " << id << ' ' << static_cast<int>(op.type) << ' ' << flags
+        << ' ' << op.flops << ' ' << op.bytes_touched << ' '
+        << op.param_bytes << ' ' << op.temp_bytes << ' ' << op.batch << ' '
+        << op.channels << ' ' << op.efficiency_override << ' '
+        << op.cost_scale << ' ' << op.colocate_with << ' '
+        << static_cast<int>(op.dtype);
+    out << " dims";
+    for (int64_t d : op.output_shape.dims()) out << ' ' << d;
+    out << " | " << (op.dead ? DeadName(id) : op.name) << " | "
+        << op.cost_key << " | " << op.cost_basis_key << "\n";
+  }
+  for (OpId id = 0; id < g.num_slots(); ++id) {
+    if (g.op(id).dead) continue;
+    for (EdgeId e : g.out_edges(id)) {
+      const Edge& edge = g.edge(e);
+      if (edge.dead || g.op(edge.dst).dead) continue;
+      out << "edge " << edge.src << ' ' << edge.dst << ' ' << edge.bytes
+          << "\n";
+    }
+  }
+}
+
+std::string SerializeGraph(const Graph& g) {
+  std::ostringstream out;
+  SerializeGraph(g, out);
+  return out.str();
+}
+
+Graph DeserializeGraph(std::istream& in) {
+  std::string keyword;
+  int version = 0;
+  in >> keyword >> version;
+  FASTT_CHECK_MSG(keyword == "fastt_graph", "not a fastt graph file");
+  FASTT_CHECK_MSG(version == kFormatVersion, "unsupported graph version");
+
+  Graph g;
+  std::vector<OpId> dead_ids;
+  std::string line;
+  std::getline(in, line);  // rest of header line
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "graph") {
+      std::string name;
+      ls >> name;
+      g.set_name(name);
+    } else if (kind == "op") {
+      OpId id;
+      int type = 0, flags = 0, dtype = 0;
+      Operation op;
+      ls >> id >> type >> flags >> op.flops >> op.bytes_touched >>
+          op.param_bytes >> op.temp_bytes >> op.batch >> op.channels >>
+          op.efficiency_override >> op.cost_scale >> op.colocate_with >>
+          dtype;
+      op.type = static_cast<OpType>(type);
+      op.dtype = static_cast<DType>(dtype);
+      std::string token;
+      ls >> token;
+      FASTT_CHECK_MSG(token == "dims", "malformed op line: " + line);
+      std::vector<int64_t> dims;
+      while (ls >> token && token != "|")
+        dims.push_back(std::stoll(token));
+      op.output_shape = TensorShape(std::move(dims));
+      // Remaining: " name | cost_key | basis_key" (name first, already past
+      // the first '|').
+      std::string rest;
+      std::getline(ls, rest);
+      std::vector<std::string> fields;
+      size_t pos = 0;
+      while (true) {
+        const size_t bar = rest.find('|', pos);
+        std::string field = rest.substr(
+            pos, bar == std::string::npos ? std::string::npos : bar - pos);
+        // Trim surrounding spaces.
+        const size_t b = field.find_first_not_of(' ');
+        const size_t e = field.find_last_not_of(' ');
+        fields.push_back(b == std::string::npos
+                             ? std::string()
+                             : field.substr(b, e - b + 1));
+        if (bar == std::string::npos) break;
+        pos = bar + 1;
+      }
+      FASTT_CHECK_MSG(fields.size() == 3, "malformed op fields: " + line);
+      op.name = fields[0];
+      op.cost_key = fields[1];
+      op.cost_basis_key = fields[2];
+      const bool dead = (flags & 1) != 0;
+      op.is_backward = (flags & 2) != 0;
+      const OpId assigned = g.AddOp(std::move(op));
+      FASTT_CHECK_MSG(assigned == id, "non-contiguous op ids in file");
+      if (dead) dead_ids.push_back(id);
+    } else if (kind == "edge") {
+      OpId src, dst;
+      int64_t bytes;
+      ls >> src >> dst >> bytes;
+      g.AddEdge(src, dst, bytes);
+    } else {
+      FASTT_CHECK_MSG(false, "unknown record: " + kind);
+    }
+  }
+  for (OpId id : dead_ids) g.RemoveOp(id);
+  return g;
+}
+
+Graph DeserializeGraph(const std::string& text) {
+  std::istringstream in(text);
+  return DeserializeGraph(in);
+}
+
+}  // namespace fastt

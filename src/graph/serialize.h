@@ -1,0 +1,35 @@
+// Text (de)serialization of computation graphs.
+//
+// The FastT workflow checkpoints the session and restarts it to activate a
+// new strategy (paper §4): the rewritten graph and the strategy must
+// round-trip through storage. The format is a line-oriented, versioned,
+// human-diffable text format:
+//
+//   fastt_graph 1
+//   graph <name>
+//   op <id> <type> <flags> <flops> <bytes> <params> <temp> <batch>
+//      <channels> <eff> <scale> <colocate> <dtype> <shape...> | <name> |
+//      <cost_key> | <basis_key>
+//   edge <src> <dst> <bytes>
+//
+// Dead slots are preserved so OpIds (and any placement/priority vectors
+// indexed by them) stay valid across a round trip.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace fastt {
+
+// Serializes the graph (including tombstoned slots) to text.
+std::string SerializeGraph(const Graph& g);
+void SerializeGraph(const Graph& g, std::ostream& out);
+
+// Parses a graph previously produced by SerializeGraph. Throws
+// std::logic_error on malformed input or version mismatch.
+Graph DeserializeGraph(const std::string& text);
+Graph DeserializeGraph(std::istream& in);
+
+}  // namespace fastt

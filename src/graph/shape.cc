@@ -1,0 +1,74 @@
+#include "graph/shape.h"
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace fastt {
+
+int64_t DTypeSize(DType dtype) {
+  switch (dtype) {
+    case DType::kF32:
+      return 4;
+    case DType::kF16:
+      return 2;
+    case DType::kI32:
+      return 4;
+    case DType::kI64:
+      return 8;
+  }
+  return 4;
+}
+
+const char* DTypeName(DType dtype) {
+  switch (dtype) {
+    case DType::kF32:
+      return "f32";
+    case DType::kF16:
+      return "f16";
+    case DType::kI32:
+      return "i32";
+    case DType::kI64:
+      return "i64";
+  }
+  return "?";
+}
+
+TensorShape::TensorShape(std::initializer_list<int64_t> dims) : dims_(dims) {
+  for (int64_t d : dims_) FASTT_CHECK_MSG(d >= 0, "negative dimension");
+}
+
+TensorShape::TensorShape(std::vector<int64_t> dims) : dims_(std::move(dims)) {
+  for (int64_t d : dims_) FASTT_CHECK_MSG(d >= 0, "negative dimension");
+}
+
+int64_t TensorShape::dim(int64_t i) const {
+  FASTT_CHECK(i >= 0 && i < rank());
+  return dims_[static_cast<size_t>(i)];
+}
+
+int64_t TensorShape::num_elements() const {
+  int64_t n = 1;
+  for (int64_t d : dims_) n *= d;
+  return n;
+}
+
+int64_t TensorShape::ByteSize(DType dtype) const {
+  return num_elements() * DTypeSize(dtype);
+}
+
+TensorShape TensorShape::WithDim(int64_t i, int64_t v) const {
+  FASTT_CHECK(i >= 0 && i < rank());
+  FASTT_CHECK(v >= 0);
+  std::vector<int64_t> dims = dims_;
+  dims[static_cast<size_t>(i)] = v;
+  return TensorShape(std::move(dims));
+}
+
+std::string TensorShape::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(dims_.size());
+  for (int64_t d : dims_) parts.push_back(StrFormat("%lld", (long long)d));
+  return "[" + Join(parts, ",") + "]";
+}
+
+}  // namespace fastt

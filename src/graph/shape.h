@@ -1,0 +1,53 @@
+// Tensor metadata: element types and shapes.
+//
+// The computation graph is a metadata-only representation — we never allocate
+// real tensor storage. Shapes exist so that operation FLOP counts, tensor
+// transfer sizes and device memory demands are derived from the same model
+// definitions the paper trains.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace fastt {
+
+enum class DType : uint8_t {
+  kF32,
+  kF16,
+  kI32,
+  kI64,
+};
+
+// Bytes per element.
+int64_t DTypeSize(DType dtype);
+const char* DTypeName(DType dtype);
+
+class TensorShape {
+ public:
+  TensorShape() = default;
+  TensorShape(std::initializer_list<int64_t> dims);
+  explicit TensorShape(std::vector<int64_t> dims);
+
+  int64_t rank() const { return static_cast<int64_t>(dims_.size()); }
+  int64_t dim(int64_t i) const;
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  // Product of dimensions; 1 for a scalar (rank 0).
+  int64_t num_elements() const;
+
+  int64_t ByteSize(DType dtype) const;
+
+  // Returns a copy with dimension `i` replaced by `v`.
+  TensorShape WithDim(int64_t i, int64_t v) const;
+
+  std::string ToString() const;  // e.g. "[64,224,224,3]"
+
+  bool operator==(const TensorShape& other) const = default;
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace fastt

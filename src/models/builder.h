@@ -1,0 +1,172 @@
+// ModelBuilder: constructs training DAGs (forward + backward + optimizer
+// update) for the paper's nine benchmark models.
+//
+// Each layer helper appends the forward op(s) and registers gradient specs;
+// Finish() then walks the forward graph in reverse topological order and
+// emits the backward pass — one gradient op per (op, data-input) pair, weight
+// gradients, gradient summation where fan-out requires it, and an
+// ApplyGradient per parameterized op (colocated with it, like TF's
+// colocation constraint between a variable and its optimizer slot).
+//
+// Memory realism notes (these drive Table 3's OOM reproduction):
+//  * an op's param_bytes are resident all iteration;
+//  * ApplyGradient carries 2× param_bytes resident (Adam m/v slots);
+//  * activation tensors stay alive until their last consumer — wiring each
+//    gradient op to the activation it really reads (own output vs. input
+//    activation) reproduces which forward tensors training must retain.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fastt {
+
+class ModelBuilder {
+ public:
+  // Builds into `graph`, prefixing every op name with `prefix` (used by the
+  // data-parallel constructor to lay down replicas side by side). `batch` is
+  // the number of samples this replica processes per iteration.
+  ModelBuilder(Graph& graph, std::string prefix, int64_t batch);
+
+  int64_t batch() const { return batch_; }
+
+  // ---- sources -----------------------------------------------------------
+  OpId Input(const std::string& name, TensorShape shape,
+             DType dtype = DType::kF32);
+
+  // ---- CNN layers (NHWC tensors) -------------------------------------------
+  OpId Conv2D(const std::string& name, OpId in, int kernel, int out_channels,
+              int stride, int padding_same = true);
+  // Rectangular kernels (Inception's 1x7 / 7x1 factorized convolutions).
+  OpId Conv2DRect(const std::string& name, OpId in, int kh, int kw,
+                  int out_channels, int stride, bool padding_same = true);
+  OpId MaxPool(const std::string& name, OpId in, int kernel, int stride);
+  OpId AvgPool(const std::string& name, OpId in, int kernel, int stride);
+  // Global average pool to [B, C].
+  OpId GlobalAvgPool(const std::string& name, OpId in);
+  OpId Relu(const std::string& name, OpId in);
+  OpId BatchNorm(const std::string& name, OpId in);
+  OpId LRN(const std::string& name, OpId in);
+  OpId Dropout(const std::string& name, OpId in);
+  // Elementwise sum (residual connections).
+  OpId Add(const std::string& name, OpId a, OpId b);
+  // Last-axis concat (inception blocks; attention context combine). All
+  // inputs must share their leading dimensions.
+  OpId ConcatChannels(const std::string& name, const std::vector<OpId>& ins);
+  // Stacks `seq` per-step [B, hidden] tensors into one [B, seq, hidden]
+  // sequence tensor (TF's stack after an unrolled RNN).
+  OpId ConcatSteps(const std::string& name, const std::vector<OpId>& steps,
+                   int64_t seq, int64_t hidden, int64_t b);
+
+  // ---- dense / attention ---------------------------------------------------
+  // Fully connected: flattens input to [B, K] and multiplies by [K, units].
+  // Emits MatMul + BiasAdd (+ optional Relu) like TF's dense layer.
+  OpId Dense(const std::string& name, OpId in, int64_t units,
+             bool relu = false);
+  // Parameterless matmul of two activations, [m,k]x[k,n] per batch item
+  // repeated `batch_mult` times (attention score/context products).
+  OpId MatMulAct(const std::string& name, OpId a, OpId b, int64_t m,
+                 int64_t k, int64_t n, int64_t batch_mult);
+  OpId Softmax(const std::string& name, OpId in);
+  // Attention-mask addition (bias broadcast onto attention scores).
+  OpId MaskAdd(const std::string& name, OpId in);
+  OpId LayerNorm(const std::string& name, OpId in);
+  OpId Gelu(const std::string& name, OpId in);
+  // Token embedding lookup: [B, seq] ids -> [B, seq, hidden].
+  OpId Embedding(const std::string& name, OpId ids, int64_t vocab,
+                 int64_t hidden, int64_t seq);
+  // Materialized layout change (TF transpose/reshape emit real copies; they
+  // matter for BERT's op count and activation footprint).
+  OpId Transpose(const std::string& name, OpId in);
+  // Zero-copy view with a new shape (same element count).
+  OpId Reshape(const std::string& name, OpId in, TensorShape shape);
+
+  // ---- recurrent ------------------------------------------------------------
+  // One LSTM layer over `seq` timesteps. x inputs are per-step slices of
+  // `x_seq` (shape [B, seq, input_dim]); returns per-step hidden outputs
+  // (shape [B, hidden]). Weights live on the first cell; later cells are
+  // colocated with it (shared weights must sit on one device, like TF).
+  std::vector<OpId> LSTMLayer(const std::string& name, OpId x_seq,
+                              int64_t seq, int64_t input_dim, int64_t hidden);
+
+  // ---- loss -----------------------------------------------------------------
+  // Marks the model's loss; Finish() seeds backpropagation here.
+  OpId SoftmaxCrossEntropy(const std::string& name, OpId logits,
+                           int64_t classes);
+
+  // Generates the backward pass + optimizer updates. Call exactly once.
+  void Finish();
+
+  // ---- low-level access (used by a few bespoke builders) -------------------
+  Graph& graph() { return graph_; }
+  OpId loss_op() const { return loss_; }
+  const TensorShape& shape_of(OpId op) const;
+
+ private:
+  friend class BuilderInternals;
+
+  enum class ActNeed {
+    kNone,
+    kPredOutput,       // gradient op reads this predecessor's activation
+    kOwnOutput,        // gradient op reads the forward op's own output
+    kOtherPredOutput,  // reads the *other* data input (matmul grads)
+  };
+  struct InputGradSpec {
+    OpId pred = kInvalidOp;
+    OpType type = OpType::kReluGrad;
+    double flops = 0.0;
+    int64_t bytes = 0;
+    ActNeed act = ActNeed::kOwnOutput;
+    bool propagate = true;
+    // Gradient tensor size relative to the predecessor's output (slices of a
+    // sequence tensor produce 1/seq-sized gradients that are later summed).
+    double out_scale = 1.0;
+  };
+  struct WGradSpec {
+    bool present = false;
+    OpType type = OpType::kConv2DBackpropFilter;
+    double flops = 0.0;
+    int64_t bytes = 0;
+    ActNeed act = ActNeed::kPredOutput;
+  };
+  struct GradInfo {
+    std::vector<InputGradSpec> inputs;
+    WGradSpec wgrad;
+    // The kVariable op holding this op's parameters; the optimizer update is
+    // colocated with it (TF's variable/optimizer-slot colocation).
+    OpId variable = kInvalidOp;
+  };
+
+  std::string Name(const std::string& suffix) const;
+  // Parameter tensor holder. Weights are explicit producers: every consumer
+  // placed on another device pays the weight-broadcast transfer, exactly the
+  // traffic TF-slim's shared-variable data parallelism generates (and the
+  // traffic FastT's placement learns to avoid).
+  OpId AddVariable(const std::string& name, int64_t param_bytes);
+  // `pred_bytes`, when non-empty, overrides the edge size per data input
+  // (e.g. a timestep slice of a sequence tensor, not the whole tensor).
+  OpId AddForwardOp(const std::string& name, OpType type, TensorShape shape,
+                    double flops, int64_t bytes_touched, int64_t param_bytes,
+                    const std::vector<OpId>& data_preds,
+                    const std::vector<int64_t>& pred_bytes = {});
+  // Registers gradient metadata for the op added last.
+  void RegisterGrad(OpId op, GradInfo info);
+
+  // Emits a memory-bound elementwise fwd op + its grad spec in one call.
+  OpId Elementwise(const std::string& name, OpType fwd, OpType bwd, OpId in,
+                   double byte_factor, ActNeed act);
+
+  Graph& graph_;
+  std::string prefix_;
+  int64_t batch_ = 0;
+  OpId loss_ = kInvalidOp;
+  bool finished_ = false;
+  std::vector<OpId> forward_ops_;  // insertion order
+  std::unordered_map<OpId, GradInfo> grad_info_;
+};
+
+}  // namespace fastt

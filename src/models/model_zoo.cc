@@ -1,0 +1,39 @@
+#include "models/model_zoo.h"
+
+#include "util/check.h"
+
+namespace fastt {
+
+const std::vector<ModelSpec>& ModelZoo() {
+  // Batch sizes are Table 1's global batches (strong scaling) and Table 2's
+  // per-GPU batches (weak scaling); the paper uses the same values for both.
+  static const std::vector<ModelSpec> kZoo = {
+      {"inception_v3", 64, 64, BuildInceptionV3},
+      {"vgg19", 64, 64, BuildVgg19},
+      {"resnet200", 32, 32, BuildResNet200},
+      {"lenet", 256, 256, BuildLeNet},
+      {"alexnet", 256, 256, BuildAlexNet},
+      {"gnmt", 128, 128, BuildGnmt},
+      {"rnnlm", 64, 64, BuildRnnlm},
+      {"transformer", 4096, 4096, BuildTransformer},
+      {"bert_large", 16, 16, BuildBertLarge},
+  };
+  return kZoo;
+}
+
+const ModelSpec& FindModel(const std::string& name) {
+  for (const ModelSpec& spec : ModelZoo())
+    if (spec.name == name) return spec;
+  FASTT_CHECK_MSG(false, "unknown model: " + name);
+  // Unreachable; FASTT_CHECK_MSG throws.
+  return ModelZoo().front();
+}
+
+Graph BuildSingle(const ModelSpec& spec, int64_t batch) {
+  Graph g(spec.name);
+  spec.build(g, "", batch);
+  g.Validate();
+  return g;
+}
+
+}  // namespace fastt

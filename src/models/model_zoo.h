@@ -1,0 +1,46 @@
+// The nine benchmark models of the paper's evaluation (§6.2): five CNNs
+// (LeNet, AlexNet, VGG-19, Inception-v3, ResNet-200) and four NLP models
+// (GNMT-4, RNNLM, Transformer, BERT-large), each built as a full training
+// graph (forward + backward + optimizer) at a caller-chosen batch size.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fastt {
+
+struct ModelSpec {
+  std::string name;
+  // Global batch used in Table 1 (strong scaling, chosen by the authors to
+  // fully utilize one GPU) and per-GPU batch used in Table 2 (weak scaling).
+  int64_t strong_batch = 0;
+  int64_t weak_batch = 0;
+  // Appends one replica of the training graph with the given name prefix.
+  std::function<void(Graph&, const std::string& prefix, int64_t batch)>
+      build;
+};
+
+// All nine models, in the paper's table order.
+const std::vector<ModelSpec>& ModelZoo();
+
+// Lookup by name ("vgg19", "bert_large", ...). Throws on unknown names.
+const ModelSpec& FindModel(const std::string& name);
+
+// Builds a single-replica training graph at the given batch size.
+Graph BuildSingle(const ModelSpec& spec, int64_t batch);
+
+// Individual builders (exposed for tests).
+void BuildLeNet(Graph& g, const std::string& prefix, int64_t batch);
+void BuildAlexNet(Graph& g, const std::string& prefix, int64_t batch);
+void BuildVgg19(Graph& g, const std::string& prefix, int64_t batch);
+void BuildInceptionV3(Graph& g, const std::string& prefix, int64_t batch);
+void BuildResNet200(Graph& g, const std::string& prefix, int64_t batch);
+void BuildGnmt(Graph& g, const std::string& prefix, int64_t batch);
+void BuildRnnlm(Graph& g, const std::string& prefix, int64_t batch);
+void BuildTransformer(Graph& g, const std::string& prefix, int64_t batch);
+void BuildBertLarge(Graph& g, const std::string& prefix, int64_t batch);
+
+}  // namespace fastt

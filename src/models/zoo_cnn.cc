@@ -1,0 +1,231 @@
+// CNN members of the model zoo. Layer inventories follow the original
+// architecture papers; names of VGG layers match the paper's Table 5
+// (conv1_1, conv1_2, pool1, ..., fc6) so the split-decision experiment can
+// report the same rows.
+#include "models/builder.h"
+#include "models/model_zoo.h"
+#include "util/strings.h"
+
+namespace fastt {
+namespace {
+
+// conv + relu, the VGG/AlexNet building block.
+OpId ConvRelu(ModelBuilder& mb, const std::string& name, OpId in, int kernel,
+              int channels, int stride = 1, bool same = true) {
+  OpId c = mb.Conv2D(name, in, kernel, channels, stride, same);
+  return mb.Relu("relu_" + name, c);
+}
+
+// conv + batch-norm + relu, the Inception/ResNet building block.
+OpId ConvBnRelu(ModelBuilder& mb, const std::string& name, OpId in,
+                int kernel, int channels, int stride = 1, bool same = true) {
+  OpId c = mb.Conv2D(name, in, kernel, channels, stride, same);
+  OpId b = mb.BatchNorm(name + "_bn", c);
+  return mb.Relu(name + "_relu", b);
+}
+
+// Rectangular-kernel variant (Inception's factorized 1x7 / 7x1 convs).
+OpId ConvBnReluRect(ModelBuilder& mb, const std::string& name, OpId in,
+                    int kh, int kw, int channels) {
+  OpId c = mb.Conv2DRect(name, in, kh, kw, channels, 1, true);
+  OpId b = mb.BatchNorm(name + "_bn", c);
+  return mb.Relu(name + "_relu", b);
+}
+
+}  // namespace
+
+void BuildLeNet(Graph& g, const std::string& prefix, int64_t batch) {
+  ModelBuilder mb(g, prefix, batch);
+  OpId x = mb.Input("images", TensorShape{batch, 28, 28, 1});
+  OpId c1 = ConvRelu(mb, "conv1", x, 5, 20, 1, false);
+  OpId p1 = mb.MaxPool("pool1", c1, 2, 2);
+  OpId c2 = ConvRelu(mb, "conv2", p1, 5, 50, 1, false);
+  OpId p2 = mb.MaxPool("pool2", c2, 2, 2);
+  OpId f1 = mb.Dense("fc1", p2, 500, /*relu=*/true);
+  OpId f2 = mb.Dense("fc2", f1, 10);
+  mb.SoftmaxCrossEntropy("loss", f2, 10);
+  mb.Finish();
+}
+
+void BuildAlexNet(Graph& g, const std::string& prefix, int64_t batch) {
+  ModelBuilder mb(g, prefix, batch);
+  OpId x = mb.Input("images", TensorShape{batch, 224, 224, 3});
+  OpId c1 = ConvRelu(mb, "conv1", x, 11, 96, 4, false);
+  OpId n1 = mb.LRN("lrn1", c1);
+  OpId p1 = mb.MaxPool("pool1", n1, 3, 2);
+  OpId c2 = ConvRelu(mb, "conv2", p1, 5, 256, 1, true);
+  OpId n2 = mb.LRN("lrn2", c2);
+  OpId p2 = mb.MaxPool("pool2", n2, 3, 2);
+  OpId c3 = ConvRelu(mb, "conv3", p2, 3, 384, 1, true);
+  OpId c4 = ConvRelu(mb, "conv4", c3, 3, 384, 1, true);
+  OpId c5 = ConvRelu(mb, "conv5", c4, 3, 256, 1, true);
+  OpId p5 = mb.MaxPool("pool5", c5, 3, 2);
+  OpId f6 = mb.Dense("fc6", p5, 4096, /*relu=*/true);
+  OpId d6 = mb.Dropout("drop6", f6);
+  OpId f7 = mb.Dense("fc7", d6, 4096, /*relu=*/true);
+  OpId d7 = mb.Dropout("drop7", f7);
+  OpId f8 = mb.Dense("fc8", d7, 1000);
+  mb.SoftmaxCrossEntropy("loss", f8, 1000);
+  mb.Finish();
+}
+
+void BuildVgg19(Graph& g, const std::string& prefix, int64_t batch) {
+  ModelBuilder mb(g, prefix, batch);
+  OpId x = mb.Input("images", TensorShape{batch, 224, 224, 3});
+  // Five conv blocks: 2-2-4-4-4 convs with 64..512 channels.
+  const int blocks[5] = {2, 2, 4, 4, 4};
+  const int channels[5] = {64, 128, 256, 512, 512};
+  OpId h = x;
+  for (int b = 0; b < 5; ++b) {
+    for (int i = 0; i < blocks[b]; ++i) {
+      const std::string name = StrFormat("conv%d_%d", b + 1, i + 1);
+      h = mb.Conv2D(name, h, 3, channels[b], 1, true);
+      h = mb.Relu(StrFormat("relu%d_%d", b + 1, i + 1), h);
+    }
+    h = mb.MaxPool(StrFormat("pool%d", b + 1), h, 2, 2);
+  }
+  OpId f6 = mb.Dense("fc6", h, 4096, /*relu=*/true);
+  OpId d6 = mb.Dropout("drop6", f6);
+  OpId f7 = mb.Dense("fc7", d6, 4096, /*relu=*/true);
+  OpId d7 = mb.Dropout("drop7", f7);
+  OpId f8 = mb.Dense("fc8", d7, 1000);
+  mb.SoftmaxCrossEntropy("loss", f8, 1000);
+  mb.Finish();
+}
+
+namespace {
+
+// Inception-v3 blocks (channel layouts from Szegedy et al. 2016).
+OpId InceptionA(ModelBuilder& mb, const std::string& n, OpId in,
+                int pool_ch) {
+  OpId b1 = ConvBnRelu(mb, n + "/b1_1x1", in, 1, 64);
+  OpId b2 = ConvBnRelu(mb, n + "/b2_1x1", in, 1, 48);
+  b2 = ConvBnRelu(mb, n + "/b2_5x5", b2, 5, 64);
+  OpId b3 = ConvBnRelu(mb, n + "/b3_1x1", in, 1, 64);
+  b3 = ConvBnRelu(mb, n + "/b3_3x3a", b3, 3, 96);
+  b3 = ConvBnRelu(mb, n + "/b3_3x3b", b3, 3, 96);
+  OpId b4 = mb.AvgPool(n + "/b4_pool", in, 3, 1);
+  b4 = ConvBnRelu(mb, n + "/b4_1x1", b4, 1, pool_ch);
+  return mb.ConcatChannels(n + "/concat", {b1, b2, b3, b4});
+}
+
+OpId ReductionA(ModelBuilder& mb, const std::string& n, OpId in) {
+  OpId b1 = ConvBnRelu(mb, n + "/b1_3x3", in, 3, 384, 2, false);
+  OpId b2 = ConvBnRelu(mb, n + "/b2_1x1", in, 1, 64);
+  b2 = ConvBnRelu(mb, n + "/b2_3x3a", b2, 3, 96);
+  b2 = ConvBnRelu(mb, n + "/b2_3x3b", b2, 3, 96, 2, false);
+  OpId b3 = mb.MaxPool(n + "/b3_pool", in, 3, 2);
+  return mb.ConcatChannels(n + "/concat", {b1, b2, b3});
+}
+
+OpId InceptionB(ModelBuilder& mb, const std::string& n, OpId in, int mid) {
+  OpId b1 = ConvBnRelu(mb, n + "/b1_1x1", in, 1, 192);
+  OpId b2 = ConvBnRelu(mb, n + "/b2_1x1", in, 1, mid);
+  b2 = ConvBnReluRect(mb, n + "/b2_1x7", b2, 1, 7, mid);
+  b2 = ConvBnReluRect(mb, n + "/b2_7x1", b2, 7, 1, 192);
+  OpId b3 = ConvBnRelu(mb, n + "/b3_1x1", in, 1, mid);
+  b3 = ConvBnReluRect(mb, n + "/b3_7x1a", b3, 7, 1, mid);
+  b3 = ConvBnReluRect(mb, n + "/b3_1x7a", b3, 1, 7, mid);
+  b3 = ConvBnReluRect(mb, n + "/b3_7x1b", b3, 7, 1, mid);
+  b3 = ConvBnReluRect(mb, n + "/b3_1x7b", b3, 1, 7, 192);
+  OpId b4 = mb.AvgPool(n + "/b4_pool", in, 3, 1);
+  b4 = ConvBnRelu(mb, n + "/b4_1x1", b4, 1, 192);
+  return mb.ConcatChannels(n + "/concat", {b1, b2, b3, b4});
+}
+
+OpId ReductionB(ModelBuilder& mb, const std::string& n, OpId in) {
+  OpId b1 = ConvBnRelu(mb, n + "/b1_1x1", in, 1, 192);
+  b1 = ConvBnRelu(mb, n + "/b1_3x3", b1, 3, 320, 2, false);
+  OpId b2 = ConvBnRelu(mb, n + "/b2_1x1", in, 1, 192);
+  b2 = ConvBnReluRect(mb, n + "/b2_1x7", b2, 1, 7, 192);
+  b2 = ConvBnReluRect(mb, n + "/b2_7x1", b2, 7, 1, 192);
+  b2 = ConvBnRelu(mb, n + "/b2_3x3", b2, 3, 192, 2, false);
+  OpId b3 = mb.MaxPool(n + "/b3_pool", in, 3, 2);
+  return mb.ConcatChannels(n + "/concat", {b1, b2, b3});
+}
+
+OpId InceptionC(ModelBuilder& mb, const std::string& n, OpId in) {
+  OpId b1 = ConvBnRelu(mb, n + "/b1_1x1", in, 1, 320);
+  OpId b2 = ConvBnRelu(mb, n + "/b2_1x1", in, 1, 384);
+  OpId b2a = ConvBnReluRect(mb, n + "/b2_1x3", b2, 1, 3, 384);
+  OpId b2b = ConvBnReluRect(mb, n + "/b2_3x1", b2, 3, 1, 384);
+  OpId b3 = ConvBnRelu(mb, n + "/b3_1x1", in, 1, 448);
+  b3 = ConvBnRelu(mb, n + "/b3_3x3", b3, 3, 384);
+  OpId b3a = ConvBnReluRect(mb, n + "/b3_1x3", b3, 1, 3, 384);
+  OpId b3b = ConvBnReluRect(mb, n + "/b3_3x1", b3, 3, 1, 384);
+  OpId b4 = mb.AvgPool(n + "/b4_pool", in, 3, 1);
+  b4 = ConvBnRelu(mb, n + "/b4_1x1", b4, 1, 192);
+  return mb.ConcatChannels(n + "/concat", {b1, b2a, b2b, b3a, b3b, b4});
+}
+
+}  // namespace
+
+void BuildInceptionV3(Graph& g, const std::string& prefix, int64_t batch) {
+  ModelBuilder mb(g, prefix, batch);
+  OpId x = mb.Input("images", TensorShape{batch, 299, 299, 3});
+  OpId h = ConvBnRelu(mb, "stem/conv1", x, 3, 32, 2, false);
+  h = ConvBnRelu(mb, "stem/conv2", h, 3, 32, 1, false);
+  h = ConvBnRelu(mb, "stem/conv3", h, 3, 64, 1, true);
+  h = mb.MaxPool("stem/pool1", h, 3, 2);
+  h = ConvBnRelu(mb, "stem/conv4", h, 1, 80, 1, false);
+  h = ConvBnRelu(mb, "stem/conv5", h, 3, 192, 1, false);
+  h = mb.MaxPool("stem/pool2", h, 3, 2);
+  h = InceptionA(mb, "mixed0", h, 32);
+  h = InceptionA(mb, "mixed1", h, 64);
+  h = InceptionA(mb, "mixed2", h, 64);
+  h = ReductionA(mb, "mixed3", h);
+  h = InceptionB(mb, "mixed4", h, 128);
+  h = InceptionB(mb, "mixed5", h, 160);
+  h = InceptionB(mb, "mixed6", h, 160);
+  h = InceptionB(mb, "mixed7", h, 192);
+  h = ReductionB(mb, "mixed8", h);
+  h = InceptionC(mb, "mixed9", h);
+  h = InceptionC(mb, "mixed10", h);
+  h = mb.GlobalAvgPool("avgpool", h);
+  OpId logits = mb.Dense("logits", h, 1000);
+  mb.SoftmaxCrossEntropy("loss", logits, 1000);
+  mb.Finish();
+}
+
+namespace {
+
+// Pre-activation bottleneck block (ResNet v2).
+OpId Bottleneck(ModelBuilder& mb, const std::string& n, OpId in, int mid,
+                int out, int stride, bool project) {
+  OpId h = ConvBnRelu(mb, n + "/conv1", in, 1, mid, 1, true);
+  h = ConvBnRelu(mb, n + "/conv2", h, 3, mid, stride, true);
+  h = mb.Conv2D(n + "/conv3", h, 1, out, 1, true);
+  h = mb.BatchNorm(n + "/conv3_bn", h);
+  OpId shortcut = in;
+  if (project) {
+    shortcut = mb.Conv2D(n + "/proj", in, 1, out, stride, true);
+    shortcut = mb.BatchNorm(n + "/proj_bn", shortcut);
+  }
+  OpId sum = mb.Add(n + "/add", h, shortcut);
+  return mb.Relu(n + "/relu", sum);
+}
+
+}  // namespace
+
+void BuildResNet200(Graph& g, const std::string& prefix, int64_t batch) {
+  ModelBuilder mb(g, prefix, batch);
+  OpId x = mb.Input("images", TensorShape{batch, 224, 224, 3});
+  OpId h = ConvBnRelu(mb, "stem/conv1", x, 7, 64, 2, true);
+  h = mb.MaxPool("stem/pool1", h, 3, 2);
+  // ResNet-200: stages of 3 / 24 / 36 / 3 bottleneck blocks.
+  const int depths[4] = {3, 24, 36, 3};
+  const int mids[4] = {64, 128, 256, 512};
+  for (int s = 0; s < 4; ++s) {
+    for (int b = 0; b < depths[s]; ++b) {
+      const int stride = (b == 0 && s > 0) ? 2 : 1;
+      h = Bottleneck(mb, StrFormat("stage%d/block%d", s + 1, b), h, mids[s],
+                     mids[s] * 4, stride, /*project=*/b == 0);
+    }
+  }
+  h = mb.GlobalAvgPool("avgpool", h);
+  OpId logits = mb.Dense("logits", h, 1000);
+  mb.SoftmaxCrossEntropy("loss", logits, 1000);
+  mb.Finish();
+}
+
+}  // namespace fastt

@@ -1,0 +1,196 @@
+// NLP members of the model zoo: the two LSTM models (GNMT-4, RNNLM) and the
+// two attention models (Transformer, BERT-large).
+//
+// The attention models decompose multi-head attention into the dense
+// projections, batched score/context MatMuls, softmax/dropout and the
+// materialized transposes TF emits — MatMul is what FastT ends up splitting
+// for these models (paper Table 6), so the MatMul inventory matters.
+#include "models/builder.h"
+#include "models/model_zoo.h"
+#include "util/strings.h"
+
+namespace fastt {
+namespace {
+
+constexpr int64_t kGnmtVocab = 32000;
+constexpr int64_t kGnmtHidden = 1024;
+constexpr int64_t kGnmtSeq = 32;
+
+constexpr int64_t kRnnlmVocab = 10000;
+constexpr int64_t kRnnlmHidden = 1500;
+constexpr int64_t kRnnlmSeq = 35;
+
+// One multi-head attention block. `q_in` attends over `kv_in`.
+// Shapes: q_in [B*Sq, d], kv_in [B*Skv, d].
+//
+// `heavy` models the BERT reference implementation, which materializes a
+// reshape-to-heads copy plus a transpose per projection and an explicit
+// attention-mask addition; tensor2tensor's Transformer attention is leaner
+// (one transpose, fused bias), which is why Transformer trains within memory
+// at large token batches while BERT-large OOMs early (paper Table 3).
+OpId Attention(ModelBuilder& mb, const std::string& n, OpId q_in, OpId kv_in,
+               int64_t b, int64_t sq, int64_t skv, int64_t d, int64_t heads,
+               bool heavy) {
+  const int64_t dh = d / heads;
+  OpId q = mb.Dense(n + "/q", q_in, d);
+  OpId k = mb.Dense(n + "/k", kv_in, d);
+  OpId v = mb.Dense(n + "/v", kv_in, d);
+  OpId tq = mb.Transpose(n + "/tq", heavy ? mb.Transpose(n + "/rq", q) : q);
+  OpId tk = mb.Transpose(n + "/tk", heavy ? mb.Transpose(n + "/rk", k) : k);
+  OpId tv = mb.Transpose(n + "/tv", heavy ? mb.Transpose(n + "/rv", v) : v);
+  OpId scores = mb.MatMulAct(n + "/scores", tq, tk, sq, dh, skv, b * heads);
+  if (heavy) scores = mb.MaskAdd(n + "/mask", scores);
+  OpId probs = mb.Softmax(n + "/softmax", scores);
+  OpId drop = mb.Dropout(n + "/attn_drop", probs);
+  OpId ctx = mb.MatMulAct(n + "/context", drop, tv, sq, skv, dh, b * heads);
+  OpId tctx = mb.Transpose(n + "/tctx", ctx);
+  OpId flat = mb.Reshape(n + "/flat", tctx, TensorShape{b * sq, d});
+  return mb.Dense(n + "/out", flat, d);
+}
+
+// Post-attention residual + layernorm + dropout.
+OpId AddNorm(ModelBuilder& mb, const std::string& n, OpId x, OpId sub) {
+  OpId drop = mb.Dropout(n + "/drop", sub);
+  OpId sum = mb.Add(n + "/add", x, drop);
+  return mb.LayerNorm(n + "/ln", sum);
+}
+
+// Position-wise feed-forward: d -> ffn -> d.
+OpId FeedForward(ModelBuilder& mb, const std::string& n, OpId in, int64_t ffn,
+                 int64_t d, bool gelu) {
+  OpId h = mb.Dense(n + "/ffn1", in, ffn);
+  h = gelu ? mb.Gelu(n + "/gelu", h) : mb.Relu(n + "/relu", h);
+  return mb.Dense(n + "/ffn2", h, d);
+}
+
+}  // namespace
+
+void BuildGnmt(Graph& g, const std::string& prefix, int64_t batch) {
+  ModelBuilder mb(g, prefix, batch);
+  const int64_t h = kGnmtHidden, seq = kGnmtSeq;
+  OpId src = mb.Input("src_ids", TensorShape{batch, seq}, DType::kI32);
+  OpId tgt = mb.Input("tgt_ids", TensorShape{batch, seq}, DType::kI32);
+
+  // Encoder: embedding + 4 stacked LSTM layers.
+  OpId enc_emb = mb.Embedding("enc/embedding", src, kGnmtVocab, h, seq);
+  OpId enc_seq = enc_emb;
+  std::vector<OpId> enc_steps;
+  for (int layer = 0; layer < 4; ++layer) {
+    enc_steps = mb.LSTMLayer(StrFormat("enc/lstm%d", layer), enc_seq, seq, h,
+                             h);
+    enc_seq = mb.ConcatSteps(StrFormat("enc/stack%d", layer), enc_steps, seq,
+                             h, batch);
+  }
+
+  // Decoder: embedding + 4 LSTM layers + attention over encoder states.
+  OpId dec_emb = mb.Embedding("dec/embedding", tgt, kGnmtVocab, h, seq);
+  OpId dec_seq = dec_emb;
+  for (int layer = 0; layer < 4; ++layer) {
+    auto steps = mb.LSTMLayer(StrFormat("dec/lstm%d", layer), dec_seq, seq,
+                              h, h);
+    dec_seq = mb.ConcatSteps(StrFormat("dec/stack%d", layer), steps, seq, h,
+                             batch);
+  }
+  // Luong-style attention: scores over encoder outputs, context, combine.
+  OpId scores =
+      mb.MatMulAct("attn/scores", dec_seq, enc_seq, seq, h, seq, batch);
+  OpId probs = mb.Softmax("attn/softmax", scores);
+  OpId ctx = mb.MatMulAct("attn/context", probs, enc_seq, seq, seq, h, batch);
+  OpId cat = mb.ConcatChannels("attn/concat", {dec_seq, ctx});
+  OpId flat = mb.Reshape("attn/flat", cat, TensorShape{batch * seq, 2 * h});
+  OpId proj = mb.Dense("attn/proj", flat, h, /*relu=*/true);
+
+  OpId logits = mb.Dense("logits", proj, kGnmtVocab);
+  mb.SoftmaxCrossEntropy("loss", logits, kGnmtVocab);
+  mb.Finish();
+}
+
+void BuildRnnlm(Graph& g, const std::string& prefix, int64_t batch) {
+  ModelBuilder mb(g, prefix, batch);
+  const int64_t h = kRnnlmHidden, seq = kRnnlmSeq;
+  OpId ids = mb.Input("ids", TensorShape{batch, seq}, DType::kI32);
+  OpId emb = mb.Embedding("embedding", ids, kRnnlmVocab, h, seq);
+  OpId x = emb;
+  for (int layer = 0; layer < 2; ++layer) {
+    auto steps = mb.LSTMLayer(StrFormat("lstm%d", layer), x, seq, h, h);
+    x = mb.ConcatSteps(StrFormat("stack%d", layer), steps, seq, h, batch);
+    x = mb.Dropout(StrFormat("drop%d", layer), x);
+  }
+  OpId flat = mb.Reshape("flat", x, TensorShape{batch * seq, h});
+  OpId logits = mb.Dense("logits", flat, kRnnlmVocab);
+  mb.SoftmaxCrossEntropy("loss", logits, kRnnlmVocab);
+  mb.Finish();
+}
+
+void BuildTransformer(Graph& g, const std::string& prefix, int64_t batch) {
+  // `batch` is the paper's global batch in TOKENS (4096); sentences of
+  // length 32. Transformer *Big* dimensions (the paper's throughput implies
+  // the big variant).
+  const int64_t seq = 32;
+  const int64_t sentences = std::max<int64_t>(1, batch / seq);
+  const int64_t d = 1024, heads = 16, ffn = 4096, vocab = 32768;
+  ModelBuilder mb(g, prefix, sentences);
+
+  OpId src = mb.Input("src_ids", TensorShape{sentences, seq}, DType::kI32);
+  OpId tgt = mb.Input("tgt_ids", TensorShape{sentences, seq}, DType::kI32);
+  OpId enc = mb.Embedding("enc/embedding", src, vocab, d, seq);
+  enc = mb.Reshape("enc/flat", enc, TensorShape{sentences * seq, d});
+  for (int l = 0; l < 6; ++l) {
+    const std::string n = StrFormat("enc/layer%d", l);
+    OpId attn = Attention(mb, n + "/self", enc, enc, sentences, seq, seq, d,
+                          heads, /*heavy=*/false);
+    OpId x = AddNorm(mb, n + "/self_norm", enc, attn);
+    OpId ff = FeedForward(mb, n + "/ff", x, ffn, d, /*gelu=*/false);
+    enc = AddNorm(mb, n + "/ff_norm", x, ff);
+  }
+
+  OpId dec = mb.Embedding("dec/embedding", tgt, vocab, d, seq);
+  dec = mb.Reshape("dec/flat", dec, TensorShape{sentences * seq, d});
+  for (int l = 0; l < 6; ++l) {
+    const std::string n = StrFormat("dec/layer%d", l);
+    OpId self = Attention(mb, n + "/self", dec, dec, sentences, seq, seq, d,
+                          heads, /*heavy=*/false);
+    OpId x = AddNorm(mb, n + "/self_norm", dec, self);
+    OpId cross = Attention(mb, n + "/cross", x, enc, sentences, seq, seq, d,
+                           heads, /*heavy=*/false);
+    x = AddNorm(mb, n + "/cross_norm", x, cross);
+    OpId ff = FeedForward(mb, n + "/ff", x, ffn, d, /*gelu=*/false);
+    dec = AddNorm(mb, n + "/ff_norm", x, ff);
+  }
+
+  OpId logits = mb.Dense("logits", dec, vocab);
+  mb.SoftmaxCrossEntropy("loss", logits, vocab);
+  mb.Finish();
+}
+
+void BuildBertLarge(Graph& g, const std::string& prefix, int64_t batch) {
+  const int64_t seq = 64;  // paper: max sequence length 64
+  const int64_t d = 1024, heads = 16, ffn = 4096, vocab = 30522;
+  ModelBuilder mb(g, prefix, batch);
+
+  OpId ids = mb.Input("ids", TensorShape{batch, seq}, DType::kI32);
+  OpId emb = mb.Embedding("embedding", ids, vocab, d, seq);
+  OpId x = mb.Reshape("emb/flat", emb, TensorShape{batch * seq, d});
+  x = mb.LayerNorm("emb/ln", x);
+  x = mb.Dropout("emb/drop", x);
+  for (int l = 0; l < 24; ++l) {
+    const std::string n = StrFormat("layer%d", l);
+    OpId attn =
+        Attention(mb, n + "/self", x, x, batch, seq, seq, d, heads,
+                  /*heavy=*/true);
+    OpId h = AddNorm(mb, n + "/self_norm", x, attn);
+    OpId ff = FeedForward(mb, n + "/ff", h, ffn, d, /*gelu=*/true);
+    x = AddNorm(mb, n + "/ff_norm", h, ff);
+  }
+  // Masked-LM head (pre-training workload): transform + gelu + layernorm +
+  // vocab projection over every position. The [B*S, vocab] logits tensor is
+  // a major part of BERT's training footprint.
+  OpId t = mb.Dense("mlm/transform", x, d);
+  t = mb.Gelu("mlm/gelu", t);
+  t = mb.LayerNorm("mlm/ln", t);
+  OpId logits = mb.Dense("mlm/logits", t, vocab);
+  mb.SoftmaxCrossEntropy("loss", logits, vocab);
+  mb.Finish();
+}
+
+}  // namespace fastt

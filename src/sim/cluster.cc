@@ -1,0 +1,58 @@
+#include "sim/cluster.h"
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace fastt {
+
+Cluster::Cluster(std::vector<Device> devices, InterconnectParams params)
+    : devices_(std::move(devices)), params_(params) {
+  for (size_t i = 0; i < devices_.size(); ++i)
+    FASTT_CHECK_MSG(devices_[i].id == static_cast<DeviceId>(i),
+                    "device ids must be dense and ordered");
+}
+
+Cluster Cluster::SingleServer(int num_gpus, InterconnectParams params) {
+  return MultiServer(1, num_gpus, params);
+}
+
+Cluster Cluster::MultiServer(int num_servers, int gpus_per_server,
+                             InterconnectParams params) {
+  FASTT_CHECK(num_servers >= 1 && gpus_per_server >= 1);
+  std::vector<Device> devices;
+  DeviceId id = 0;
+  for (int s = 0; s < num_servers; ++s)
+    for (int g = 0; g < gpus_per_server; ++g)
+      devices.push_back(MakeV100(id++, s, g));
+  return Cluster(std::move(devices), params);
+}
+
+const Device& Cluster::device(DeviceId id) const {
+  FASTT_CHECK(id >= 0 && id < num_devices());
+  return devices_[static_cast<size_t>(id)];
+}
+
+Link Cluster::LinkBetween(DeviceId src, DeviceId dst) const {
+  FASTT_CHECK(src != dst);
+  const Device& a = device(src);
+  const Device& b = device(dst);
+  if (a.server == b.server)
+    return Link{params_.nvlink_bandwidth, params_.nvlink_latency};
+  return Link{params_.net_bandwidth, params_.net_latency};
+}
+
+Link Cluster::SlowestLink() const {
+  bool multi_server = false;
+  for (const Device& d : devices_)
+    if (d.server != devices_.front().server) multi_server = true;
+  if (multi_server) return Link{params_.net_bandwidth, params_.net_latency};
+  return Link{params_.nvlink_bandwidth, params_.nvlink_latency};
+}
+
+std::string Cluster::ToString() const {
+  int servers = 0;
+  for (const Device& d : devices_) servers = std::max(servers, d.server + 1);
+  return StrFormat("%d GPU(s) on %d server(s)", num_devices(), servers);
+}
+
+}  // namespace fastt

@@ -1,0 +1,73 @@
+// Cluster topology: a set of devices plus the interconnect between them.
+//
+// Intra-server pairs communicate over NVLink; inter-server pairs over the
+// datacenter network (much lower bandwidth, much higher latency) — this is
+// the asymmetry behind the paper's observation that FastT's advantage grows
+// in the 2-server configurations, where default data parallelism pays dearly
+// for cross-server gradient aggregation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/device.h"
+
+namespace fastt {
+
+struct Link {
+  double bandwidth = 0.0;  // bytes/s
+  double latency = 0.0;    // seconds
+
+  // Time for `bytes` to traverse this link.
+  double TransferTime(int64_t bytes) const {
+    return latency + static_cast<double>(bytes) / bandwidth;
+  }
+};
+
+struct InterconnectParams {
+  // Effective bandwidth of a TF 1.x device-to-device tensor copy between
+  // GPUs on one server. Far below raw NVLink peak: the runtime's send/recv
+  // rendezvous stages copies and shares PCIe/host paths, which is what the
+  // paper's profiled communication model observes.
+  double nvlink_bandwidth = 9e9;
+  double nvlink_latency = 15e-6;
+  // Cross-server path (NIC + switch + gRPC).
+  double net_bandwidth = 3.0e9;
+  double net_latency = 60e-6;
+};
+
+class Cluster {
+ public:
+  Cluster() = default;
+  Cluster(std::vector<Device> devices, InterconnectParams params);
+
+  // All-GPU single server, V100-like devices.
+  static Cluster SingleServer(int num_gpus,
+                              InterconnectParams params = {});
+  // `num_servers` machines with `gpus_per_server` GPUs each.
+  static Cluster MultiServer(int num_servers, int gpus_per_server,
+                             InterconnectParams params = {});
+
+  int32_t num_devices() const {
+    return static_cast<int32_t>(devices_.size());
+  }
+  const Device& device(DeviceId id) const;
+  const std::vector<Device>& devices() const { return devices_; }
+  const InterconnectParams& params() const { return params_; }
+
+  // Link between two distinct devices (src != dst).
+  Link LinkBetween(DeviceId src, DeviceId dst) const;
+
+  // Upper bound on per-byte transfer cost over any pair — used for the
+  // max-over-pairs communication term in rank_u when no cost model exists.
+  Link SlowestLink() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Device> devices_;
+  InterconnectParams params_;
+};
+
+}  // namespace fastt

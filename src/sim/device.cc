@@ -1,0 +1,56 @@
+#include "sim/device.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace fastt {
+
+Device MakeV100(DeviceId id, int32_t server, int32_t index_in_server) {
+  Device d;
+  d.id = id;
+  d.name = StrFormat("/server%d/gpu:%d", server, index_in_server);
+  d.server = server;
+  d.memory_bytes = int64_t{16} * 1024 * 1024 * 1024;  // 16 GB
+  d.peak_flops = 15.7e12;                             // FP32 peak
+  d.mem_bandwidth = 900e9;                            // HBM2
+  d.launch_overhead_s = 4e-6;
+  return d;
+}
+
+double OpEfficiency(OpType type) {
+  switch (type) {
+    case OpType::kMatMul:
+      return 0.70;
+    case OpType::kConv2D:
+      return 0.55;
+    case OpType::kConv2DBackpropInput:
+      return 0.48;
+    case OpType::kConv2DBackpropFilter:
+      return 0.45;
+    case OpType::kLSTMCell:
+      return 0.32;
+    case OpType::kLSTMCellGrad:
+      return 0.30;
+    default:
+      // Memory-bound ops: fraction of peak memory bandwidth achieved.
+      return 0.75;
+  }
+}
+
+double GroundTruthDuration(const Operation& op, const Device& device) {
+  const double eff = op.efficiency_override > 0.0 ? op.efficiency_override
+                                                  : OpEfficiency(op.type);
+  double t = 0.0;
+  if (IsComputeBound(op.type)) {
+    const double flops_t = op.flops / (device.peak_flops * eff);
+    const double bytes_t =
+        static_cast<double>(op.bytes_touched) / device.mem_bandwidth;
+    t = std::max(flops_t, bytes_t);
+  } else {
+    t = static_cast<double>(op.bytes_touched) / (device.mem_bandwidth * eff);
+  }
+  return (t + device.launch_overhead_s) / device.speed_factor;
+}
+
+}  // namespace fastt

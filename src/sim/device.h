@@ -1,0 +1,55 @@
+// Device model for the simulated testbed.
+//
+// The paper's experiments run on servers with 8 NVIDIA V100 GPUs (16 GB HBM2,
+// NVLink). We model each GPU as a single serial execution engine with a peak
+// FLOP rate, a memory bandwidth, a per-kernel launch overhead and a memory
+// capacity. Ground-truth operation durations are derived analytically from
+// these parameters via a roofline-style model; FastT itself never reads them
+// — it only sees profiled durations, exactly as on real hardware.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/operation.h"
+
+namespace fastt {
+
+using DeviceId = int32_t;
+inline constexpr DeviceId kInvalidDevice = -1;
+
+struct Device {
+  DeviceId id = kInvalidDevice;
+  std::string name;            // "/server0/gpu:0"
+  int32_t server = 0;          // server (machine) index
+  int64_t memory_bytes = 0;    // HBM capacity
+  // Fraction of HBM a training process can actually fill with tensors: the
+  // TF runtime pool, cuDNN/cuBLAS workspaces and allocator fragmentation
+  // claim the rest. Calibrated so the paper's OOM thresholds (Table 3)
+  // reproduce on 16 GB cards.
+  double usable_fraction = 0.57;
+  double peak_flops = 0.0;     // FP32 peak, FLOP/s
+  double mem_bandwidth = 0.0;  // bytes/s
+  double launch_overhead_s = 0.0;  // fixed per-kernel cost
+  double speed_factor = 1.0;   // >1 = faster device (heterogeneity hook)
+
+  int64_t usable_bytes() const {
+    return static_cast<int64_t>(usable_fraction *
+                                static_cast<double>(memory_bytes));
+  }
+};
+
+// V100-like defaults used by all experiment clusters.
+Device MakeV100(DeviceId id, int32_t server, int32_t index_in_server);
+
+// Fraction of peak FLOPs an op type achieves (kernel efficiency). Compute
+// kernels differ: dense GEMMs run close to peak, convolutions somewhat lower,
+// LSTM cells are launch/bandwidth limited.
+double OpEfficiency(OpType type);
+
+// Analytic ground-truth duration of `op` on `device` in seconds (no noise).
+// Compute-bound ops follow a roofline max(flops-term, bytes-term); memory-
+// bound ops are priced by bytes touched; metadata ops cost one launch.
+double GroundTruthDuration(const Operation& op, const Device& device);
+
+}  // namespace fastt

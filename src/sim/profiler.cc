@@ -1,0 +1,25 @@
+#include "sim/profiler.h"
+
+namespace fastt {
+
+RunProfile ExtractProfile(const Graph& g, const SimResult& result) {
+  RunProfile profile;
+  profile.iteration_s = result.makespan;
+  profile.ops.reserve(result.op_records.size());
+  for (const OpRecord& rec : result.op_records) {
+    if (rec.device == kInvalidDevice) continue;  // dead slot
+    profile.ops.push_back(
+        OpProfile{g.op(rec.op).CostKey(), rec.device, rec.duration()});
+  }
+  profile.transfers.reserve(result.transfers.size());
+  for (const TransferRecord& t : result.transfers) {
+    // Report the un-queued path time (what a tracer's memcpy span shows);
+    // queueing behind other tensors is congestion, which the linear model
+    // absorbs into its fitted slope/intercept over many samples.
+    profile.transfers.push_back(
+        CommProfile{t.src, t.dst, t.bytes, t.arrival - t.start});
+  }
+  return profile;
+}
+
+}  // namespace fastt

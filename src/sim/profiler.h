@@ -1,0 +1,39 @@
+// Profiler: converts a simulated run into the RunMetadata-shaped records the
+// cost models consume — per-(op, device) execution times and per-(device
+// pair) tensor transfer samples. This is the seam between the substrate and
+// FastT proper: on real hardware these records come from the TensorFlow
+// tracer, here from the simulator; everything above this interface is the
+// paper's algorithm operating on profiles only.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/exec_sim.h"
+
+namespace fastt {
+
+struct OpProfile {
+  std::string cost_key;  // shared by data-parallel replicas / equal sub-ops
+  DeviceId device = kInvalidDevice;
+  double duration_s = 0.0;
+};
+
+struct CommProfile {
+  DeviceId src = kInvalidDevice;
+  DeviceId dst = kInvalidDevice;
+  int64_t bytes = 0;
+  double duration_s = 0.0;  // latency + serialization, excluding queueing
+};
+
+struct RunProfile {
+  std::vector<OpProfile> ops;
+  std::vector<CommProfile> transfers;
+  double iteration_s = 0.0;
+};
+
+// Extracts profile records from a finished simulation.
+RunProfile ExtractProfile(const Graph& g, const SimResult& result);
+
+}  // namespace fastt

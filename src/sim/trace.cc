@@ -1,0 +1,74 @@
+#include "sim/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace fastt {
+namespace {
+
+// Trace Event Format timestamps are microseconds.
+double Us(double seconds) { return seconds * 1e6; }
+
+void AppendEvent(std::ostringstream& out, bool& first,
+                 const std::string& name, const char* category, int pid,
+                 int tid, double start_s, double duration_s) {
+  if (!first) out << ",\n";
+  first = false;
+  // Escape is unnecessary: op names are [A-Za-z0-9_/#~.-] by construction.
+  out << "  {\"name\": \"" << name << "\", \"cat\": \"" << category
+      << "\", \"ph\": \"X\", \"pid\": " << pid << ", \"tid\": " << tid
+      << ", \"ts\": " << StrFormat("%.3f", Us(start_s))
+      << ", \"dur\": " << StrFormat("%.3f", Us(duration_s)) << "}";
+}
+
+void AppendThreadName(std::ostringstream& out, bool& first, int pid, int tid,
+                      const std::string& name) {
+  if (!first) out << ",\n";
+  first = false;
+  out << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": " << pid
+      << ", \"tid\": " << tid << ", \"args\": {\"name\": \"" << name
+      << "\"}}";
+}
+
+}  // namespace
+
+std::string ExportChromeTrace(const Graph& g, const SimResult& result) {
+  std::ostringstream out;
+  out << "[\n";
+  bool first = true;
+
+  const int num_devices = static_cast<int>(result.device_busy_s.size());
+  for (int d = 0; d < num_devices; ++d) {
+    AppendThreadName(out, first, 0, d, StrFormat("GPU %d compute", d));
+    AppendThreadName(out, first, 0, 100 + d,
+                     StrFormat("GPU %d egress copy", d));
+  }
+
+  for (const OpRecord& rec : result.op_records) {
+    if (rec.device == kInvalidDevice) continue;
+    AppendEvent(out, first, g.op(rec.op).name, "op", 0, rec.device,
+                rec.start, rec.duration());
+  }
+  for (const TransferRecord& t : result.transfers) {
+    AppendEvent(out, first,
+                StrFormat("%s -> GPU%d (%s)", g.op(t.src_op).name.c_str(),
+                          t.dst,
+                          HumanBytes(static_cast<double>(t.bytes)).c_str()),
+                "memcpy", 0, 100 + t.src, t.start, t.duration());
+  }
+  out << "\n]\n";
+  return out.str();
+}
+
+bool WriteChromeTrace(const Graph& g, const SimResult& result,
+                      const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return false;
+  const std::string json = ExportChromeTrace(g, result);
+  file << json;
+  return static_cast<bool>(file);
+}
+
+}  // namespace fastt

@@ -1,0 +1,24 @@
+// Chrome trace export of a simulated iteration.
+//
+// Emits the Trace Event Format (the JSON array chrome://tracing,
+// about:tracing and Perfetto load), with one row per device for kernels and
+// one per copy-engine direction for transfers — the visualization
+// practitioners use to see compute/communication overlap, pipeline bubbles
+// and head-of-line blocking in a schedule.
+#pragma once
+
+#include <string>
+
+#include "graph/graph.h"
+#include "sim/exec_sim.h"
+
+namespace fastt {
+
+// Renders the run as a JSON string (self-contained, loadable as-is).
+std::string ExportChromeTrace(const Graph& g, const SimResult& result);
+
+// Convenience: writes the trace to a file. Returns false on I/O failure.
+bool WriteChromeTrace(const Graph& g, const SimResult& result,
+                      const std::string& path);
+
+}  // namespace fastt

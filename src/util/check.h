@@ -1,0 +1,37 @@
+// Lightweight invariant-checking macros.
+//
+// FASTT_CHECK fires in all build types: these guard algorithmic invariants
+// (schedule validity, graph well-formedness) whose violation means a logic
+// bug, not a recoverable condition, so we fail fast with a message.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fastt {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace fastt
+
+#define FASTT_CHECK(expr)                                   \
+  do {                                                      \
+    if (!(expr)) [[unlikely]]                               \
+      ::fastt::CheckFailed(__FILE__, __LINE__, #expr, ""); \
+  } while (0)
+
+#define FASTT_CHECK_MSG(expr, msg)                             \
+  do {                                                         \
+    if (!(expr)) [[unlikely]]                                  \
+      ::fastt::CheckFailed(__FILE__, __LINE__, #expr, (msg)); \
+  } while (0)

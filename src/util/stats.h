@@ -1,0 +1,36 @@
+// Small statistics helpers shared by the cost models, the simulator profiler
+// and the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fastt {
+
+// Incrementally maintained mean/variance (Welford). Used by the computation
+// cost model, which records one sample per profiled execution of an
+// (operation, device) pair.
+class OnlineMean {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const;
+  double stddev() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+// Batch statistics over a sample vector.
+double Mean(const std::vector<double>& xs);
+double Stddev(const std::vector<double>& xs);
+double Min(const std::vector<double>& xs);
+double Max(const std::vector<double>& xs);
+// Linear-interpolated percentile, p in [0, 100]. Empty input returns 0.
+double Percentile(std::vector<double> xs, double p);
+
+}  // namespace fastt

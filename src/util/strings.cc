@@ -1,0 +1,65 @@
+#include "util/strings.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace fastt {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string HumanBytes(double bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  int u = 0;
+  while (std::fabs(bytes) >= 1024.0 && u < 4) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  return StrFormat("%.2f %s", bytes, units[u]);
+}
+
+std::string HumanSeconds(double seconds) {
+  const double abs = std::fabs(seconds);
+  if (abs >= 1.0) return StrFormat("%.3f s", seconds);
+  if (abs >= 1e-3) return StrFormat("%.3f ms", seconds * 1e3);
+  return StrFormat("%.1f us", seconds * 1e6);
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool Contains(const std::string& s, const std::string& needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+}  // namespace fastt

@@ -1,0 +1,27 @@
+// printf-style string formatting (libstdc++ 12 lacks std::format) plus small
+// helpers used when naming operations and printing experiment output.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace fastt {
+
+// printf into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Join with a separator.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+// "1.23 GB", "456.0 MB", ... for human-readable sizes.
+std::string HumanBytes(double bytes);
+
+// "12.3 ms", "1.2 s", "45 us" for human-readable durations (input seconds).
+std::string HumanSeconds(double seconds);
+
+bool StartsWith(const std::string& s, const std::string& prefix);
+bool EndsWith(const std::string& s, const std::string& suffix);
+bool Contains(const std::string& s, const std::string& needle);
+
+}  // namespace fastt

@@ -1,0 +1,28 @@
+// ASCII table printer used by the per-table/per-figure benchmark harnesses so
+// their output mirrors the paper's presentation (one row per model, one column
+// per configuration).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fastt {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders with column alignment and a header separator.
+  std::string Render() const;
+
+  // Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fastt

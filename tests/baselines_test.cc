@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "baselines/searchers.h"
+#include "models/model_zoo.h"
+
+namespace fastt {
+namespace {
+
+void ExpectValid(const SearchResult& r, const Cluster& c) {
+  EXPECT_GT(r.iteration_s, 0.0);
+  EXPECT_LT(r.iteration_s, 100.0);
+  for (OpId id : r.graph.LiveOps()) {
+    const DeviceId d = r.placement[static_cast<size_t>(id)];
+    EXPECT_GE(d, 0);
+    EXPECT_LT(d, c.num_devices());
+  }
+  // Colocation constraints respected (optimizer updates with variables).
+  for (OpId id : r.graph.LiveOps()) {
+    const OpId target = r.graph.op(id).colocate_with;
+    if (target == kInvalidOp || r.graph.op(target).dead) continue;
+    EXPECT_EQ(r.placement[static_cast<size_t>(id)],
+              r.placement[static_cast<size_t>(target)]);
+  }
+}
+
+TEST(RandomSearch, ProducesValidPlacement) {
+  const ModelSpec& spec = FindModel("lenet");
+  const Cluster c = Cluster::SingleServer(2);
+  SearchOptions options;
+  options.budget = 20;
+  const auto r =
+      RandomSearchPlacement(spec.build, spec.name, 64, c, options);
+  ExpectValid(r, c);
+  EXPECT_GE(r.evaluations, options.budget);
+}
+
+TEST(RandomSearch, DeterministicPerSeed) {
+  const ModelSpec& spec = FindModel("lenet");
+  const Cluster c = Cluster::SingleServer(2);
+  SearchOptions options;
+  options.budget = 10;
+  const auto a =
+      RandomSearchPlacement(spec.build, spec.name, 64, c, options);
+  const auto b =
+      RandomSearchPlacement(spec.build, spec.name, 64, c, options);
+  EXPECT_DOUBLE_EQ(a.iteration_s, b.iteration_s);
+  EXPECT_EQ(a.placement, b.placement);
+}
+
+TEST(GreedyRank, BeatsRandomOnDeepModel) {
+  const ModelSpec& spec = FindModel("alexnet");
+  const Cluster c = Cluster::SingleServer(2);
+  SearchOptions options;
+  options.budget = 20;
+  const auto greedy =
+      GreedyRankPlacement(spec.build, spec.name, 64, c, options);
+  const auto random =
+      RandomSearchPlacement(spec.build, spec.name, 64, c, options);
+  ExpectValid(greedy, c);
+  EXPECT_LE(greedy.iteration_s, random.iteration_s * 1.5);
+}
+
+TEST(LocalSearch, NeverWorseThanItsGreedyStart) {
+  const ModelSpec& spec = FindModel("lenet");
+  const Cluster c = Cluster::SingleServer(2);
+  SearchOptions options;
+  options.budget = 40;
+  const auto greedy =
+      GreedyRankPlacement(spec.build, spec.name, 64, c, options);
+  const auto local =
+      LocalSearchPlacement(spec.build, spec.name, 64, c, options);
+  ExpectValid(local, c);
+  EXPECT_LE(local.iteration_s, greedy.iteration_s + 1e-12);
+}
+
+TEST(Annealing, NeverWorseThanCanonicalDataParallel) {
+  const ModelSpec& spec = FindModel("lenet");
+  const Cluster c = Cluster::SingleServer(2);
+  SearchOptions options;
+  options.budget = 40;
+  const auto sa = AnnealingSearch(spec.build, spec.name, 64, c, options);
+  ExpectValid(sa, c);
+  // Warm-started from canonical DP and keeps the best seen.
+  auto dp = BuildDataParallel(spec.build, spec.name, 64, 2, Scaling::kStrong);
+  const double dp_time =
+      Simulate(dp.graph, CanonicalDataParallelPlacement(dp), c).makespan;
+  EXPECT_LE(sa.iteration_s, dp_time * 1.02);
+  EXPECT_EQ(sa.global_batch, 64);
+}
+
+TEST(Annealing, BudgetRespected) {
+  const ModelSpec& spec = FindModel("lenet");
+  const Cluster c = Cluster::SingleServer(2);
+  SearchOptions options;
+  options.budget = 25;
+  const auto sa = AnnealingSearch(spec.build, spec.name, 64, c, options);
+  EXPECT_LE(sa.evaluations, options.budget + 1);
+}
+
+}  // namespace
+}  // namespace fastt

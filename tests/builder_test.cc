@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include "models/builder.h"
+#include "util/strings.h"
+
+namespace fastt {
+namespace {
+
+TEST(Builder, ConvShapesSamePadding) {
+  Graph g;
+  ModelBuilder mb(g, "", 4);
+  const OpId x = mb.Input("x", TensorShape{4, 32, 32, 3});
+  const OpId conv = mb.Conv2D("conv", x, 3, 16, 1, /*same=*/true);
+  EXPECT_EQ(mb.shape_of(conv), TensorShape({4, 32, 32, 16}));
+  const OpId strided = mb.Conv2D("conv_s2", conv, 3, 32, 2, /*same=*/true);
+  EXPECT_EQ(mb.shape_of(strided), TensorShape({4, 16, 16, 32}));
+}
+
+TEST(Builder, ConvShapesValidPadding) {
+  Graph g;
+  ModelBuilder mb(g, "", 2);
+  const OpId x = mb.Input("x", TensorShape{2, 28, 28, 1});
+  const OpId conv = mb.Conv2D("conv", x, 5, 20, 1, /*same=*/false);
+  EXPECT_EQ(mb.shape_of(conv), TensorShape({2, 24, 24, 20}));
+}
+
+TEST(Builder, RectKernelFlops) {
+  Graph g;
+  ModelBuilder mb(g, "", 1);
+  const OpId x = mb.Input("x", TensorShape{1, 8, 8, 4});
+  const OpId c17 = mb.Conv2DRect("c17", x, 1, 7, 8, 1, true);
+  const OpId c77 = mb.Conv2DRect("c77", x, 7, 7, 8, 1, true);
+  EXPECT_NEAR(g.op(c77).flops / g.op(c17).flops, 7.0, 1e-9);
+}
+
+TEST(Builder, ConvEmitsVariableWithWeights) {
+  Graph g;
+  ModelBuilder mb(g, "", 2);
+  const OpId x = mb.Input("x", TensorShape{2, 8, 8, 3});
+  const OpId conv = mb.Conv2D("conv", x, 3, 16, 1, true);
+  const OpId var = g.FindOp("conv/weights");
+  ASSERT_NE(var, kInvalidOp);
+  EXPECT_EQ(g.op(var).type, OpType::kVariable);
+  EXPECT_EQ(g.op(var).output_bytes(), (3 * 3 * 3 * 16 + 16) * 4);
+  // Weight tensor flows from the variable to the conv.
+  auto preds = g.Preds(conv);
+  EXPECT_NE(std::find(preds.begin(), preds.end(), var), preds.end());
+}
+
+TEST(Builder, PoolingShapes) {
+  Graph g;
+  ModelBuilder mb(g, "", 2);
+  const OpId x = mb.Input("x", TensorShape{2, 8, 8, 4});
+  EXPECT_EQ(mb.shape_of(mb.MaxPool("mp", x, 2, 2)),
+            TensorShape({2, 4, 4, 4}));
+  EXPECT_EQ(mb.shape_of(mb.GlobalAvgPool("gap", x)), TensorShape({2, 4}));
+}
+
+TEST(Builder, DenseFlattensInput) {
+  Graph g;
+  ModelBuilder mb(g, "", 8);
+  const OpId x = mb.Input("x", TensorShape{8, 4, 4, 16});
+  const OpId fc = mb.Dense("fc", x, 100);
+  EXPECT_EQ(mb.shape_of(fc), TensorShape({8, 100}));  // bias-add output
+  const OpId mm = g.FindOp("fc");
+  EXPECT_NEAR(g.op(mm).flops, 2.0 * 8 * 256 * 100, 1);
+  EXPECT_EQ(g.op(g.FindOp("fc/weights")).output_bytes(), 256 * 100 * 4);
+}
+
+TEST(Builder, ReshapePreservesElements) {
+  Graph g;
+  ModelBuilder mb(g, "", 2);
+  const OpId x = mb.Input("x", TensorShape{2, 6});
+  EXPECT_NO_THROW(mb.Reshape("ok", x, TensorShape{12}));
+  EXPECT_THROW(mb.Reshape("bad", x, TensorShape{13}), std::logic_error);
+}
+
+TEST(Builder, LstmLayerStructure) {
+  Graph g;
+  ModelBuilder mb(g, "", 4);
+  const OpId ids = mb.Input("ids", TensorShape{4, 6}, DType::kI32);
+  const OpId emb = mb.Embedding("emb", ids, 100, 32, 6);
+  const auto steps = mb.LSTMLayer("lstm", emb, 6, 32, 32);
+  ASSERT_EQ(steps.size(), 6u);
+  // The recurrent chain: cell t has cell t-1 as a predecessor.
+  auto preds = g.Preds(steps[3]);
+  EXPECT_NE(std::find(preds.begin(), preds.end(), steps[2]), preds.end());
+  // Shared weights live on one variable feeding every cell.
+  const OpId var = g.FindOp("lstm/weights");
+  ASSERT_NE(var, kInvalidOp);
+  for (OpId cell : steps) {
+    auto cp = g.Preds(cell);
+    EXPECT_NE(std::find(cp.begin(), cp.end(), var), cp.end());
+  }
+}
+
+TEST(Builder, FinishRequiresLoss) {
+  Graph g;
+  ModelBuilder mb(g, "", 2);
+  mb.Input("x", TensorShape{2, 4});
+  EXPECT_THROW(mb.Finish(), std::logic_error);
+}
+
+TEST(Builder, FinishTwiceThrows) {
+  Graph g;
+  ModelBuilder mb(g, "", 2);
+  const OpId x = mb.Input("x", TensorShape{2, 8, 8, 3});
+  const OpId fc = mb.Dense("fc", x, 10);
+  mb.SoftmaxCrossEntropy("loss", fc, 10);
+  mb.Finish();
+  EXPECT_THROW(mb.Finish(), std::logic_error);
+}
+
+TEST(Builder, SecondLossRejected) {
+  Graph g;
+  ModelBuilder mb(g, "", 2);
+  const OpId x = mb.Input("x", TensorShape{2, 8});
+  const OpId fc = mb.Dense("fc", x, 4);
+  mb.SoftmaxCrossEntropy("loss", fc, 4);
+  EXPECT_THROW(mb.SoftmaxCrossEntropy("loss2", fc, 4), std::logic_error);
+}
+
+// A small conv net exercising the generic backward generation.
+struct TrainedNet {
+  Graph g;
+  TrainedNet() {
+    ModelBuilder mb(g, "", 4);
+    const OpId x = mb.Input("x", TensorShape{4, 16, 16, 3});
+    OpId h = mb.Conv2D("conv1", x, 3, 8, 1, true);
+    h = mb.Relu("relu1", h);
+    h = mb.Conv2D("conv2", h, 3, 8, 1, true);
+    h = mb.MaxPool("pool1", h, 2, 2);
+    h = mb.Dense("fc", h, 10);
+    mb.SoftmaxCrossEntropy("loss", h, 10);
+    mb.Finish();
+    g.Validate();
+  }
+};
+
+TEST(Backward, EveryParameterGetsWgradAndApply) {
+  TrainedNet net;
+  for (const char* base : {"conv1", "conv2", "fc", "fc_bias"}) {
+    EXPECT_NE(net.g.FindOp(std::string(base) + "/wgrad"), kInvalidOp)
+        << base;
+    const OpId apply = net.g.FindOp(std::string(base) + "/apply");
+    ASSERT_NE(apply, kInvalidOp) << base;
+    // Optimizer update colocated with the variable, holding Adam slots.
+    const OpId var = net.g.FindOp(std::string(base) + "/weights");
+    EXPECT_EQ(net.g.op(apply).colocate_with, var);
+    EXPECT_EQ(net.g.op(apply).param_bytes,
+              2 * net.g.op(var).output_bytes());
+    EXPECT_TRUE(net.g.op(apply).is_backward);
+  }
+}
+
+TEST(Backward, ReluGradConsumesOwnOutput) {
+  TrainedNet net;
+  const OpId relu = net.g.FindOp("relu1");
+  bool feeds_grad = false;
+  for (OpId s : net.g.Succs(relu)) {
+    if (net.g.op(s).type == OpType::kReluGrad) feeds_grad = true;
+  }
+  EXPECT_TRUE(feeds_grad);
+}
+
+TEST(Backward, ConvDxReadsWeightsNotActivation) {
+  TrainedNet net;
+  // Find the Conv2DBackpropInput op; its preds must include the variable.
+  OpId dx = kInvalidOp;
+  for (OpId id : net.g.LiveOps())
+    if (net.g.op(id).type == OpType::kConv2DBackpropInput) dx = id;
+  ASSERT_NE(dx, kInvalidOp);
+  const OpId var = net.g.FindOp("conv2/weights");
+  auto preds = net.g.Preds(dx);
+  EXPECT_NE(std::find(preds.begin(), preds.end(), var), preds.end());
+}
+
+TEST(Backward, NoGradientTowardInputs) {
+  TrainedNet net;
+  const OpId x = net.g.FindOp("x");
+  // conv1 consumes x; no dX op should produce a gradient *into* the input.
+  for (OpId id : net.g.LiveOps()) {
+    for (OpId s : net.g.Succs(id)) (void)s;
+    if (net.g.op(id).is_backward) {
+      for (OpId s : net.g.Succs(id)) EXPECT_NE(s, x);
+    }
+  }
+}
+
+TEST(Backward, FanOutGradientsAreSummed) {
+  Graph g;
+  ModelBuilder mb(g, "", 2);
+  const OpId x = mb.Input("x", TensorShape{2, 8, 8, 4});
+  const OpId c = mb.Conv2D("c", x, 1, 4, 1, true);
+  const OpId b1 = mb.Relu("b1", c);
+  const OpId b2 = mb.Relu("b2", c);
+  const OpId add = mb.Add("add", b1, b2);
+  const OpId fc = mb.Dense("fc", add, 4);
+  mb.SoftmaxCrossEntropy("loss", fc, 4);
+  mb.Finish();
+  // c has two consumers; its upstream gradient must flow through a grad_sum.
+  EXPECT_NE(g.FindOp("c/grad_sum"), kInvalidOp);
+}
+
+TEST(Backward, GeluExpandsToFiveStages) {
+  Graph g;
+  ModelBuilder mb(g, "", 2);
+  const OpId x = mb.Input("x", TensorShape{2, 16});
+  mb.Gelu("gelu", mb.Dense("fc", x, 16));
+  int stages = 0;
+  for (OpId id : g.LiveOps())
+    if (g.op(id).type == OpType::kGelu) ++stages;
+  EXPECT_EQ(stages, 5);
+}
+
+TEST(Backward, PrefixIsolatesReplicaNamesButSharesCostKeys) {
+  Graph g;
+  for (int r = 0; r < 2; ++r) {
+    ModelBuilder mb(g, StrFormat("rep%d", r), 2);
+    const OpId x = mb.Input("x", TensorShape{2, 8});
+    const OpId fc = mb.Dense("fc", x, 4);
+    mb.SoftmaxCrossEntropy("loss", fc, 4);
+    mb.Finish();
+  }
+  const OpId a = g.FindOp("rep0/fc");
+  const OpId b = g.FindOp("rep1/fc");
+  ASSERT_NE(a, kInvalidOp);
+  ASSERT_NE(b, kInvalidOp);
+  EXPECT_EQ(g.op(a).CostKey(), g.op(b).CostKey());
+}
+
+}  // namespace
+}  // namespace fastt

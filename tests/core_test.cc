@@ -1,0 +1,352 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/dpos.h"
+#include "core/rank.h"
+#include "core/timeline.h"
+#include "util/rng.h"
+
+namespace fastt {
+namespace {
+
+TEST(Timeline, AppendsAfterLastInterval) {
+  DeviceTimeline t;
+  EXPECT_DOUBLE_EQ(t.EarliestSlot(0.0, 1.0), 0.0);
+  t.Commit(0.0, 1.0, 0);
+  EXPECT_DOUBLE_EQ(t.EarliestSlot(0.0, 1.0), 1.0);
+  t.Commit(1.0, 1.0, 1);
+  EXPECT_DOUBLE_EQ(t.LastEnd(), 2.0);
+  EXPECT_DOUBLE_EQ(t.BusyTime(), 2.0);
+}
+
+TEST(Timeline, InsertsIntoGap) {
+  DeviceTimeline t;
+  t.Commit(0.0, 1.0, 0);
+  t.Commit(5.0, 1.0, 1);
+  // A 2s op fits in the [1, 5] gap.
+  EXPECT_DOUBLE_EQ(t.EarliestSlot(0.5, 2.0), 1.0);
+  t.Commit(1.0, 2.0, 2);
+  // The remaining gap is [3, 5]; a 3s op must go after everything.
+  EXPECT_DOUBLE_EQ(t.EarliestSlot(0.0, 3.0), 6.0);
+}
+
+TEST(Timeline, RespectsReadyTime) {
+  DeviceTimeline t;
+  t.Commit(0.0, 1.0, 0);
+  EXPECT_DOUBLE_EQ(t.EarliestSlot(10.0, 1.0), 10.0);
+}
+
+TEST(Timeline, ZeroDurationOpsShareTimestamps) {
+  DeviceTimeline t;
+  t.Commit(0.0, 1.0, 0);
+  const double slot = t.EarliestSlot(0.5, 0.0);
+  EXPECT_DOUBLE_EQ(slot, 1.0);
+  EXPECT_NO_THROW(t.Commit(slot, 0.0, 1));
+  EXPECT_NO_THROW(t.Commit(slot, 0.0, 2));  // stacking zero-width is fine
+  EXPECT_NO_THROW(t.Commit(1.0, 2.0, 3));   // real op at the same start
+}
+
+TEST(Timeline, OverlapRejected) {
+  DeviceTimeline t;
+  t.Commit(0.0, 2.0, 0);
+  EXPECT_THROW(t.Commit(1.0, 1.0, 1), std::logic_error);
+  EXPECT_THROW(t.Commit(-0.5, 1.0, 2), std::logic_error);
+}
+
+TEST(Timeline, PropertyRandomCommitsNeverOverlap) {
+  Rng rng(99);
+  DeviceTimeline t;
+  struct Iv {
+    double s, e;
+  };
+  std::vector<Iv> committed;
+  for (int i = 0; i < 200; ++i) {
+    const double ready = rng.NextDouble(0.0, 50.0);
+    const double dur = rng.NextDouble(0.0, 3.0);
+    const double start = t.EarliestSlot(ready, dur);
+    EXPECT_GE(start, ready);
+    ASSERT_NO_THROW(t.Commit(start, dur, i));
+    for (const Iv& iv : committed) {
+      const bool overlap = start < iv.e - 1e-9 && iv.s < start + dur - 1e-9;
+      EXPECT_FALSE(overlap) << "interval " << i;
+    }
+    if (dur > 0) committed.push_back({start, start + dur});
+  }
+}
+
+// ---- rank_u -----------------------------------------------------------------
+
+Operation NamedOp(const std::string& name, TensorShape shape = TensorShape{4}) {
+  Operation op;
+  op.name = name;
+  op.cost_key = name;
+  op.type = OpType::kMatMul;
+  op.output_shape = std::move(shape);
+  return op;
+}
+
+TEST(Rank, MatchesHandComputation) {
+  // a -> b -> c, w = {3, 2, 1} on one device, edge cost 10 per hop.
+  Graph g;
+  const OpId a = g.AddOp(NamedOp("a"));
+  const OpId b = g.AddOp(NamedOp("b"));
+  const OpId c = g.AddOp(NamedOp("c"));
+  g.AddEdge(a, b, 100);
+  g.AddEdge(b, c, 100);
+  CompCostModel comp;
+  comp.AddSample("a", 0, 3.0);
+  comp.AddSample("b", 0, 2.0);
+  comp.AddSample("c", 0, 1.0);
+  CommCostModel comm;
+  comm.AddSample(0, 1, 0, 10.0);
+  comm.AddSample(0, 1, 100, 10.0);  // constant 10 regardless of size
+
+  const auto rank = ComputeRankU(g, comp, comm, 2);
+  EXPECT_DOUBLE_EQ(rank[static_cast<size_t>(c)], 1.0);
+  EXPECT_DOUBLE_EQ(rank[static_cast<size_t>(b)], 2.0 + 10.0 + 1.0);
+  EXPECT_DOUBLE_EQ(rank[static_cast<size_t>(a)], 3.0 + 10.0 + 13.0);
+}
+
+TEST(Rank, UsesMaxOverDevices) {
+  Graph g;
+  const OpId a = g.AddOp(NamedOp("a"));
+  CompCostModel comp;
+  comp.AddSample("a", 0, 1.0);
+  comp.AddSample("a", 1, 9.0);  // slower device dominates w_i
+  CommCostModel comm;
+  const auto rank = ComputeRankU(g, comp, comm, 2);
+  EXPECT_DOUBLE_EQ(rank[static_cast<size_t>(a)], 9.0);
+}
+
+TEST(Rank, CriticalPathFollowsLargestRank) {
+  // diamond: a -> {heavy, light} -> exit; CP must route through heavy.
+  Graph g;
+  const OpId a = g.AddOp(NamedOp("a"));
+  const OpId heavy = g.AddOp(NamedOp("heavy"));
+  const OpId light = g.AddOp(NamedOp("light"));
+  const OpId exit_op = g.AddOp(NamedOp("exit"));
+  g.AddEdge(a, heavy, 0);
+  g.AddEdge(a, light, 0);
+  g.AddEdge(heavy, exit_op, 0);
+  g.AddEdge(light, exit_op, 0);
+  CompCostModel comp;
+  comp.AddSample("a", 0, 1.0);
+  comp.AddSample("heavy", 0, 50.0);
+  comp.AddSample("light", 0, 1.0);
+  comp.AddSample("exit", 0, 1.0);
+  CommCostModel comm;
+  const auto rank = ComputeRankU(g, comp, comm, 1);
+  const auto cp = CriticalPathByRank(g, rank);
+  EXPECT_EQ(cp, (std::vector<OpId>{a, heavy, exit_op}));
+}
+
+// ---- DPOS --------------------------------------------------------------------
+
+struct CostedChain {
+  Graph g;
+  CompCostModel comp;
+  CommCostModel comm;
+  std::vector<OpId> ops;
+
+  // `n` ops in a chain, each costing `w` seconds on every device.
+  CostedChain(int n, double w, int devices, int64_t edge_bytes = 64) {
+    OpId prev = kInvalidOp;
+    for (int i = 0; i < n; ++i) {
+      const OpId id = g.AddOp(NamedOp("op" + std::to_string(i)));
+      for (DeviceId d = 0; d < devices; ++d)
+        comp.AddSample("op" + std::to_string(i), d, w);
+      if (prev != kInvalidOp) g.AddEdge(prev, id, edge_bytes);
+      ops.push_back(id);
+      prev = id;
+    }
+    for (DeviceId i = 0; i < devices; ++i)
+      for (DeviceId j = 0; j < devices; ++j)
+        if (i != j) {
+          comm.AddSample(i, j, 0, 1e-5);
+          comm.AddSample(i, j, 1 << 20, 1e-5 + 1e-4);
+        }
+  }
+};
+
+TEST(Dpos, PlacesEveryOp) {
+  CostedChain chain(10, 0.001, 2);
+  const Cluster c = Cluster::SingleServer(2);
+  const DposResult r = Dpos(chain.g, c, chain.comp, chain.comm);
+  for (OpId id : chain.g.LiveOps())
+    EXPECT_NE(r.strategy.placement[static_cast<size_t>(id)], kInvalidDevice);
+  EXPECT_EQ(r.strategy.execution_order.size(),
+            static_cast<size_t>(chain.g.num_live_ops()));
+}
+
+TEST(Dpos, ChainStaysOnOneDeviceWhenCommCostly) {
+  CostedChain chain(8, 0.001, 2);
+  const Cluster c = Cluster::SingleServer(2);
+  const DposResult r = Dpos(chain.g, c, chain.comp, chain.comm);
+  const DeviceId first =
+      r.strategy.placement[static_cast<size_t>(chain.ops[0])];
+  for (OpId id : chain.ops)
+    EXPECT_EQ(r.strategy.placement[static_cast<size_t>(id)], first);
+  // Chain of 8 x 1ms = 8 ms end to end.
+  EXPECT_NEAR(r.ft_exit, 0.008, 1e-6);
+}
+
+TEST(Dpos, IndependentBranchesUseBothDevices) {
+  Graph g;
+  CompCostModel comp;
+  CommCostModel comm;
+  // Two independent chains of 4 ops.
+  for (int b = 0; b < 2; ++b) {
+    OpId prev = kInvalidOp;
+    for (int i = 0; i < 4; ++i) {
+      const std::string name = "b" + std::to_string(b) + "_" +
+                               std::to_string(i);
+      const OpId id = g.AddOp(NamedOp(name));
+      comp.AddSample(name, 0, 0.001);
+      comp.AddSample(name, 1, 0.001);
+      if (prev != kInvalidOp) g.AddEdge(prev, id, 64);
+      prev = id;
+    }
+  }
+  comm.AddSample(0, 1, 0, 1e-5);
+  comm.AddSample(0, 1, 1 << 20, 1e-4);
+  comm.AddSample(1, 0, 0, 1e-5);
+  comm.AddSample(1, 0, 1 << 20, 1e-4);
+  const DposResult r = Dpos(g, Cluster::SingleServer(2), comp, comm);
+  // Both chains in parallel: makespan ~4 ms, not 8 ms.
+  EXPECT_LT(r.ft_exit, 0.0055);
+}
+
+TEST(Dpos, HonorsColocation) {
+  CostedChain chain(4, 0.001, 2);
+  Operation apply;
+  apply.name = "apply";
+  apply.type = OpType::kApplyGradient;
+  apply.output_shape = TensorShape{0};
+  apply.colocate_with = chain.ops[1];
+  const OpId apply_id = chain.g.AddOp(std::move(apply));
+  chain.g.AddEdge(chain.ops.back(), apply_id, 64);
+  const DposResult r = Dpos(chain.g, Cluster::SingleServer(2), chain.comp,
+                            chain.comm);
+  EXPECT_EQ(r.strategy.placement[static_cast<size_t>(apply_id)],
+            r.strategy.placement[static_cast<size_t>(chain.ops[1])]);
+}
+
+TEST(Dpos, MemoryInfeasibleDeviceAvoided) {
+  CostedChain chain(2, 0.001, 2);
+  // A huge op that only fits on one device once another big op sits there.
+  Operation big;
+  big.name = "big";
+  big.cost_key = "big";
+  big.type = OpType::kMatMul;
+  big.output_shape = TensorShape{4};
+  big.param_bytes = int64_t{6} * 1024 * 1024 * 1024;
+  const OpId big_id = chain.g.AddOp(std::move(big));
+  Operation big2;
+  big2.name = "big2";
+  big2.cost_key = "big2";
+  big2.type = OpType::kMatMul;
+  big2.output_shape = TensorShape{4};
+  big2.param_bytes = int64_t{6} * 1024 * 1024 * 1024;
+  const OpId big2_id = chain.g.AddOp(std::move(big2));
+  for (DeviceId d = 0; d < 2; ++d) {
+    chain.comp.AddSample("big", d, 0.001);
+    chain.comp.AddSample("big2", d, 0.001);
+  }
+  const Cluster c = Cluster::SingleServer(2);
+  const DposResult r = Dpos(chain.g, c, chain.comp, chain.comm);
+  // 6 GB + 6 GB exceeds one device's planned budget: they must separate.
+  EXPECT_NE(r.strategy.placement[static_cast<size_t>(big_id)],
+            r.strategy.placement[static_cast<size_t>(big2_id)]);
+  EXPECT_FALSE(r.memory_overflow);
+}
+
+TEST(Dpos, ExecutionOrderSortedByStartTime) {
+  CostedChain chain(10, 0.001, 2);
+  const DposResult r = Dpos(chain.g, Cluster::SingleServer(2), chain.comp,
+                            chain.comm);
+  for (size_t i = 1; i < r.strategy.execution_order.size(); ++i) {
+    const OpId prev = r.strategy.execution_order[i - 1];
+    const OpId cur = r.strategy.execution_order[i];
+    EXPECT_LE(r.start_time[static_cast<size_t>(prev)],
+              r.start_time[static_cast<size_t>(cur)]);
+  }
+}
+
+TEST(Dpos, RealizedCriticalPathEndsAtLatestOp) {
+  CostedChain chain(6, 0.002, 2);
+  const DposResult r = Dpos(chain.g, Cluster::SingleServer(2), chain.comp,
+                            chain.comm);
+  const auto cp = RealizedCriticalPath(chain.g, r, chain.comm);
+  ASSERT_FALSE(cp.empty());
+  EXPECT_EQ(cp.back(), chain.ops.back());
+  EXPECT_EQ(cp.front(), chain.ops.front());
+}
+
+TEST(Dpos, SingleDeviceDegenerates) {
+  CostedChain chain(5, 0.001, 1);
+  const DposResult r = Dpos(chain.g, Cluster::SingleServer(1), chain.comp,
+                            chain.comm);
+  EXPECT_NEAR(r.ft_exit, 0.005, 1e-9);
+}
+
+// Theorem 1 property check: ω_DPOS <= 2·ω_opt + C_max, with ω_opt lower-
+// bounded by max(total_work / |D|, longest compute chain) and C_max the
+// maximal total transmission time along any chain.
+class DposBoundSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DposBoundSweep, RespectsTheoremOneBound) {
+  Rng rng(GetParam());
+  const int n_ops = 20 + static_cast<int>(rng.NextBelow(60));
+  const int n_dev = 2 + static_cast<int>(rng.NextBelow(3));
+  Graph g;
+  CompCostModel comp;
+  CommCostModel comm;
+  std::vector<OpId> ids;
+  for (int i = 0; i < n_ops; ++i) {
+    const std::string name = "op" + std::to_string(i);
+    const OpId id = g.AddOp(NamedOp(name));
+    const double w = rng.NextDouble(1e-4, 5e-3);
+    for (DeviceId d = 0; d < n_dev; ++d) comp.AddSample(name, d, w);
+    // Random edges from up to 2 earlier ops.
+    for (int k = 0; k < 2; ++k) {
+      if (!ids.empty() && rng.NextBool(0.7)) {
+        const OpId src = ids[rng.NextBelow(ids.size())];
+        g.AddEdge(src, id, static_cast<int64_t>(rng.NextBelow(1 << 22)));
+      }
+    }
+    ids.push_back(id);
+  }
+  for (DeviceId i = 0; i < n_dev; ++i)
+    for (DeviceId j = 0; j < n_dev; ++j)
+      if (i != j) {
+        comm.AddSample(i, j, 0, 1e-5);
+        comm.AddSample(i, j, 1 << 22, 1e-5 + (1 << 22) / 9e9);
+      }
+
+  const Cluster c = Cluster::SingleServer(n_dev);
+  const DposResult r = Dpos(g, c, comp, comm);
+
+  double total_work = 0.0;
+  for (OpId id : g.LiveOps())
+    total_work += comp.EstimateOrExplore(g.op(id), 0);
+  const auto compute_chain = g.LongestPathFromExit(
+      [&](const Operation& op) { return comp.EstimateOrExplore(op, 0); },
+      [](const Edge&) { return 0.0; });
+  const auto comm_chain = g.LongestPathFromExit(
+      [](const Operation&) { return 0.0; },
+      [&](const Edge& e) { return comm.MaxOverPairs(e.bytes); });
+  double lb = total_work / n_dev, cmax = 0.0;
+  for (OpId id : g.LiveOps()) {
+    lb = std::max(lb, compute_chain[static_cast<size_t>(id)]);
+    cmax = std::max(cmax, comm_chain[static_cast<size_t>(id)]);
+  }
+  EXPECT_LE(r.ft_exit, 2.0 * lb + cmax + 1e-9)
+      << "ops=" << n_ops << " devices=" << n_dev;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDags, DposBoundSweep,
+                         ::testing::Range(uint64_t{1}, uint64_t{25}));
+
+}  // namespace
+}  // namespace fastt

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "cost/comm_cost.h"
+#include "cost/comp_cost.h"
+#include "cost/linreg.h"
+#include "cost/stability.h"
+
+namespace fastt {
+namespace {
+
+TEST(LinearRegression, RecoversExactLine) {
+  LinearRegression lr;
+  for (double x : {1.0, 2.0, 5.0, 9.0}) lr.Add(x, 3.0 + 2.0 * x);
+  EXPECT_NEAR(lr.intercept(), 3.0, 1e-9);
+  EXPECT_NEAR(lr.slope(), 2.0, 1e-9);
+  EXPECT_NEAR(lr.Predict(10.0), 23.0, 1e-9);
+}
+
+TEST(LinearRegression, SinglePointIsConstant) {
+  LinearRegression lr;
+  lr.Add(4.0, 7.0);
+  EXPECT_DOUBLE_EQ(lr.slope(), 0.0);
+  EXPECT_DOUBLE_EQ(lr.Predict(100.0), 7.0);
+}
+
+TEST(LinearRegression, IdenticalXFallsBackToMean) {
+  LinearRegression lr;
+  lr.Add(5.0, 10.0);
+  lr.Add(5.0, 20.0);
+  EXPECT_DOUBLE_EQ(lr.slope(), 0.0);
+  EXPECT_NEAR(lr.Predict(5.0), 15.0, 1e-9);
+}
+
+TEST(LinearRegression, EmptyPredictsZero) {
+  LinearRegression lr;
+  EXPECT_DOUBLE_EQ(lr.Predict(42.0), 0.0);
+}
+
+TEST(CompCost, LookupAveragesSamples) {
+  CompCostModel m;
+  m.AddSample("conv1", 0, 0.010);
+  m.AddSample("conv1", 0, 0.020);
+  ASSERT_TRUE(m.Lookup("conv1", 0).has_value());
+  EXPECT_NEAR(*m.Lookup("conv1", 0), 0.015, 1e-12);
+  EXPECT_FALSE(m.Lookup("conv1", 1).has_value());
+  EXPECT_FALSE(m.Lookup("conv2", 0).has_value());
+}
+
+TEST(CompCost, ExplorationPricesUnknownAtZero) {
+  CompCostModel m;
+  Operation op;
+  op.name = "mystery";
+  EXPECT_DOUBLE_EQ(m.EstimateOrExplore(op, 0), 0.0);
+}
+
+TEST(CompCost, BasisFallbackScales) {
+  CompCostModel m;
+  m.AddSample("conv1", 2, 0.010);
+  Operation sub;
+  sub.name = "conv1/part0";
+  sub.cost_key = "conv1#batch/2";
+  sub.cost_basis_key = "conv1";
+  sub.cost_scale = 0.5;
+  EXPECT_NEAR(m.EstimateOrExplore(sub, 2), 0.005, 1e-12);
+  // Exact profile takes precedence over the basis once it exists.
+  m.AddSample("conv1#batch/2", 2, 0.008);
+  EXPECT_NEAR(m.EstimateOrExplore(sub, 2), 0.008, 1e-12);
+}
+
+TEST(CompCost, MaxTimeOverDevices) {
+  CompCostModel m;
+  m.AddSample("op", 0, 0.003);
+  m.AddSample("op", 2, 0.007);
+  Operation op;
+  op.name = "op";
+  EXPECT_NEAR(m.MaxTimeOverDevices(op, 4), 0.007, 1e-12);
+}
+
+TEST(CompCost, SerializeRoundTrip) {
+  CompCostModel m;
+  m.AddSample("a", 0, 0.001);
+  m.AddSample("a", 0, 0.003);
+  m.AddSample("b", 1, 0.5);
+  const CompCostModel copy = CompCostModel::Deserialize(m.Serialize());
+  EXPECT_NEAR(*copy.Lookup("a", 0), 0.002, 1e-9);
+  EXPECT_NEAR(*copy.Lookup("b", 1), 0.5, 1e-9);
+  EXPECT_EQ(copy.num_entries(), 2u);
+}
+
+TEST(CompCost, KnowsAndClear) {
+  CompCostModel m;
+  EXPECT_FALSE(m.Knows("x"));
+  m.AddSample("x", 0, 1.0);
+  EXPECT_TRUE(m.Knows("x"));
+  m.Clear();
+  EXPECT_FALSE(m.Knows("x"));
+}
+
+TEST(CommCost, SameDeviceIsFree) {
+  CommCostModel m;
+  EXPECT_DOUBLE_EQ(m.Estimate(1, 1, 1 << 20), 0.0);
+}
+
+TEST(CommCost, UnknownPairExplores) {
+  CommCostModel m;
+  EXPECT_DOUBLE_EQ(m.Estimate(0, 1, 1 << 20), 0.0);
+  EXPECT_FALSE(m.KnowsPair(0, 1));
+}
+
+TEST(CommCost, RecoversLatencyAndBandwidth) {
+  CommCostModel m;
+  // Ground truth: 10 us latency + bytes / 10 GB/s.
+  auto truth = [](int64_t bytes) { return 1e-5 + bytes / 10e9; };
+  for (int64_t bytes : {int64_t{1} << 20, int64_t{1} << 26})
+    m.AddSample(0, 1, bytes, truth(bytes));
+  ASSERT_TRUE(m.KnowsPair(0, 1));
+  const auto [intercept, slope] = *m.InterceptSlope(0, 1);
+  EXPECT_NEAR(intercept, 1e-5, 1e-7);
+  EXPECT_NEAR(1.0 / slope, 10e9, 1e7);
+  EXPECT_NEAR(m.Estimate(0, 1, 100 << 20), truth(100 << 20), 1e-4);
+}
+
+TEST(CommCost, PairsAreIndependentAndDirectional) {
+  CommCostModel m;
+  m.AddSample(0, 1, 1000, 1.0);
+  EXPECT_GT(m.Estimate(0, 1, 1000), 0.0);
+  EXPECT_DOUBLE_EQ(m.Estimate(1, 0, 1000), 0.0);
+}
+
+TEST(CommCost, MaxOverPairs) {
+  CommCostModel m;
+  m.AddSample(0, 1, 1 << 20, 0.001);
+  m.AddSample(0, 1, 1 << 22, 0.004);
+  m.AddSample(2, 3, 1 << 20, 0.010);
+  m.AddSample(2, 3, 1 << 22, 0.040);
+  EXPECT_NEAR(m.MaxOverPairs(1 << 22), 0.040, 1e-6);
+}
+
+TEST(CommCost, NegativePredictionsClampToZero) {
+  CommCostModel m;
+  // Descending samples produce a negative slope; estimates must stay >= 0.
+  m.AddSample(0, 1, 100, 1.0);
+  m.AddSample(0, 1, 200, 0.1);
+  EXPECT_GE(m.Estimate(0, 1, 100000), 0.0);
+}
+
+TEST(CommCost, SerializeRoundTrip) {
+  CommCostModel m;
+  m.AddSample(0, 1, 1 << 20, 1e-5 + (1 << 20) / 9e9);
+  m.AddSample(0, 1, 1 << 26, 1e-5 + (1 << 26) / 9e9);
+  m.AddSample(2, 0, 1 << 20, 5e-5 + (1 << 20) / 3e9);
+  m.AddSample(2, 0, 1 << 24, 5e-5 + (1 << 24) / 3e9);
+  const CommCostModel copy = CommCostModel::Deserialize(m.Serialize());
+  EXPECT_EQ(copy.num_pairs(), 2u);
+  for (int64_t bytes : {int64_t{1} << 21, int64_t{1} << 25}) {
+    EXPECT_NEAR(copy.Estimate(0, 1, bytes), m.Estimate(0, 1, bytes), 1e-9);
+    EXPECT_NEAR(copy.Estimate(2, 0, bytes), m.Estimate(2, 0, bytes), 1e-9);
+  }
+  EXPECT_FALSE(copy.KnowsPair(1, 0));
+}
+
+TEST(Stability, StableAfterRepeatedObservations) {
+  CompCostModel m;
+  m.AddSample("op", 0, 0.010);
+  StabilityDetector detector(0.05, 2);
+  EXPECT_FALSE(detector.IsStable());
+  detector.Observe(m, 1, {"op"});  // first observation: new entries
+  EXPECT_FALSE(detector.IsStable());
+  m.AddSample("op", 0, 0.0101);
+  detector.Observe(m, 1, {"op"});
+  m.AddSample("op", 0, 0.0099);
+  detector.Observe(m, 1, {"op"});
+  EXPECT_TRUE(detector.IsStable());
+}
+
+TEST(Stability, NewKeyResetsStability) {
+  CompCostModel m;
+  m.AddSample("op", 0, 0.010);
+  StabilityDetector detector(0.05, 1);
+  detector.Observe(m, 1, {"op"});
+  detector.Observe(m, 1, {"op"});
+  EXPECT_TRUE(detector.IsStable());
+  m.AddSample("new_op", 0, 1.0);
+  detector.Observe(m, 1, {"op", "new_op"});
+  EXPECT_FALSE(detector.IsStable());
+}
+
+TEST(Stability, LargeChangeResetsCounter) {
+  CompCostModel m;
+  m.AddSample("op", 0, 0.010);
+  StabilityDetector detector(0.05, 1);
+  detector.Observe(m, 1, {"op"});
+  // Shift the mean by >5%.
+  for (int i = 0; i < 10; ++i) m.AddSample("op", 0, 0.030);
+  const double change = detector.Observe(m, 1, {"op"});
+  EXPECT_GT(change, 0.05);
+  EXPECT_FALSE(detector.IsStable());
+}
+
+}  // namespace
+}  // namespace fastt

@@ -1,0 +1,181 @@
+// Tests for the extension modules: Chrome trace export and loop unrolling
+// (the paper's §8 future work).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/searchers.h"
+#include "core/dpos.h"
+#include "graph/loops.h"
+#include "models/model_zoo.h"
+#include "sim/profiler.h"
+#include "sim/trace.h"
+
+namespace fastt {
+namespace {
+
+TEST(ChromeTrace, EmitsValidLookingJson) {
+  const Graph g = BuildSingle(FindModel("lenet"), 16);
+  const Cluster c = Cluster::SingleServer(2);
+  std::vector<DeviceId> placement(static_cast<size_t>(g.num_slots()), 0);
+  // Put the classifier on the second device so transfers appear.
+  for (OpId id : g.LiveOps())
+    if (g.op(id).name.find("fc") != std::string::npos)
+      placement[static_cast<size_t>(id)] = 1;
+  const SimResult r = Simulate(g, placement, c);
+  const std::string json = ExportChromeTrace(g, r);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("GPU 0 compute"), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"memcpy\""), std::string::npos);
+  EXPECT_NE(json.find("conv1"), std::string::npos);
+  // Balanced braces (cheap structural sanity).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(ChromeTrace, EventCountMatchesRun) {
+  const Graph g = BuildSingle(FindModel("lenet"), 16);
+  const Cluster c = Cluster::SingleServer(1);
+  const SimResult r =
+      Simulate(g, std::vector<DeviceId>(g.num_slots(), 0), c);
+  const std::string json = ExportChromeTrace(g, r);
+  // One "X" event per executed op (no transfers on one device).
+  size_t events = 0, pos = 0;
+  while ((pos = json.find("\"ph\": \"X\"", pos)) != std::string::npos) {
+    ++events;
+    pos += 1;
+  }
+  EXPECT_EQ(events, static_cast<size_t>(g.num_live_ops()));
+}
+
+// ---- loop unrolling -------------------------------------------------------
+
+Operation SmallOp(const std::string& name) {
+  Operation op;
+  op.name = name;
+  op.type = OpType::kMatMul;
+  op.output_shape = TensorShape{8, 8};
+  op.flops = 1e6;
+  op.batch = 8;
+  op.channels = 8;
+  return op;
+}
+
+TEST(UnrollLoop, ChainsCarriedValues) {
+  Graph g;
+  const OpId h0 = g.AddOp(SmallOp("h0"));
+  LoopSpec loop;
+  loop.body = [](Graph& graph, const std::string& prefix,
+                 const std::vector<OpId>& carried) {
+    const OpId cell = graph.AddOp(SmallOp(prefix + "/cell"));
+    graph.AddEdge(carried[0], cell);
+    return std::vector<OpId>{cell};
+  };
+  const UnrolledLoop unrolled = UnrollLoop(g, loop, "while0", 5, {h0});
+  ASSERT_EQ(unrolled.carried.size(), 1u);
+  ASSERT_EQ(unrolled.per_iteration_ops.size(), 5u);
+  EXPECT_EQ(g.num_live_ops(), 6);
+  // iter4's cell consumes iter3's.
+  const OpId last = g.FindOp("while0/iter4/cell");
+  const OpId prev = g.FindOp("while0/iter3/cell");
+  ASSERT_NE(last, kInvalidOp);
+  EXPECT_EQ(g.Preds(last), std::vector<OpId>{prev});
+  EXPECT_EQ(unrolled.carried[0], last);
+  EXPECT_TRUE(g.IsAcyclic());
+}
+
+TEST(UnrollLoop, MultipleCarriedValues) {
+  Graph g;
+  const OpId h = g.AddOp(SmallOp("h"));
+  const OpId c = g.AddOp(SmallOp("c"));
+  LoopSpec loop;
+  loop.body = [](Graph& graph, const std::string& prefix,
+                 const std::vector<OpId>& carried) {
+    const OpId nh = graph.AddOp(SmallOp(prefix + "/h"));
+    const OpId nc = graph.AddOp(SmallOp(prefix + "/c"));
+    graph.AddEdge(carried[0], nh);
+    graph.AddEdge(carried[1], nh);
+    graph.AddEdge(carried[1], nc);
+    return std::vector<OpId>{nh, nc};
+  };
+  const UnrolledLoop unrolled = UnrollLoop(g, loop, "rnn", 3, {h, c});
+  EXPECT_EQ(unrolled.carried.size(), 2u);
+  EXPECT_EQ(g.num_live_ops(), 2 + 3 * 2);
+}
+
+TEST(UnrollLoop, UnrolledLoopIsSchedulable) {
+  // The future-work path end to end: unroll a recurrent body, then let DPOS
+  // schedule the resulting DAG across devices.
+  Graph g;
+  const OpId x = g.AddOp(SmallOp("x"));
+  LoopSpec loop;
+  loop.body = [](Graph& graph, const std::string& prefix,
+                 const std::vector<OpId>& carried) {
+    const OpId cell = graph.AddOp(SmallOp(prefix + "/cell"));
+    graph.AddEdge(carried[0], cell);
+    const OpId proj = graph.AddOp(SmallOp(prefix + "/proj"));
+    graph.AddEdge(cell, proj);
+    return std::vector<OpId>{proj};
+  };
+  UnrollLoop(g, loop, "dyn", 8, {x});
+  const Cluster cluster = Cluster::SingleServer(2);
+  CompCostModel comp;
+  CommCostModel comm;
+  // Profile both devices so the cost model prices every placement.
+  for (DeviceId d = 0; d < 2; ++d) {
+    const SimResult sim = Simulate(
+        g, std::vector<DeviceId>(g.num_slots(), d), cluster);
+    const RunProfile profile = ExtractProfile(g, sim);
+    comp.AddProfile(profile);
+    comm.AddProfile(profile);
+  }
+  const DposResult r = Dpos(g, cluster, comp, comm);
+  EXPECT_GT(r.ft_exit, 0.0);
+  EXPECT_EQ(r.strategy.execution_order.size(),
+            static_cast<size_t>(g.num_live_ops()));
+}
+
+TEST(UnrollLoop, RejectsArityChange) {
+  Graph g;
+  const OpId x = g.AddOp(SmallOp("x"));
+  LoopSpec loop;
+  loop.body = [](Graph& graph, const std::string& prefix,
+                 const std::vector<OpId>& carried) {
+    (void)carried;
+    const OpId cell = graph.AddOp(SmallOp(prefix + "/cell"));
+    return std::vector<OpId>{cell, cell};  // arity 1 -> 2
+  };
+  EXPECT_THROW(UnrollLoop(g, loop, "bad", 2, {x}), std::logic_error);
+}
+
+TEST(UnrollLoop, RejectsZeroIterationsAndMissingBody) {
+  Graph g;
+  const OpId x = g.AddOp(SmallOp("x"));
+  LoopSpec empty;
+  EXPECT_THROW(UnrollLoop(g, empty, "none", 1, {x}), std::logic_error);
+  LoopSpec ok;
+  ok.body = [](Graph& graph, const std::string& prefix,
+               const std::vector<OpId>& carried) { return carried; };
+  EXPECT_THROW(UnrollLoop(g, ok, "zero", 0, {x}), std::logic_error);
+}
+
+TEST(CrossEntropySearcher, ConvergesTowardGoodPlacements) {
+  // CEM with a real budget should at least match pure random search.
+  const ModelSpec& spec = FindModel("lenet");
+  const Cluster cluster = Cluster::SingleServer(2);
+  SearchOptions cem_options;
+  cem_options.budget = 100;
+  const auto cem = CrossEntropyPlacement(spec.build, spec.name, 64, cluster,
+                                         cem_options);
+  SearchOptions rs_options;
+  rs_options.budget = 100;
+  const auto rs = RandomSearchPlacement(spec.build, spec.name, 64, cluster,
+                                        rs_options);
+  EXPECT_LE(cem.iteration_s, rs.iteration_s * 1.25);
+  EXPECT_LE(cem.evaluations, cem_options.budget + 1);
+}
+
+}  // namespace
+}  // namespace fastt

@@ -1,0 +1,192 @@
+// End-to-end invariants tying the whole stack to the paper's headline
+// claims. These run the full FastT workflow (profiling, cost models,
+// OS-DPOS, rollback) against the simulated testbed.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/strategy_calculator.h"
+#include "models/model_zoo.h"
+#include "util/strings.h"
+
+namespace fastt {
+namespace {
+
+TEST(Integration, Table1ShapeFastTNotWorseAcrossModels) {
+  // A fast cross-section of Table 1: on 2 GPUs FastT should match or beat
+  // data parallelism for every model family we spot-check.
+  const Cluster c = Cluster::SingleServer(2);
+  for (const char* name : {"lenet", "vgg19", "rnnlm"}) {
+    const ModelSpec& spec = FindModel(name);
+    CalculatorOptions options;
+    options.max_rounds = 4;
+    const auto dp = RunDataParallelBaseline(
+        spec.build, spec.name, spec.strong_batch, Scaling::kStrong, c,
+        options);
+    const auto ft = RunFastT(spec.build, spec.name, spec.strong_batch,
+                             Scaling::kStrong, c, options);
+    EXPECT_GE(SamplesPerSecond(ft), 0.97 * SamplesPerSecond(dp)) << name;
+  }
+}
+
+TEST(Integration, Table2WeakScalingGainsAreSmaller) {
+  // Paper §6.3: weak-scaling improvements are smaller than strong-scaling
+  // ones because per-GPU utilization is already high.
+  const ModelSpec& spec = FindModel("vgg19");
+  const Cluster c = Cluster::SingleServer(4);
+  CalculatorOptions options;
+  options.max_rounds = 5;
+  const auto dp_strong = RunDataParallelBaseline(
+      spec.build, spec.name, 64, Scaling::kStrong, c, options);
+  const auto ft_strong =
+      RunFastT(spec.build, spec.name, 64, Scaling::kStrong, c, options);
+  const auto dp_weak = RunDataParallelBaseline(
+      spec.build, spec.name, 64, Scaling::kWeak, c, options);
+  const auto ft_weak =
+      RunFastT(spec.build, spec.name, 64, Scaling::kWeak, c, options);
+  const double strong_gain =
+      SamplesPerSecond(ft_strong) / SamplesPerSecond(dp_strong);
+  const double weak_gain =
+      SamplesPerSecond(ft_weak) / SamplesPerSecond(dp_weak);
+  EXPECT_GE(weak_gain, 0.97);
+  EXPECT_LT(weak_gain, strong_gain + 0.05);
+}
+
+TEST(Integration, Table3BertFeasibilityMatrix) {
+  const ModelSpec& spec = FindModel("bert_large");
+  const Cluster c1 = Cluster::SingleServer(1);
+  const Cluster c2 = Cluster::SingleServer(2);
+  CalculatorOptions options;
+  options.max_rounds = 3;
+
+  // Batch 16 trains everywhere.
+  EXPECT_FALSE(RunDataParallelBaseline(spec.build, spec.name, 16,
+                                       Scaling::kStrong, c1, options)
+                   .final_sim.oom);
+  // Batch 32: single GPU OOM, 2-GPU DP fine.
+  EXPECT_TRUE(RunDataParallelBaseline(spec.build, spec.name, 32,
+                                      Scaling::kStrong, c1, options)
+                  .final_sim.oom);
+  EXPECT_FALSE(RunDataParallelBaseline(spec.build, spec.name, 32,
+                                       Scaling::kStrong, c2, options)
+                   .final_sim.oom);
+  // Batch 40: 2-GPU DP OOM, FastT feasible (the paper's headline row).
+  EXPECT_TRUE(RunDataParallelBaseline(spec.build, spec.name, 40,
+                                      Scaling::kStrong, c2, options)
+                  .final_sim.oom);
+  const auto ft40 =
+      RunFastT(spec.build, spec.name, 40, Scaling::kStrong, c2, options);
+  EXPECT_FALSE(ft40.final_sim.oom);
+}
+
+TEST(Integration, Fig2OrderEnforcementHelps) {
+  // Paper Fig. 2: enforcing FastT's execution order beats the default
+  // executor's (arbitrary) ready-queue order on the same placement.
+  const ModelSpec& spec = FindModel("vgg19");
+  const Cluster c = Cluster::SingleServer(2);
+  CalculatorOptions options;
+  options.max_rounds = 4;
+  const auto ft = RunFastT(spec.build, spec.name, spec.strong_batch,
+                           Scaling::kStrong, c, options);
+  const auto priorities = PrioritiesFromOrder(
+      ft.strategy.execution_order, ft.graph.num_slots());
+
+  auto measure = [&](DispatchMode mode) {
+    double total = 0.0;
+    for (int i = 0; i < 3; ++i) {
+      SimOptions so;
+      so.dispatch = mode;
+      so.priorities = priorities;
+      so.seed = 400 + static_cast<uint64_t>(i);
+      total += Simulate(ft.graph, ft.strategy.placement, c, so).makespan;
+    }
+    return total / 3;
+  };
+  EXPECT_LE(measure(DispatchMode::kPriority),
+            measure(DispatchMode::kRandom) * 1.02);
+}
+
+TEST(Integration, Fig4PlacementIsUneven) {
+  // Paper §6.5 / Fig. 4: FastT does not allocate ops evenly; replicas of
+  // large-parameter ops cluster on one GPU.
+  const ModelSpec& spec = FindModel("vgg19");
+  const Cluster c = Cluster::SingleServer(4);
+  CalculatorOptions options;
+  const auto ft = RunFastT(spec.build, spec.name, 64, Scaling::kStrong, c,
+                           options);
+  std::map<DeviceId, int> counts;
+  for (OpId id : ft.graph.LiveOps())
+    ++counts[ft.strategy.placement[static_cast<size_t>(id)]];
+  int max_count = 0, min_count = 1 << 30;
+  for (const auto& [d, n] : counts) {
+    max_count = std::max(max_count, n);
+    min_count = std::min(min_count, n);
+  }
+  EXPECT_GT(max_count, min_count);
+
+  // All four fc6 replicas share a device with the fc6 weights.
+  const OpId var = ft.graph.FindOp("rep0/fc6/weights");
+  ASSERT_NE(var, kInvalidOp);
+  const DeviceId home = ft.strategy.placement[static_cast<size_t>(var)];
+  int colocated = 0;
+  for (int r = 0; r < 4; ++r) {
+    const OpId fc = ft.graph.FindOp(StrFormat("rep%d/fc6", r));
+    if (fc == kInvalidOp) continue;  // possibly split
+    if (ft.strategy.placement[static_cast<size_t>(fc)] == home) ++colocated;
+  }
+  EXPECT_GE(colocated, 3);
+}
+
+TEST(Integration, Fig5FastTTradesComputeForMemcpy) {
+  // Paper Fig. 5: FastT reduces memcpy time relative to data parallelism
+  // (possibly at the cost of more compute on some device).
+  const ModelSpec& spec = FindModel("vgg19");
+  const Cluster c = Cluster::SingleServer(2);
+  CalculatorOptions options;
+  const auto dp = RunDataParallelBaseline(spec.build, spec.name, 64,
+                                          Scaling::kStrong, c, options);
+  const auto ft =
+      RunFastT(spec.build, spec.name, 64, Scaling::kStrong, c, options);
+  EXPECT_LE(ft.final_sim.total_memcpy_s,
+            dp.final_sim.total_memcpy_s * 1.05);
+}
+
+TEST(Integration, DistributedSettingAmplifiesGains) {
+  // Paper §6.3: FastT's improvement over DP is larger in the 2-server
+  // setting because DP pays cross-server gradient traffic.
+  const ModelSpec& spec = FindModel("alexnet");
+  CalculatorOptions options;
+  options.max_rounds = 4;
+  const Cluster single = Cluster::SingleServer(2);
+  const Cluster dist = Cluster::MultiServer(2, 1);
+  const double gain_single =
+      SamplesPerSecond(RunFastT(spec.build, spec.name, 256, Scaling::kStrong,
+                                single, options)) /
+      SamplesPerSecond(RunDataParallelBaseline(
+          spec.build, spec.name, 256, Scaling::kStrong, single, options));
+  const double gain_dist =
+      SamplesPerSecond(RunFastT(spec.build, spec.name, 256, Scaling::kStrong,
+                                dist, options)) /
+      SamplesPerSecond(RunDataParallelBaseline(
+          spec.build, spec.name, 256, Scaling::kStrong, dist, options));
+  EXPECT_GT(gain_dist, gain_single * 0.95);
+}
+
+TEST(Integration, HeterogeneousDevicesAbsorbMoreWork) {
+  // The cost models learn per-device speeds from profiles alone; FastT's
+  // placement shifts work toward a faster GPU and beats an even DP split.
+  Cluster base = Cluster::SingleServer(2);
+  std::vector<Device> devices = base.devices();
+  devices[0].speed_factor = 2.0;
+  const Cluster cluster(std::move(devices), base.params());
+  const ModelSpec& spec = FindModel("vgg19");
+  CalculatorOptions options;
+  const auto dp = RunDataParallelBaseline(spec.build, spec.name, 64,
+                                          Scaling::kStrong, cluster, options);
+  const auto ft =
+      RunFastT(spec.build, spec.name, 64, Scaling::kStrong, cluster, options);
+  EXPECT_GT(SamplesPerSecond(ft), 1.1 * SamplesPerSecond(dp));
+}
+
+}  // namespace
+}  // namespace fastt

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "models/model_zoo.h"
+#include "sim/cluster.h"
+#include "sim/exec_sim.h"
+#include "util/strings.h"
+
+namespace fastt {
+namespace {
+
+TEST(ModelZoo, HasAllNinePaperModels) {
+  const auto& zoo = ModelZoo();
+  ASSERT_EQ(zoo.size(), 9u);
+  for (const char* name :
+       {"inception_v3", "vgg19", "resnet200", "lenet", "alexnet", "gnmt",
+        "rnnlm", "transformer", "bert_large"}) {
+    EXPECT_NO_THROW(FindModel(name)) << name;
+  }
+  EXPECT_THROW(FindModel("nope"), std::logic_error);
+}
+
+TEST(ModelZoo, PaperBatchSizes) {
+  EXPECT_EQ(FindModel("vgg19").strong_batch, 64);
+  EXPECT_EQ(FindModel("resnet200").strong_batch, 32);
+  EXPECT_EQ(FindModel("lenet").strong_batch, 256);
+  EXPECT_EQ(FindModel("transformer").strong_batch, 4096);
+  EXPECT_EQ(FindModel("bert_large").strong_batch, 16);
+}
+
+class ZooModel : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ZooModel, BuildsValidTrainingGraph) {
+  const ModelSpec& spec = FindModel(GetParam());
+  const Graph g = BuildSingle(spec, spec.strong_batch);
+  EXPECT_GT(g.num_live_ops(), 20);
+  EXPECT_GT(g.TotalFlops(), 1e9);
+  EXPECT_TRUE(g.IsAcyclic());
+  // Training graph: has variables, gradients and optimizer updates.
+  int vars = 0, applies = 0, grads = 0;
+  for (OpId id : g.LiveOps()) {
+    const auto& op = g.op(id);
+    if (op.type == OpType::kVariable) ++vars;
+    if (op.type == OpType::kApplyGradient) ++applies;
+    if (IsGradOp(op.type)) ++grads;
+  }
+  EXPECT_GT(vars, 0);
+  EXPECT_EQ(vars, applies);  // one optimizer update per parameter
+  EXPECT_GT(grads, 0);
+}
+
+TEST_P(ZooModel, RunsOnSimulatedGpu) {
+  const ModelSpec& spec = FindModel(GetParam());
+  const Graph g = BuildSingle(spec, spec.strong_batch);
+  const Cluster c = Cluster::SingleServer(1);
+  const SimResult r =
+      Simulate(g, std::vector<DeviceId>(g.num_slots(), 0), c);
+  EXPECT_GT(r.makespan, 1e-4);
+  EXPECT_LT(r.makespan, 10.0);
+  // Table 1's strong-scaling batches were chosen to fit one GPU.
+  EXPECT_FALSE(r.oom) << GetParam();
+}
+
+TEST_P(ZooModel, LargerBatchIsSlower) {
+  const ModelSpec& spec = FindModel(GetParam());
+  const Cluster c = Cluster::SingleServer(1);
+  const Graph small = BuildSingle(spec, spec.strong_batch);
+  const Graph big = BuildSingle(spec, spec.strong_batch * 2);
+  SimOptions options;
+  options.track_memory = false;  // 2x batch may exceed memory by design
+  const double t_small =
+      Simulate(small, std::vector<DeviceId>(small.num_slots(), 0), c,
+               options)
+          .makespan;
+  const double t_big =
+      Simulate(big, std::vector<DeviceId>(big.num_slots(), 0), c, options)
+          .makespan;
+  EXPECT_GT(t_big, t_small);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ZooModel,
+                         ::testing::Values("inception_v3", "vgg19",
+                                           "resnet200", "lenet", "alexnet",
+                                           "gnmt", "rnnlm", "transformer",
+                                           "bert_large"));
+
+TEST(ModelZoo, VggLayerNamesMatchTable5) {
+  const Graph g = BuildSingle(FindModel("vgg19"), 64);
+  for (const char* name : {"conv1_1", "conv1_2", "relu1_2", "pool1", "fc6"})
+    EXPECT_NE(g.FindOp(name), kInvalidOp) << name;
+  // The backprop ops Table 5 reports exist too.
+  EXPECT_NE(g.FindOp("conv1_2/wgrad"), kInvalidOp);
+}
+
+TEST(ModelZoo, VggParameterBudget) {
+  // VGG-19 has ~143M parameters (~548 MB fp32 + biases).
+  const Graph g = BuildSingle(FindModel("vgg19"), 64);
+  int64_t weights = 0;
+  for (OpId id : g.LiveOps())
+    if (g.op(id).type == OpType::kVariable) weights += g.op(id).output_bytes();
+  EXPECT_NEAR(static_cast<double>(weights) / (1 << 20), 548.0, 40.0);
+}
+
+TEST(ModelZoo, BertParameterBudget) {
+  // BERT-large has ~340M parameters.
+  const Graph g = BuildSingle(FindModel("bert_large"), 16);
+  int64_t weights = 0;
+  for (OpId id : g.LiveOps())
+    if (g.op(id).type == OpType::kVariable) weights += g.op(id).output_bytes();
+  EXPECT_NEAR(static_cast<double>(weights) / (1 << 20), 1300.0, 200.0);
+}
+
+TEST(ModelZoo, BertOomThresholds) {
+  // Table 3's single-GPU feasibility: batch 16 trains, batch 32 OOMs.
+  const ModelSpec& spec = FindModel("bert_large");
+  const Cluster c = Cluster::SingleServer(1);
+  const Graph b16 = BuildSingle(spec, 16);
+  EXPECT_FALSE(
+      Simulate(b16, std::vector<DeviceId>(b16.num_slots(), 0), c).oom);
+  const Graph b32 = BuildSingle(spec, 32);
+  EXPECT_TRUE(
+      Simulate(b32, std::vector<DeviceId>(b32.num_slots(), 0), c).oom);
+}
+
+TEST(ModelZoo, TransformerFitsAtFullTokenBatch) {
+  // The paper trains Transformer at batch 4096 on one GPU without OOM.
+  const ModelSpec& spec = FindModel("transformer");
+  const Graph g = BuildSingle(spec, 4096);
+  const Cluster c = Cluster::SingleServer(1);
+  EXPECT_FALSE(Simulate(g, std::vector<DeviceId>(g.num_slots(), 0), c).oom);
+}
+
+TEST(ModelZoo, ResNetDepthIsRight) {
+  // ResNet-200: 66 bottleneck blocks, 3 convs each + stem + projections.
+  const Graph g = BuildSingle(FindModel("resnet200"), 32);
+  int convs = 0;
+  for (OpId id : g.LiveOps())
+    if (g.op(id).type == OpType::kConv2D) ++convs;
+  EXPECT_NEAR(convs, 66 * 3 + 1 + 4, 4);
+}
+
+TEST(ModelZoo, LstmModelsHaveSequentialCells) {
+  const Graph g = BuildSingle(FindModel("rnnlm"), 64);
+  int cells = 0;
+  for (OpId id : g.LiveOps())
+    if (g.op(id).type == OpType::kLSTMCell) ++cells;
+  EXPECT_EQ(cells, 2 * 35);  // 2 layers x 35 timesteps
+}
+
+TEST(ModelZoo, AttentionModelsAreMatmulDominated) {
+  for (const char* name : {"transformer", "bert_large"}) {
+    const Graph g = BuildSingle(FindModel(name), 16);
+    double matmul_flops = 0.0;
+    for (OpId id : g.LiveOps())
+      if (g.op(id).type == OpType::kMatMul) matmul_flops += g.op(id).flops;
+    EXPECT_GT(matmul_flops / g.TotalFlops(), 0.9) << name;
+  }
+}
+
+TEST(ModelZoo, BuildIntoPrefixedNamespace) {
+  Graph g("two");
+  FindModel("lenet").build(g, "rep0", 8);
+  FindModel("lenet").build(g, "rep1", 8);
+  g.Validate();
+  EXPECT_NE(g.FindOp("rep0/conv1"), kInvalidOp);
+  EXPECT_NE(g.FindOp("rep1/conv1"), kInvalidOp);
+}
+
+}  // namespace
+}  // namespace fastt

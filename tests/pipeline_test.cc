@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/pipeline.h"
+#include "models/model_zoo.h"
+#include "sim/exec_sim.h"
+
+namespace fastt {
+namespace {
+
+TEST(Pipeline, BuildsValidGraph) {
+  const ModelSpec& spec = FindModel("vgg19");
+  const Cluster cluster = Cluster::SingleServer(2);
+  const PipelineGraph p =
+      BuildPipeline(spec.build, spec.name, 32, 4, cluster);
+  EXPECT_EQ(p.micro_batches, 4);
+  EXPECT_EQ(p.global_batch, 32);
+  EXPECT_NO_THROW(p.graph.Validate());
+}
+
+TEST(Pipeline, MicroBatchesShareStages) {
+  // Same logical op of different micro-batches lands on the same device.
+  const ModelSpec& spec = FindModel("vgg19");
+  const Cluster cluster = Cluster::SingleServer(2);
+  const PipelineGraph p =
+      BuildPipeline(spec.build, spec.name, 32, 4, cluster);
+  for (const char* name : {"conv1_1", "conv5_4", "fc6"}) {
+    std::set<DeviceId> devices;
+    for (int m = 0; m < 4; ++m) {
+      const OpId id =
+          p.graph.FindOp("rep" + std::to_string(m) + "/" + name);
+      ASSERT_NE(id, kInvalidOp);
+      devices.insert(p.placement[static_cast<size_t>(id)]);
+    }
+    EXPECT_EQ(devices.size(), 1u) << name;
+  }
+}
+
+TEST(Pipeline, UsesMultipleStages) {
+  const ModelSpec& spec = FindModel("vgg19");
+  const Cluster cluster = Cluster::SingleServer(2);
+  const PipelineGraph p =
+      BuildPipeline(spec.build, spec.name, 32, 4, cluster);
+  std::set<DeviceId> used;
+  for (OpId id : p.graph.LiveOps())
+    used.insert(p.placement[static_cast<size_t>(id)]);
+  EXPECT_EQ(used.size(), 2u);
+}
+
+TEST(Pipeline, MicroBatchingBeatsNaiveModelParallelism) {
+  // The GPipe effect: M micro-batches overlap stages and beat M = 1.
+  const ModelSpec& spec = FindModel("bert_large");
+  const Cluster cluster = Cluster::SingleServer(2);
+  const PipelineGraph naive =
+      BuildPipeline(spec.build, spec.name, 32, 1, cluster);
+  const PipelineGraph piped =
+      BuildPipeline(spec.build, spec.name, 32, 4, cluster);
+  SimOptions so_naive;
+  so_naive.dispatch = DispatchMode::kPriority;
+  so_naive.priorities = naive.priorities;
+  SimOptions so_piped;
+  so_piped.dispatch = DispatchMode::kPriority;
+  so_piped.priorities = piped.priorities;
+  const double t_naive =
+      Simulate(naive.graph, naive.placement, cluster, so_naive).makespan;
+  const double t_piped =
+      Simulate(piped.graph, piped.placement, cluster, so_piped).makespan;
+  EXPECT_LT(t_piped, t_naive * 0.9);
+}
+
+TEST(Pipeline, PreservesSynchronousSemantics) {
+  // One optimizer update per parameter, fed by all micro-batch gradients.
+  const ModelSpec& spec = FindModel("lenet");
+  const Cluster cluster = Cluster::SingleServer(2);
+  const PipelineGraph p =
+      BuildPipeline(spec.build, spec.name, 32, 4, cluster);
+  int applies = 0;
+  for (OpId id : p.graph.LiveOps()) {
+    if (p.graph.op(id).type != OpType::kGradAggregate) continue;
+    EXPECT_EQ(p.graph.Preds(id).size(), 4u);  // one gradient per micro-batch
+  }
+  for (OpId id : p.graph.LiveOps())
+    if (p.graph.op(id).type == OpType::kApplyGradient) ++applies;
+  int vars = 0;
+  for (OpId id : p.graph.LiveOps())
+    if (p.graph.op(id).type == OpType::kVariable) ++vars;
+  EXPECT_EQ(applies, vars);
+}
+
+TEST(Pipeline, OrderEnforcementIsWhatMakesItPipeline) {
+  // The same graph+placement under lockstep (FIFO) dispatch serializes;
+  // depth-first priorities create the overlap — Fig. 2's thesis applied to
+  // the paper's future-work extension.
+  const ModelSpec& spec = FindModel("bert_large");
+  const Cluster cluster = Cluster::SingleServer(2);
+  const PipelineGraph p =
+      BuildPipeline(spec.build, spec.name, 32, 4, cluster);
+  const double fifo = Simulate(p.graph, p.placement, cluster).makespan;
+  SimOptions so;
+  so.dispatch = DispatchMode::kPriority;
+  so.priorities = p.priorities;
+  const double enforced =
+      Simulate(p.graph, p.placement, cluster, so).makespan;
+  EXPECT_LT(enforced, fifo * 0.85);
+}
+
+TEST(Pipeline, RejectsBadArguments) {
+  const ModelSpec& spec = FindModel("lenet");
+  const Cluster cluster = Cluster::SingleServer(2);
+  EXPECT_THROW(BuildPipeline(spec.build, spec.name, 2, 4, cluster),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace fastt

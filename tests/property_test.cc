@@ -1,0 +1,212 @@
+// Property-based sweeps: structural invariants of the executor and the
+// scheduling/rewrite stack over randomized inputs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+
+#include "core/data_parallel.h"
+#include "core/os_dpos.h"
+#include "graph/rewrite.h"
+#include "models/model_zoo.h"
+#include "sim/exec_sim.h"
+#include "util/rng.h"
+
+namespace fastt {
+namespace {
+
+// Random layered DAG with compute ops (deterministic per seed).
+Graph RandomDag(uint64_t seed, int* n_ops_out) {
+  Rng rng(seed);
+  Graph g;
+  const int n = 15 + static_cast<int>(rng.NextBelow(50));
+  std::vector<OpId> ids;
+  for (int i = 0; i < n; ++i) {
+    Operation op;
+    op.name = "op" + std::to_string(i);
+    op.type = rng.NextBool(0.5) ? OpType::kMatMul : OpType::kRelu;
+    op.output_shape = TensorShape{
+        static_cast<int64_t>(1 + rng.NextBelow(1 << 16))};
+    op.flops = rng.NextDouble(0.0, 5e9);
+    op.bytes_touched = static_cast<int64_t>(rng.NextBelow(1 << 24));
+    const OpId id = g.AddOp(std::move(op));
+    const uint64_t fanin = rng.NextBelow(3);
+    for (uint64_t k = 0; k < fanin && !ids.empty(); ++k)
+      g.AddEdge(ids[rng.NextBelow(ids.size())], id);
+    ids.push_back(id);
+  }
+  *n_ops_out = n;
+  return g;
+}
+
+class SimInvariantSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimInvariantSweep, ExecutionIsWellFormed) {
+  int n = 0;
+  Graph g = RandomDag(GetParam(), &n);
+  Rng rng(GetParam() * 13 + 1);
+  const int devices = 1 + static_cast<int>(rng.NextBelow(4));
+  std::vector<DeviceId> placement;
+  placement.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i)
+    placement.push_back(
+        static_cast<DeviceId>(rng.NextBelow(static_cast<uint64_t>(devices))));
+  const Cluster cluster = Cluster::SingleServer(devices);
+  SimOptions options;
+  options.dispatch =
+      rng.NextBool(0.5) ? DispatchMode::kFifo : DispatchMode::kRandom;
+  options.seed = GetParam();
+  const SimResult r = Simulate(g, placement, cluster, options);
+
+  // 1. Every live op executed exactly once, on its assigned device.
+  for (OpId id : g.LiveOps()) {
+    const OpRecord& rec = r.op_records[static_cast<size_t>(id)];
+    EXPECT_EQ(rec.device, placement[static_cast<size_t>(id)]);
+    EXPECT_GE(rec.finish, rec.start);
+    EXPECT_LE(rec.finish, r.makespan + 1e-12);
+  }
+
+  // 2. Serial devices: intervals on one device never overlap.
+  std::map<DeviceId, std::vector<std::pair<double, double>>> by_device;
+  for (OpId id : g.LiveOps()) {
+    const OpRecord& rec = r.op_records[static_cast<size_t>(id)];
+    by_device[rec.device].push_back({rec.start, rec.finish});
+  }
+  for (auto& [device, intervals] : by_device) {
+    std::sort(intervals.begin(), intervals.end());
+    for (size_t i = 1; i < intervals.size(); ++i)
+      EXPECT_GE(intervals[i].first, intervals[i - 1].second - 1e-9)
+          << "overlap on device " << device;
+  }
+
+  // 3. Precedence: a consumer starts no earlier than each producer ends
+  // (plus transfer time when the edge crosses devices).
+  for (OpId id : g.LiveOps()) {
+    for (OpId pred : g.Preds(id)) {
+      const auto& crec = r.op_records[static_cast<size_t>(id)];
+      const auto& prec = r.op_records[static_cast<size_t>(pred)];
+      EXPECT_GE(crec.start, prec.finish - 1e-9);
+    }
+  }
+
+  // 4. Transfers only between distinct devices; arrivals before consumers.
+  for (const TransferRecord& t : r.transfers) {
+    EXPECT_NE(t.src, t.dst);
+    EXPECT_GE(t.arrival, t.start);
+    const auto& crec = r.op_records[static_cast<size_t>(t.dst_op)];
+    EXPECT_GE(crec.start, t.arrival - 1e-9);
+  }
+
+  // 5. Busy time conservation.
+  double busy = 0.0;
+  for (double b : r.device_busy_s) busy += b;
+  double durations = 0.0;
+  for (OpId id : g.LiveOps())
+    durations += r.op_records[static_cast<size_t>(id)].duration();
+  EXPECT_NEAR(busy, durations, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, SimInvariantSweep,
+                         ::testing::Range(uint64_t{1}, uint64_t{30}));
+
+class DispatchModeSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DispatchModeSweep, PriorityOrderIsHonoredAmongReadyOps) {
+  // With all ops independent on one device, priority dispatch must execute
+  // exactly in priority order.
+  Rng rng(GetParam());
+  Graph g;
+  const int n = 8;
+  std::vector<int64_t> priorities;
+  for (int i = 0; i < n; ++i) {
+    Operation op;
+    op.name = "op" + std::to_string(i);
+    op.type = OpType::kMatMul;
+    op.output_shape = TensorShape{4};
+    op.flops = 1e7;
+    g.AddOp(std::move(op));
+  }
+  for (int i = 0; i < n; ++i) priorities.push_back(i);
+  std::shuffle(priorities.begin(), priorities.end(),
+               std::mt19937(static_cast<unsigned>(GetParam())));
+  SimOptions options;
+  options.dispatch = DispatchMode::kPriority;
+  options.priorities = priorities;
+  const SimResult r = Simulate(g, std::vector<DeviceId>(n, 0),
+                               Cluster::SingleServer(1), options);
+  std::vector<OpId> order(static_cast<size_t>(n));
+  for (OpId id = 0; id < n; ++id) order[static_cast<size_t>(id)] = id;
+  std::sort(order.begin(), order.end(), [&](OpId a, OpId b) {
+    return r.op_records[static_cast<size_t>(a)].start <
+           r.op_records[static_cast<size_t>(b)].start;
+  });
+  for (size_t i = 1; i < order.size(); ++i)
+    EXPECT_LT(priorities[static_cast<size_t>(order[i - 1])],
+              priorities[static_cast<size_t>(order[i])]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shuffles, DispatchModeSweep,
+                         ::testing::Range(uint64_t{1}, uint64_t{10}));
+
+TEST(SplitEquivalence, SplitGraphDoesSameWork) {
+  // Splitting an op preserves total FLOPs and the graph still executes to
+  // completion with all fragments run.
+  const ModelSpec& spec = FindModel("alexnet");
+  Graph g = BuildSingle(spec, 64);
+  const double flops_before = g.TotalFlops();
+  const OpId conv = g.FindOp("conv3");
+  ASSERT_NE(conv, kInvalidOp);
+  SplitOperation(g, conv, SplitDim::kBatch, 4);
+  EXPECT_NEAR(g.TotalFlops(), flops_before, flops_before * 1e-9);
+
+  const Cluster cluster = Cluster::SingleServer(2);
+  std::vector<DeviceId> placement(static_cast<size_t>(g.num_slots()), 0);
+  // Scatter sub-ops across devices.
+  for (int i = 0; i < 4; ++i) {
+    const OpId sub = g.FindOp("conv3/part" + std::to_string(i));
+    ASSERT_NE(sub, kInvalidOp);
+    placement[static_cast<size_t>(sub)] = static_cast<DeviceId>(i % 2);
+  }
+  const SimResult r = Simulate(g, placement, cluster);
+  EXPECT_GT(r.makespan, 0.0);
+  for (OpId id : g.LiveOps())
+    EXPECT_NE(r.op_records[static_cast<size_t>(id)].device, kInvalidDevice);
+}
+
+class OsDposModelSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(OsDposModelSweep, ProducesExecutableStrategies) {
+  // For a cross-section of models: OS-DPOS strategies simulate to
+  // completion with order enforcement and no precedence violations.
+  const ModelSpec& spec = FindModel(GetParam());
+  const Cluster cluster = Cluster::SingleServer(2);
+  auto dp = BuildDataParallel(spec.build, spec.name,
+                              std::min<int64_t>(spec.strong_batch, 64), 2,
+                              Scaling::kStrong);
+  CompCostModel comp;
+  CommCostModel comm;
+  {
+    SimOptions so;
+    const auto sim =
+        Simulate(dp.graph, CanonicalDataParallelPlacement(dp), cluster, so);
+    const auto profile = ExtractProfile(dp.graph, sim);
+    comp.AddProfile(profile);
+    comm.AddProfile(profile);
+  }
+  const OsDposResult os = OsDpos(dp.graph, cluster, comp, comm);
+  SimOptions so;
+  so.dispatch = DispatchMode::kPriority;
+  so.priorities = PrioritiesFromOrder(os.schedule.strategy.execution_order,
+                                      os.graph.num_slots());
+  const SimResult r =
+      Simulate(os.graph, os.schedule.strategy.placement, cluster, so);
+  EXPECT_GT(r.makespan, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, OsDposModelSweep,
+                         ::testing::Values("lenet", "alexnet", "rnnlm",
+                                           "transformer"));
+
+}  // namespace
+}  // namespace fastt

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "graph/rewrite.h"
+#include "graph/shape.h"
+
+namespace fastt {
+namespace {
+
+// pre -> conv -> suc, with a parameterized conv.
+struct SplitFixture {
+  Graph g;
+  OpId pre, conv, suc;
+
+  SplitFixture() {
+    Operation p;
+    p.name = "pre";
+    p.type = OpType::kInput;
+    p.output_shape = TensorShape{8, 16, 16, 4};
+    pre = g.AddOp(std::move(p));
+
+    Operation c;
+    c.name = "conv";
+    c.type = OpType::kConv2D;
+    c.output_shape = TensorShape{8, 16, 16, 32};
+    c.flops = 1000.0;
+    c.bytes_touched = 5000;
+    c.param_bytes = 1152;
+    c.batch = 8;
+    c.channels = 32;
+    c.cost_key = "conv";
+    conv = g.AddOp(std::move(c));
+
+    Operation s;
+    s.name = "suc";
+    s.type = OpType::kRelu;
+    s.output_shape = TensorShape{8, 16, 16, 32};
+    suc = g.AddOp(std::move(s));
+
+    g.AddEdge(pre, conv);
+    g.AddEdge(conv, suc);
+  }
+};
+
+TEST(CanSplit, Rules) {
+  SplitFixture f;
+  EXPECT_TRUE(CanSplit(f.g, f.conv, SplitDim::kBatch, 2));
+  EXPECT_TRUE(CanSplit(f.g, f.conv, SplitDim::kChannel, 4));
+  EXPECT_FALSE(CanSplit(f.g, f.conv, SplitDim::kBatch, 1));   // n >= 2
+  EXPECT_FALSE(CanSplit(f.g, f.conv, SplitDim::kBatch, 9));   // extent 8
+  EXPECT_FALSE(CanSplit(f.g, f.pre, SplitDim::kBatch, 2));    // Input op
+}
+
+TEST(SplitOperation, BatchSplitStructure) {
+  SplitFixture f;
+  const auto result = SplitOperation(f.g, f.conv, SplitDim::kBatch, 2);
+  EXPECT_TRUE(f.g.op(f.conv).dead);
+  ASSERT_EQ(result.sub_ops.size(), 2u);
+  ASSERT_EQ(result.split_nodes.size(), 1u);  // one predecessor edge
+  ASSERT_NE(result.concat_node, kInvalidOp);
+  EXPECT_NO_THROW(f.g.Validate());
+
+  // pre -> split -> {sub0, sub1} -> concat -> suc.
+  EXPECT_EQ(f.g.Succs(f.pre), std::vector<OpId>{result.split_nodes[0]});
+  EXPECT_EQ(f.g.Preds(f.suc), std::vector<OpId>{result.concat_node});
+  for (OpId sub : result.sub_ops) {
+    EXPECT_EQ(f.g.Preds(sub), std::vector<OpId>{result.split_nodes[0]});
+    EXPECT_EQ(f.g.Succs(sub), std::vector<OpId>{result.concat_node});
+  }
+}
+
+TEST(SplitOperation, BatchSplitConservesFlopsReplicatesWeights) {
+  SplitFixture f;
+  const auto result = SplitOperation(f.g, f.conv, SplitDim::kBatch, 2);
+  double flops = 0.0;
+  for (OpId sub : result.sub_ops) {
+    const Operation& op = f.g.op(sub);
+    flops += op.flops;
+    EXPECT_EQ(op.param_bytes, 1152);  // replicated
+    EXPECT_EQ(op.batch, 4);
+  }
+  EXPECT_DOUBLE_EQ(flops, 1000.0);
+}
+
+TEST(SplitOperation, ChannelSplitDividesWeightsBroadcastsInput) {
+  SplitFixture f;
+  const int64_t in_bytes = f.g.op(f.pre).output_bytes();
+  const auto result = SplitOperation(f.g, f.conv, SplitDim::kChannel, 4);
+  for (OpId sub : result.sub_ops) {
+    const Operation& op = f.g.op(sub);
+    EXPECT_EQ(op.param_bytes, 1152 / 4);
+    EXPECT_EQ(op.channels, 8);
+    // Each partition reads the FULL input (fine-grained model parallelism).
+    for (EdgeId e : f.g.in_edges(sub)) {
+      if (f.g.edge(e).dead) continue;
+      EXPECT_EQ(f.g.edge(e).bytes, in_bytes);
+    }
+  }
+}
+
+TEST(SplitOperation, BatchSplitPartitionsInputEdges) {
+  SplitFixture f;
+  const int64_t in_bytes = f.g.op(f.pre).output_bytes();
+  const auto result = SplitOperation(f.g, f.conv, SplitDim::kBatch, 2);
+  for (OpId sub : result.sub_ops) {
+    for (EdgeId e : f.g.in_edges(sub)) {
+      if (f.g.edge(e).dead) continue;
+      EXPECT_EQ(f.g.edge(e).bytes, in_bytes / 2);
+    }
+  }
+}
+
+TEST(SplitOperation, UnevenSplitDistributesRemainder) {
+  SplitFixture f;
+  const auto result = SplitOperation(f.g, f.conv, SplitDim::kBatch, 3);
+  std::vector<int64_t> batches;
+  for (OpId sub : result.sub_ops) batches.push_back(f.g.op(sub).batch);
+  EXPECT_EQ(batches, (std::vector<int64_t>{3, 3, 2}));
+  double flops = 0.0;
+  for (OpId sub : result.sub_ops) flops += f.g.op(sub).flops;
+  EXPECT_NEAR(flops, 1000.0, 1e-9);
+}
+
+TEST(SplitOperation, SubOpsCarryCostBasis) {
+  SplitFixture f;
+  const auto result = SplitOperation(f.g, f.conv, SplitDim::kBatch, 2);
+  for (OpId sub : result.sub_ops) {
+    const Operation& op = f.g.op(sub);
+    EXPECT_EQ(op.cost_basis_key, "conv");
+    EXPECT_NEAR(op.cost_scale, 0.5, 1e-12);
+    EXPECT_EQ(op.CostKey(), "conv#batch/2");
+  }
+}
+
+TEST(SplitOperation, ColocatedOpsFollowFirstPartition) {
+  SplitFixture f;
+  Operation apply;
+  apply.name = "conv/apply";
+  apply.type = OpType::kApplyGradient;
+  apply.output_shape = TensorShape{0};
+  apply.colocate_with = f.conv;
+  const OpId apply_id = f.g.AddOp(std::move(apply));
+
+  const auto result = SplitOperation(f.g, f.conv, SplitDim::kBatch, 2);
+  EXPECT_EQ(f.g.op(apply_id).colocate_with, result.sub_ops.front());
+}
+
+TEST(SplitOperation, SubOpCanBeSplitAgain) {
+  SplitFixture f;
+  const auto first = SplitOperation(f.g, f.conv, SplitDim::kBatch, 2);
+  ASSERT_TRUE(CanSplit(f.g, first.sub_ops[0], SplitDim::kBatch, 2));
+  const auto second =
+      SplitOperation(f.g, first.sub_ops[0], SplitDim::kBatch, 2);
+  EXPECT_EQ(second.sub_ops.size(), 2u);
+  EXPECT_NO_THROW(f.g.Validate());
+}
+
+TEST(SplitOperation, SplittingDeadOpThrows) {
+  SplitFixture f;
+  SplitOperation(f.g, f.conv, SplitDim::kBatch, 2);
+  EXPECT_THROW(SplitOperation(f.g, f.conv, SplitDim::kBatch, 2),
+               std::logic_error);
+}
+
+TEST(SplitOperation, TerminalOpHasNoConcat) {
+  Graph g;
+  Operation mm;
+  mm.name = "mm";
+  mm.type = OpType::kMatMul;
+  mm.output_shape = TensorShape{8, 8};
+  mm.flops = 100;
+  mm.batch = 8;
+  mm.channels = 8;
+  const OpId id = g.AddOp(std::move(mm));
+  const auto result = SplitOperation(g, id, SplitDim::kBatch, 2);
+  EXPECT_EQ(result.concat_node, kInvalidOp);
+  EXPECT_TRUE(result.split_nodes.empty());
+  EXPECT_EQ(result.sub_ops.size(), 2u);
+}
+
+TEST(GlueCostKey, BucketsByPowerOfTwo) {
+  EXPECT_EQ(GlueCostKey(OpType::kSplit, 1024),
+            GlueCostKey(OpType::kSplit, 1024));
+  EXPECT_EQ(GlueCostKey(OpType::kSplit, 513),
+            GlueCostKey(OpType::kSplit, 1024));
+  EXPECT_NE(GlueCostKey(OpType::kSplit, 1024),
+            GlueCostKey(OpType::kSplit, 2048));
+  EXPECT_NE(GlueCostKey(OpType::kSplit, 1024),
+            GlueCostKey(OpType::kConcat, 1024));
+}
+
+class SplitSweep
+    : public ::testing::TestWithParam<std::tuple<SplitDim, int>> {};
+
+TEST_P(SplitSweep, GraphStaysValidAndFlopsConserved) {
+  const auto [dim, n] = GetParam();
+  SplitFixture f;
+  if (!CanSplit(f.g, f.conv, dim, n)) GTEST_SKIP();
+  const double before = f.g.TotalFlops();
+  const auto result = SplitOperation(f.g, f.conv, dim, n);
+  EXPECT_NO_THROW(f.g.Validate());
+  EXPECT_EQ(static_cast<int>(result.sub_ops.size()), n);
+  EXPECT_NEAR(f.g.TotalFlops(), before, 1e-6);
+  EXPECT_TRUE(f.g.IsAcyclic());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDimsAndCounts, SplitSweep,
+    ::testing::Combine(::testing::Values(SplitDim::kBatch,
+                                         SplitDim::kChannel),
+                       ::testing::Values(2, 3, 4, 8)));
+
+}  // namespace
+}  // namespace fastt

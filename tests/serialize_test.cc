@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "core/strategy_io.h"
+#include "graph/rewrite.h"
+#include "graph/serialize.h"
+#include "models/model_zoo.h"
+
+namespace fastt {
+namespace {
+
+TEST(GraphSerialize, RoundTripsSmallGraph) {
+  Graph g("tiny");
+  Operation a;
+  a.name = "a";
+  a.type = OpType::kConv2D;
+  a.output_shape = TensorShape{2, 4, 4, 8};
+  a.flops = 123.5;
+  a.bytes_touched = 456;
+  a.param_bytes = 789;
+  a.batch = 2;
+  a.channels = 8;
+  a.efficiency_override = 0.82;
+  a.cost_key = "a_key";
+  const OpId ia = g.AddOp(std::move(a));
+  Operation b;
+  b.name = "b";
+  b.type = OpType::kApplyGradient;
+  b.output_shape = TensorShape{0};
+  b.is_backward = true;
+  b.colocate_with = ia;
+  const OpId ib = g.AddOp(std::move(b));
+  g.AddEdge(ia, ib, 4096);
+
+  const Graph copy = DeserializeGraph(SerializeGraph(g));
+  EXPECT_EQ(copy.name(), "tiny");
+  EXPECT_EQ(copy.num_live_ops(), 2);
+  const Operation& ca = copy.op(ia);
+  EXPECT_EQ(ca.name, "a");
+  EXPECT_EQ(ca.type, OpType::kConv2D);
+  EXPECT_EQ(ca.output_shape, TensorShape({2, 4, 4, 8}));
+  EXPECT_DOUBLE_EQ(ca.flops, 123.5);
+  EXPECT_EQ(ca.param_bytes, 789);
+  EXPECT_DOUBLE_EQ(ca.efficiency_override, 0.82);
+  EXPECT_EQ(ca.cost_key, "a_key");
+  const Operation& cb = copy.op(ib);
+  EXPECT_TRUE(cb.is_backward);
+  EXPECT_EQ(cb.colocate_with, ia);
+  ASSERT_EQ(copy.Succs(ia), std::vector<OpId>{ib});
+  for (EdgeId e : copy.out_edges(ia)) EXPECT_EQ(copy.edge(e).bytes, 4096);
+}
+
+TEST(GraphSerialize, PreservesDeadSlotsAndIds) {
+  // Split rewrites tombstone ops; OpIds (and OpId-indexed vectors like a
+  // placement) must survive the round trip.
+  Graph g = BuildSingle(FindModel("lenet"), 16);
+  const OpId conv = g.FindOp("conv2");
+  SplitOperation(g, conv, SplitDim::kBatch, 2);
+  const int32_t slots = g.num_slots();
+  const int32_t live = g.num_live_ops();
+
+  const Graph copy = DeserializeGraph(SerializeGraph(g));
+  EXPECT_EQ(copy.num_slots(), slots);
+  EXPECT_EQ(copy.num_live_ops(), live);
+  EXPECT_TRUE(copy.op(conv).dead);
+  EXPECT_NE(copy.FindOp("conv2/part0"), kInvalidOp);
+  EXPECT_NO_THROW(copy.Validate());
+}
+
+TEST(GraphSerialize, RoundTripsWholeModel) {
+  const Graph g = BuildSingle(FindModel("alexnet"), 32);
+  const Graph copy = DeserializeGraph(SerializeGraph(g));
+  EXPECT_EQ(copy.num_live_ops(), g.num_live_ops());
+  EXPECT_EQ(copy.num_live_edges(), g.num_live_edges());
+  EXPECT_NEAR(copy.TotalFlops(), g.TotalFlops(), 1.0);
+  EXPECT_EQ(copy.TotalParamBytes(), g.TotalParamBytes());
+  // Spot-check a deep op survives intact.
+  const OpId fc = copy.FindOp("fc6");
+  ASSERT_NE(fc, kInvalidOp);
+  EXPECT_EQ(copy.op(fc).type, OpType::kMatMul);
+}
+
+TEST(GraphSerialize, RejectsGarbage) {
+  EXPECT_THROW(DeserializeGraph("not a graph"), std::logic_error);
+  EXPECT_THROW(DeserializeGraph("fastt_graph 99\n"), std::logic_error);
+}
+
+TEST(StrategySerialize, RoundTrips) {
+  Strategy s;
+  s.placement = {0, 1, 1, kInvalidDevice, 2};
+  s.execution_order = {0, 2, 1, 4};
+  s.predicted_makespan = 0.125;
+  s.splits.push_back({"rep0/conv1_2", SplitDim::kChannel, 4});
+  s.splits.push_back({"rep1/fc6", SplitDim::kBatch, 2});
+
+  const Strategy copy = DeserializeStrategy(SerializeStrategy(s));
+  EXPECT_EQ(copy.placement, s.placement);
+  EXPECT_EQ(copy.execution_order, s.execution_order);
+  EXPECT_DOUBLE_EQ(copy.predicted_makespan, 0.125);
+  ASSERT_EQ(copy.splits.size(), 2u);
+  EXPECT_EQ(copy.splits[0].op_name, "rep0/conv1_2");
+  EXPECT_EQ(copy.splits[0].dim, SplitDim::kChannel);
+  EXPECT_EQ(copy.splits[0].num_splits, 4);
+  EXPECT_EQ(copy.splits[1].op_name, "rep1/fc6");
+}
+
+TEST(StrategySerialize, EmptyStrategy) {
+  const Strategy copy = DeserializeStrategy(SerializeStrategy(Strategy{}));
+  EXPECT_TRUE(copy.placement.empty());
+  EXPECT_TRUE(copy.execution_order.empty());
+  EXPECT_TRUE(copy.splits.empty());
+}
+
+TEST(StrategySerialize, RejectsGarbage) {
+  EXPECT_THROW(DeserializeStrategy("junk"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace fastt

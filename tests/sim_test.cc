@@ -1,0 +1,328 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/cluster.h"
+#include "sim/exec_sim.h"
+#include "sim/profiler.h"
+
+namespace fastt {
+namespace {
+
+// Compute op with a deterministic 1 ms duration on a V100-like device
+// (flops chosen so flops / (peak * eff) = 1 ms, minus launch overhead).
+Operation ComputeOp(const std::string& name, double millis = 1.0,
+                    int64_t out_bytes = 4096) {
+  Operation op;
+  op.name = name;
+  op.type = OpType::kMatMul;
+  op.output_shape = TensorShape{out_bytes / 4};
+  op.flops = (millis * 1e-3 - 4e-6) * 15.7e12 * 0.70;
+  op.bytes_touched = 0;
+  return op;
+}
+
+TEST(Device, V100Defaults) {
+  const Device d = MakeV100(0, 0, 0);
+  EXPECT_EQ(d.memory_bytes, int64_t{16} * 1024 * 1024 * 1024);
+  EXPECT_LT(d.usable_bytes(), d.memory_bytes);
+  EXPECT_GT(d.peak_flops, 1e13);
+}
+
+TEST(Device, GroundTruthRoofline) {
+  const Device d = MakeV100(0, 0, 0);
+  Operation op = ComputeOp("x", 2.0);
+  EXPECT_NEAR(GroundTruthDuration(op, d), 2e-3, 1e-5);
+  // Memory-bound term takes over for byte-heavy ops.
+  op.bytes_touched = int64_t{90} * 1000 * 1000 * 1000;  // 100 ms at 900GB/s
+  EXPECT_GT(GroundTruthDuration(op, d), 0.09);
+}
+
+TEST(Device, EfficiencyOverride) {
+  const Device d = MakeV100(0, 0, 0);
+  Operation op = ComputeOp("x", 1.0);
+  const double base = GroundTruthDuration(op, d);
+  op.efficiency_override = 0.35;  // half of matmul's default 0.70
+  EXPECT_NEAR(GroundTruthDuration(op, d), 2.0 * base, 1e-5);
+}
+
+TEST(Device, SpeedFactorScales) {
+  Device d = MakeV100(0, 0, 0);
+  Operation op = ComputeOp("x", 1.0);
+  const double base = GroundTruthDuration(op, d);
+  d.speed_factor = 2.0;
+  EXPECT_NEAR(GroundTruthDuration(op, d), base / 2.0, 1e-9);
+}
+
+TEST(Cluster, Topologies) {
+  const Cluster single = Cluster::SingleServer(4);
+  EXPECT_EQ(single.num_devices(), 4);
+  EXPECT_EQ(single.device(3).server, 0);
+
+  const Cluster multi = Cluster::MultiServer(2, 4);
+  EXPECT_EQ(multi.num_devices(), 8);
+  EXPECT_EQ(multi.device(3).server, 0);
+  EXPECT_EQ(multi.device(4).server, 1);
+}
+
+TEST(Cluster, LinkSelection) {
+  const Cluster multi = Cluster::MultiServer(2, 2);
+  const Link intra = multi.LinkBetween(0, 1);
+  const Link inter = multi.LinkBetween(1, 2);
+  EXPECT_GT(intra.bandwidth, inter.bandwidth);
+  EXPECT_LT(intra.latency, inter.latency);
+  EXPECT_EQ(multi.SlowestLink().bandwidth, inter.bandwidth);
+  EXPECT_EQ(Cluster::SingleServer(2).SlowestLink().bandwidth,
+            intra.bandwidth);
+}
+
+TEST(Cluster, TransferTime) {
+  const Link link{1e9, 1e-5};
+  EXPECT_DOUBLE_EQ(link.TransferTime(1000000), 1e-5 + 1e-3);
+}
+
+TEST(Simulate, SerialChainOnOneDevice) {
+  Graph g;
+  const OpId a = g.AddOp(ComputeOp("a", 1.0));
+  const OpId b = g.AddOp(ComputeOp("b", 2.0));
+  g.AddEdge(a, b);
+  const Cluster c = Cluster::SingleServer(1);
+  const SimResult r = Simulate(g, {0, 0}, c);
+  EXPECT_NEAR(r.makespan, 3e-3, 1e-5);
+  EXPECT_NEAR(r.device_busy_s[0], 3e-3, 1e-5);
+  EXPECT_TRUE(r.transfers.empty());
+  EXPECT_NEAR(r.op_records[static_cast<size_t>(b)].start, 1e-3, 1e-5);
+}
+
+TEST(Simulate, IndependentOpsRunInParallelOnTwoDevices) {
+  Graph g;
+  g.AddOp(ComputeOp("a", 5.0));
+  g.AddOp(ComputeOp("b", 5.0));
+  const Cluster c = Cluster::SingleServer(2);
+  EXPECT_NEAR(Simulate(g, {0, 1}, c).makespan, 5e-3, 1e-5);
+  EXPECT_NEAR(Simulate(g, {0, 0}, c).makespan, 10e-3, 1e-5);
+}
+
+TEST(Simulate, CrossDeviceTransferAddsLinkTime) {
+  Graph g;
+  const OpId a = g.AddOp(ComputeOp("a", 1.0, 9 * 1000 * 1000));  // 9 MB out
+  const OpId b = g.AddOp(ComputeOp("b", 1.0));
+  g.AddEdge(a, b);
+  const Cluster c = Cluster::SingleServer(2);
+  const SimResult r = Simulate(g, {0, 1}, c);
+  const double expected_transfer =
+      c.params().nvlink_latency + 9e6 / c.params().nvlink_bandwidth;
+  EXPECT_NEAR(r.makespan, 2e-3 + expected_transfer, 1e-5);
+  ASSERT_EQ(r.transfers.size(), 1u);
+  EXPECT_NEAR(r.transfers[0].duration(), expected_transfer, 1e-7);
+  EXPECT_NEAR(r.total_memcpy_s, expected_transfer, 1e-7);
+}
+
+TEST(Simulate, SharedEgressSerializes) {
+  // One producer feeding kCopyEnginesPerDirection + 1 remote consumers: the
+  // last transfer must wait for an engine.
+  Graph g;
+  const int64_t mb = 1000 * 1000;
+  const OpId a = g.AddOp(ComputeOp("a", 1.0, 45 * mb));
+  std::vector<OpId> consumers;
+  std::vector<DeviceId> placement{0};
+  const int n = static_cast<int>(SimOptions::kCopyEnginesPerDirection) + 1;
+  Graph g2 = g;  // placeholder to silence unused warning paths
+  (void)g2;
+  for (int i = 0; i < n; ++i) {
+    Operation op = ComputeOp("c" + std::to_string(i), 1.0);
+    const OpId id = g.AddOp(std::move(op));
+    // Distinct artificial producers so dedup does not collapse transfers:
+    // connect a -> mid_i -> c_i with mid on device 0.
+    Operation mid = ComputeOp("m" + std::to_string(i), 0.1, 45 * mb);
+    const OpId mid_id = g.AddOp(std::move(mid));
+    g.AddEdge(a, mid_id);
+    g.AddEdge(mid_id, id);
+    placement.push_back(static_cast<DeviceId>(i + 1));  // consumer
+    placement.push_back(0);                             // mid
+    consumers.push_back(id);
+  }
+  const Cluster c = Cluster::SingleServer(n + 1);
+  const SimResult r = Simulate(g, placement, c);
+  // Each 45 MB transfer takes 5 ms at 9 GB/s; with 2 engines, 3 transfers
+  // need two rounds: the last arrival is >= 2 * 5 ms after its request.
+  double earliest = 1e9, latest = 0;
+  for (const auto& t : r.transfers) {
+    earliest = std::min(earliest, t.arrival);
+    latest = std::max(latest, t.arrival);
+  }
+  EXPECT_GT(latest - earliest, 4e-3);
+}
+
+TEST(Simulate, RendezvousDedupSendsOncePerDevice) {
+  // One producer, three consumers on the same remote device: one transfer.
+  Graph g;
+  const OpId a = g.AddOp(ComputeOp("a", 1.0, 1000000));
+  std::vector<DeviceId> placement{0};
+  for (int i = 0; i < 3; ++i) {
+    const OpId ci = g.AddOp(ComputeOp("c" + std::to_string(i), 1.0));
+    g.AddEdge(a, ci);
+    placement.push_back(1);
+  }
+  const Cluster c = Cluster::SingleServer(2);
+  const SimResult r = Simulate(g, placement, c);
+  EXPECT_EQ(r.transfers.size(), 1u);
+}
+
+TEST(Simulate, PriorityDispatchReordersReadyOps) {
+  // Two ready ops on one device; priorities flip their FIFO order.
+  Graph g;
+  const OpId a = g.AddOp(ComputeOp("a", 2.0));
+  const OpId b = g.AddOp(ComputeOp("b", 2.0));
+  const Cluster c = Cluster::SingleServer(1);
+
+  SimOptions fifo;
+  const SimResult rf = Simulate(g, {0, 0}, c, fifo);
+  EXPECT_LT(rf.op_records[static_cast<size_t>(a)].start,
+            rf.op_records[static_cast<size_t>(b)].start);
+
+  SimOptions prio;
+  prio.dispatch = DispatchMode::kPriority;
+  prio.priorities = {1, 0};  // b first
+  const SimResult rp = Simulate(g, {0, 0}, c, prio);
+  EXPECT_GT(rp.op_records[static_cast<size_t>(a)].start,
+            rp.op_records[static_cast<size_t>(b)].start);
+}
+
+TEST(Simulate, PriorityRequiresPrioritiesVector) {
+  Graph g;
+  g.AddOp(ComputeOp("a", 1.0));
+  SimOptions options;
+  options.dispatch = DispatchMode::kPriority;
+  EXPECT_THROW(Simulate(g, {0}, Cluster::SingleServer(1), options),
+               std::logic_error);
+}
+
+TEST(Simulate, RandomDispatchDeterministicPerSeed) {
+  Graph g;
+  for (int i = 0; i < 10; ++i) g.AddOp(ComputeOp("op" + std::to_string(i)));
+  const std::vector<DeviceId> placement(10, 0);
+  const Cluster c = Cluster::SingleServer(1);
+  SimOptions o1;
+  o1.dispatch = DispatchMode::kRandom;
+  o1.seed = 5;
+  const SimResult r1 = Simulate(g, placement, c, o1);
+  const SimResult r2 = Simulate(g, placement, c, o1);
+  for (size_t i = 0; i < r1.op_records.size(); ++i)
+    EXPECT_DOUBLE_EQ(r1.op_records[i].start, r2.op_records[i].start);
+}
+
+TEST(Simulate, NoiseIsReproducibleAndBounded) {
+  Graph g;
+  const OpId a = g.AddOp(ComputeOp("a", 10.0));
+  const Cluster c = Cluster::SingleServer(1);
+  SimOptions o;
+  o.noise_cv = 0.05;
+  o.seed = 3;
+  const double t1 = Simulate(g, {0}, c, o).makespan;
+  const double t2 = Simulate(g, {0}, c, o).makespan;
+  EXPECT_DOUBLE_EQ(t1, t2);
+  EXPECT_NEAR(t1, 10e-3, 3e-3);
+  o.seed = 4;
+  EXPECT_NE(Simulate(g, {0}, c, o).makespan, t1);
+  (void)a;
+}
+
+TEST(Simulate, ParamsAreResident) {
+  Graph g;
+  Operation op = ComputeOp("w", 1.0);
+  op.param_bytes = int64_t{5} * 1024 * 1024 * 1024;
+  g.AddOp(std::move(op));
+  const Cluster c = Cluster::SingleServer(1);
+  const SimResult r = Simulate(g, {0}, c);
+  EXPECT_GE(r.peak_memory[0], op.param_bytes);
+  EXPECT_FALSE(r.oom);
+}
+
+TEST(Simulate, OomDetected) {
+  Graph g;
+  Operation op = ComputeOp("w", 1.0);
+  op.param_bytes = int64_t{20} * 1024 * 1024 * 1024;  // > usable 16 GB
+  g.AddOp(std::move(op));
+  const SimResult r = Simulate(g, {0}, Cluster::SingleServer(1));
+  EXPECT_TRUE(r.oom);
+  ASSERT_EQ(r.oom_devices.size(), 1u);
+  EXPECT_EQ(r.oom_devices[0], 0);
+}
+
+TEST(Simulate, ActivationFreedAfterLastConsumer) {
+  // a's big output is consumed by b, then dead; c's allocation afterwards
+  // must not stack on top of it.
+  Graph g;
+  const int64_t gb = int64_t{1} << 30;
+  const OpId a = g.AddOp(ComputeOp("a", 1.0, 3 * gb));
+  Operation bop = ComputeOp("b", 1.0, 3 * gb);
+  const OpId b = g.AddOp(std::move(bop));
+  Operation cop = ComputeOp("c", 1.0, 3 * gb);
+  const OpId c_id = g.AddOp(std::move(cop));
+  g.AddEdge(a, b, 64);
+  g.AddEdge(b, c_id, 64);
+  const SimResult r = Simulate(g, {0, 0, 0}, Cluster::SingleServer(1));
+  // Never freeing would peak at 9 GB; release-after-last-consumer keeps it
+  // near 6 GB (two buffers overlap momentarily at each handoff).
+  EXPECT_LT(r.peak_memory[0], static_cast<int64_t>(6.5 * gb));
+  EXPECT_FALSE(r.oom);
+}
+
+TEST(Simulate, TrackMemoryOffSkipsAccounting) {
+  Graph g;
+  Operation op = ComputeOp("w", 1.0);
+  op.param_bytes = int64_t{20} * 1024 * 1024 * 1024;
+  g.AddOp(std::move(op));
+  SimOptions options;
+  options.track_memory = false;
+  const SimResult r = Simulate(g, {0}, Cluster::SingleServer(1), options);
+  EXPECT_FALSE(r.oom);
+  EXPECT_EQ(r.peak_memory[0], 0);
+}
+
+TEST(Simulate, InvalidPlacementRejected) {
+  Graph g;
+  g.AddOp(ComputeOp("a", 1.0));
+  EXPECT_THROW(Simulate(g, {5}, Cluster::SingleServer(2)), std::logic_error);
+  EXPECT_THROW(Simulate(g, {}, Cluster::SingleServer(2)), std::logic_error);
+}
+
+TEST(Simulate, MakespanAtLeastCriticalPathCompute) {
+  Graph g;
+  OpId prev = kInvalidOp;
+  double total = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    const OpId id = g.AddOp(ComputeOp("op" + std::to_string(i), 1.0 + i));
+    if (prev != kInvalidOp) g.AddEdge(prev, id, 64);
+    prev = id;
+    total += (1.0 + i) * 1e-3;
+  }
+  const SimResult r =
+      Simulate(g, std::vector<DeviceId>(5, 0), Cluster::SingleServer(2));
+  EXPECT_GE(r.makespan, total - 1e-6);
+}
+
+TEST(Profiler, ExtractsOpAndCommRecords) {
+  Graph g;
+  Operation a = ComputeOp("a", 1.0, 1000000);
+  a.cost_key = "shared_key";
+  const OpId ia = g.AddOp(std::move(a));
+  const OpId ib = g.AddOp(ComputeOp("b", 2.0));
+  g.AddEdge(ia, ib);
+  const Cluster c = Cluster::SingleServer(2);
+  const SimResult r = Simulate(g, {0, 1}, c);
+  const RunProfile p = ExtractProfile(g, r);
+  ASSERT_EQ(p.ops.size(), 2u);
+  EXPECT_EQ(p.ops[0].cost_key,
+            g.op(p.ops[0].device == 0 ? ia : ib).CostKey());
+  ASSERT_EQ(p.transfers.size(), 1u);
+  EXPECT_EQ(p.transfers[0].src, 0);
+  EXPECT_EQ(p.transfers[0].dst, 1);
+  EXPECT_EQ(p.transfers[0].bytes, 1000000);
+  EXPECT_GT(p.transfers[0].duration_s, 0.0);
+  EXPECT_DOUBLE_EQ(p.iteration_s, r.makespan);
+}
+
+}  // namespace
+}  // namespace fastt

@@ -1,0 +1,235 @@
+// fastt — command-line front end for the library.
+//
+//   fastt models
+//       List the model zoo with Table 1/2 batch sizes and graph statistics.
+//   fastt run <model> [--gpus N] [--servers S] [--batch B] [--weak]
+//       Run the full FastT workflow and report the strategy + throughput.
+//   fastt compare <model> [--gpus N] [--servers S] [--batch B]
+//       DP (shared-variable), ring-allreduce DP, model parallel, pipeline
+//       and FastT side by side.
+//   fastt export <model> <graph.txt> [--batch B]
+//       Serialize the training graph to the text format.
+//   fastt trace <model> <trace.json> [--gpus N]
+//       Run FastT and dump the final schedule as a Chrome trace.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "baselines/allreduce_dp.h"
+#include "core/model_parallel.h"
+#include "core/pipeline.h"
+#include "core/strategy_calculator.h"
+#include "graph/serialize.h"
+#include "models/model_zoo.h"
+#include "sim/trace.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace fastt;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::string model;
+  std::string path;
+  int gpus = 4;
+  int servers = 1;
+  int64_t batch = 0;  // 0 = model default
+  Scaling scaling = Scaling::kStrong;
+};
+
+Args Parse(int argc, char** argv) {
+  Args args;
+  if (argc > 1) args.command = argv[1];
+  int positional = 0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (a == "--gpus") {
+      args.gpus = std::atoi(next());
+    } else if (a == "--servers") {
+      args.servers = std::atoi(next());
+    } else if (a == "--batch") {
+      args.batch = std::atoll(next());
+    } else if (a == "--weak") {
+      args.scaling = Scaling::kWeak;
+    } else if (positional == 0) {
+      args.model = a;
+      ++positional;
+    } else {
+      args.path = a;
+      ++positional;
+    }
+  }
+  return args;
+}
+
+Cluster MakeCluster(const Args& args) {
+  return args.servers > 1
+             ? Cluster::MultiServer(args.servers, args.gpus / args.servers)
+             : Cluster::SingleServer(args.gpus);
+}
+
+int CmdModels() {
+  TablePrinter table({"model", "strong batch", "weak batch/GPU", "ops",
+                      "edges", "GFLOP/iter", "weights"});
+  for (const ModelSpec& spec : ModelZoo()) {
+    const Graph g = BuildSingle(spec, spec.strong_batch);
+    int64_t weights = 0;
+    for (OpId id : g.LiveOps())
+      if (g.op(id).type == OpType::kVariable)
+        weights += g.op(id).output_bytes();
+    table.AddRow({spec.name, StrFormat("%lld", (long long)spec.strong_batch),
+                  StrFormat("%lld", (long long)spec.weak_batch),
+                  StrFormat("%d", g.num_live_ops()),
+                  StrFormat("%lld", (long long)g.num_live_edges()),
+                  StrFormat("%.1f", g.TotalFlops() / 1e9),
+                  HumanBytes(static_cast<double>(weights))});
+  }
+  table.Print();
+  return 0;
+}
+
+int CmdRun(const Args& args) {
+  const ModelSpec& spec = FindModel(args.model);
+  const int64_t batch = args.batch > 0 ? args.batch : spec.strong_batch;
+  const Cluster cluster = MakeCluster(args);
+  std::printf("FastT: %s, batch %lld (%s scaling), %s\n", spec.name.c_str(),
+              (long long)batch,
+              args.scaling == Scaling::kStrong ? "strong" : "weak",
+              cluster.ToString().c_str());
+  CalculatorOptions options;
+  const auto ft = RunFastT(spec.build, spec.name, batch, args.scaling,
+                           cluster, options);
+  std::printf("  %.1f samples/s  (%.3f ms/iteration%s)\n",
+              SamplesPerSecond(ft), ft.iteration_s * 1e3,
+              ft.final_sim.oom ? ", OOM!" : "");
+  std::printf("  pre-training: %d rounds, %d rollbacks, %.1f s simulated "
+              "strategy time, %.3f s algorithm CPU\n",
+              ft.rounds, ft.rollbacks, ft.strategy_time_s,
+              ft.algorithm_time_s);
+  std::printf("  bootstrap: %s; splits: %zu\n",
+              ft.started_model_parallel ? "model parallel" : "data parallel",
+              ft.strategy.splits.size());
+  for (const SplitDecision& s : ft.strategy.splits)
+    std::printf("    split %s %s x%d\n", s.op_name.c_str(),
+                SplitDimName(s.dim), s.num_splits);
+  return 0;
+}
+
+int CmdCompare(const Args& args) {
+  const ModelSpec& spec = FindModel(args.model);
+  const int64_t batch = args.batch > 0 ? args.batch : spec.strong_batch;
+  const Cluster cluster = MakeCluster(args);
+  std::printf("%s, global batch %lld, %s\n\n", spec.name.c_str(),
+              (long long)batch, cluster.ToString().c_str());
+  TablePrinter table({"strategy", "samples/s", "iteration", "OOM"});
+  auto row = [&](const std::string& name, double iteration_s, bool oom) {
+    table.AddRow({name,
+                  oom ? "-" : StrFormat("%.1f", batch / (iteration_s +
+                                                          kSessionOverheadS)),
+                  StrFormat("%.3f ms", iteration_s * 1e3), oom ? "yes" : "no"});
+  };
+  CalculatorOptions options;
+  const auto dp = RunDataParallelBaseline(spec.build, spec.name, batch,
+                                          Scaling::kStrong, cluster, options);
+  row("data parallel (shared vars)", dp.iteration_s, dp.final_sim.oom);
+  {
+    const auto ar = BuildAllReduceDataParallel(
+        spec.build, spec.name, batch, cluster.num_devices(),
+        Scaling::kStrong);
+    SimOptions so;
+    so.dispatch = DispatchMode::kRandom;
+    const SimResult r =
+        Simulate(ar.graph, AllReducePlacement(ar), cluster, so);
+    row("data parallel (ring allreduce)", r.makespan, r.oom);
+  }
+  {
+    Graph g(spec.name);
+    spec.build(g, "", batch);
+    const auto placement = GreedyModelParallelPlacement(g, cluster);
+    const SimResult r = Simulate(g, placement, cluster);
+    row("model parallel (layer cut)", r.makespan, r.oom);
+  }
+  {
+    const auto p = BuildPipeline(spec.build, spec.name, batch,
+                                 cluster.num_devices(), cluster);
+    SimOptions so;
+    so.dispatch = DispatchMode::kPriority;
+    so.priorities = p.priorities;
+    const SimResult r = Simulate(p.graph, p.placement, cluster, so);
+    row(StrFormat("pipeline (%d micro-batches)", cluster.num_devices()),
+        r.makespan, r.oom);
+  }
+  const auto ft = RunFastT(spec.build, spec.name, batch, Scaling::kStrong,
+                           cluster, options);
+  row("FastT", ft.iteration_s, ft.final_sim.oom);
+  table.Print();
+  return 0;
+}
+
+int CmdExport(const Args& args) {
+  const ModelSpec& spec = FindModel(args.model);
+  const int64_t batch = args.batch > 0 ? args.batch : spec.strong_batch;
+  const Graph g = BuildSingle(spec, batch);
+  std::ofstream out(args.path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", args.path.c_str());
+    return 1;
+  }
+  SerializeGraph(g, out);
+  std::printf("wrote %s (%d ops, %lld edges)\n", args.path.c_str(),
+              g.num_live_ops(), (long long)g.num_live_edges());
+  return 0;
+}
+
+int CmdTrace(const Args& args) {
+  const ModelSpec& spec = FindModel(args.model);
+  const Cluster cluster = MakeCluster(args);
+  CalculatorOptions options;
+  const auto ft = RunFastT(spec.build, spec.name, spec.strong_batch,
+                           Scaling::kStrong, cluster, options);
+  if (!WriteChromeTrace(ft.graph, ft.final_sim, args.path)) {
+    std::fprintf(stderr, "cannot write %s\n", args.path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s — load in chrome://tracing or Perfetto\n",
+              args.path.c_str());
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  fastt models\n"
+               "  fastt run <model> [--gpus N] [--servers S] [--batch B] "
+               "[--weak]\n"
+               "  fastt compare <model> [--gpus N] [--servers S] "
+               "[--batch B]\n"
+               "  fastt export <model> <graph.txt> [--batch B]\n"
+               "  fastt trace <model> <trace.json> [--gpus N]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = Parse(argc, argv);
+  try {
+    if (args.command == "models") return CmdModels();
+    if (args.command == "run" && !args.model.empty()) return CmdRun(args);
+    if (args.command == "compare" && !args.model.empty())
+      return CmdCompare(args);
+    if (args.command == "export" && !args.path.empty())
+      return CmdExport(args);
+    if (args.command == "trace" && !args.path.empty()) return CmdTrace(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return Usage();
+}
