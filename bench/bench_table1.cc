@@ -47,5 +47,6 @@ int main() {
       "largest strong-scaling win is on VGG-19; Inception-v3 gains are\n"
       "small; DP throughput degrades at 8 GPUs and in the 2-server setup\n"
       "while FastT holds up.\n");
+  MaybeWriteBenchJson("table1");
   return 0;
 }

@@ -44,5 +44,6 @@ int main() {
       "are smaller than in Table 1 — per-GPU utilization under weak\n"
       "scaling is already high, leaving less room to move operations\n"
       "around (paper Sec. 6.3).\n");
+  MaybeWriteBenchJson("table2");
   return 0;
 }

@@ -5,11 +5,15 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/strategy_calculator.h"
 #include "models/model_zoo.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -45,6 +49,20 @@ struct Cell {
   double fastt = 0.0;  // samples/s
 };
 
+// Every measured cell, in measurement order, for the optional JSON report.
+struct CellRecord {
+  std::string model;
+  std::string cluster;
+  int64_t batch = 0;
+  Scaling scaling = Scaling::kStrong;
+  Cell cell;
+};
+
+inline std::vector<CellRecord>& CellRecords() {
+  static std::vector<CellRecord> records;
+  return records;
+}
+
 inline Cell MeasureCell(const ModelSpec& spec, const Cluster& cluster,
                         int64_t batch, Scaling scaling,
                         const CalculatorOptions& base = {}) {
@@ -56,7 +74,50 @@ inline Cell MeasureCell(const ModelSpec& spec, const Cluster& cluster,
   const auto ft =
       RunFastT(spec.build, spec.name, batch, scaling, cluster, options);
   cell.fastt = ft.final_sim.oom ? 0.0 : SamplesPerSecond(ft);
+  CellRecords().push_back(
+      {spec.name, cluster.ToString(), batch, scaling, cell});
   return cell;
+}
+
+// If FASTT_BENCH_JSON names a path, writes every measured cell plus the
+// process metrics registry there as one JSON document. Call at the end of a
+// benchmark's main().
+inline void MaybeWriteBenchJson(const std::string& bench_name) {
+  const char* path = std::getenv("FASTT_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return;
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("benchmark");
+  w.String(bench_name);
+  w.Key("cells");
+  w.BeginArray();
+  for (const CellRecord& r : CellRecords()) {
+    w.BeginObject();
+    w.Key("model");
+    w.String(r.model);
+    w.Key("cluster");
+    w.String(r.cluster);
+    w.Key("batch");
+    w.Int(r.batch);
+    w.Key("scaling");
+    w.String(r.scaling == Scaling::kStrong ? "strong" : "weak");
+    w.Key("dp_samples_per_s");
+    w.Number(r.cell.dp);
+    w.Key("fastt_samples_per_s");
+    w.Number(r.cell.fastt);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("metrics");
+  w.Raw(MetricsRegistry::Global().ToJson());
+  w.EndObject();
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  out << w.str() << "\n";
+  std::printf("wrote benchmark JSON to %s\n", path);
 }
 
 inline std::string Speed(double samples_per_s) {

@@ -11,6 +11,7 @@
 
 #include "core/rank.h"
 #include "core/timeline.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace fastt {
@@ -49,6 +50,8 @@ int64_t MemNeed(const Graph& g, OpId id) {
 DposResult Dpos(const Graph& g, const Cluster& cluster,
                 const CompCostModel& comp, const CommCostModel& comm,
                 const DposOptions& options) {
+  FASTT_SCOPED_TIMER("dpos/total");
+  MetricsRegistry::Global().AddCounter("dpos/invocations");
   const int32_t n_dev = cluster.num_devices();
   FASTT_CHECK(n_dev >= 1);
   const size_t slots = static_cast<size_t>(g.num_slots());
@@ -296,6 +299,10 @@ DposResult Dpos(const Graph& g, const Cluster& cluster,
   }
   FASTT_CHECK_MSG(placed == static_cast<size_t>(g.num_live_ops()),
                   "DPOS failed to place every op (cycle?)");
+  MetricsRegistry::Global().AddCounter("dpos/ops_placed",
+                                       static_cast<int64_t>(placed));
+  if (result.memory_overflow)
+    MetricsRegistry::Global().AddCounter("dpos/memory_overflows");
 
   // ---- Execution order & objective ------------------------------------------
   std::vector<OpId> order = g.LiveOps();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/rewrite.h"
+#include "obs/metrics.h"
 
 namespace fastt {
 namespace {
@@ -21,6 +22,8 @@ std::vector<int> CandidateSplitCounts(int num_devices) {
 OsDposResult OsDpos(const Graph& g, const Cluster& cluster,
                     const CompCostModel& comp, const CommCostModel& comm,
                     const OsDposOptions& options) {
+  FASTT_SCOPED_TIMER("os_dpos/total");
+  MetricsRegistry::Global().AddCounter("os_dpos/invocations");
   OsDposResult result;
   result.graph = g;
   result.schedule = Dpos(result.graph, cluster, comp, comm, options.dpos);
@@ -86,6 +89,11 @@ OsDposResult OsDpos(const Graph& g, const Cluster& cluster,
   }
 
   result.schedule.strategy.splits = result.splits;
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  metrics.AddCounter("os_dpos/split_probes",
+                     static_cast<int64_t>(result.probes));
+  metrics.AddCounter("os_dpos/splits_committed",
+                     static_cast<int64_t>(result.splits.size()));
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/model_parallel.h"
+#include "obs/metrics.h"
 #include "sim/profiler.h"
 #include "util/check.h"
 #include "util/strings.h"
@@ -115,6 +116,22 @@ std::vector<std::string> CostKeys(const Graph& g) {
   return keys;
 }
 
+// Ops whose device assignment differs between the incumbent and candidate
+// strategies. Both graphs derive from the same base graph, so slot ids in
+// the shared prefix refer to the same ops; ops live in only one of the two
+// (split in the other) are not counted.
+int CountReplacedOps(const Graph& a, const std::vector<DeviceId>& pa,
+                     const Graph& b, const std::vector<DeviceId>& pb) {
+  const int32_t n = std::min(a.num_slots(), b.num_slots());
+  int replaced = 0;
+  for (OpId id = 0; id < n; ++id) {
+    if (a.op(id).dead || b.op(id).dead) continue;
+    if (pa[static_cast<size_t>(id)] != pb[static_cast<size_t>(id)])
+      ++replaced;
+  }
+  return replaced;
+}
+
 }  // namespace
 
 double SamplesPerSecond(const CalculatorResult& result) {
@@ -148,6 +165,7 @@ CalculatorResult RunFastT(const ModelBuildFn& build,
                           const std::string& model_name, int64_t batch,
                           Scaling scaling, const Cluster& cluster,
                           const CalculatorOptions& options) {
+  FASTT_SCOPED_TIMER("calculator/run_fastt");
   const auto host_start = Clock::now();
   CalculatorResult result;
 
@@ -187,8 +205,12 @@ CalculatorResult RunFastT(const ModelBuildFn& build,
   // ---- pre-training: profile, recompute, activate or roll back -------------
   StabilityDetector stability(options.stability_tolerance,
                               options.stability_patience);
+  const double probe_before_s = result.strategy_time_s;
   ProbeCommunication(cluster, options.noise_cv, options.seed + 17,
                      result.comm, &result.strategy_time_s);
+  result.events.Emit("comm_probe")
+      .Int("devices", cluster.num_devices())
+      .Number("simulated_s", result.strategy_time_s - probe_before_s);
   Graph current_graph = base;
   std::vector<DeviceId> current_placement = start_placement;
   std::vector<int64_t> current_priorities;
@@ -200,9 +222,16 @@ CalculatorResult RunFastT(const ModelBuildFn& build,
   Strategy current_strategy;
   current_strategy.placement = current_placement;
   current_strategy.execution_order = current_graph.TopoOrder();
+  result.events.Emit("bootstrap")
+      .Str("start_strategy",
+           result.started_model_parallel ? "model_parallel" : "data_parallel")
+      .Int("ops", current_graph.num_live_ops())
+      .Int("profile_iterations", options.profile_iterations)
+      .Number("measured_iteration_s", current_measured);
 
   for (int round = 0; round < options.max_rounds; ++round) {
     ++result.rounds;
+    const double round_algo_before = result.algorithm_time_s;
 
     // Recompute the strategy from the updated cost models. OS-DPOS always
     // takes the *base* graph (DP replication or bare model) so split
@@ -239,8 +268,23 @@ CalculatorResult RunFastT(const ModelBuildFn& build,
         options.seed + static_cast<uint64_t>(round + 1) * 31337, result.comp,
         result.comm, &result.strategy_time_s, &candidate_oom);
 
+    RoundSummary summary;
+    summary.round = result.rounds;
+    summary.predicted_s = candidate.schedule.ft_exit;
+    summary.measured_s = measured;
+    summary.best_before_s = current_measured;
+    summary.rel_error =
+        measured > 0.0 ? (summary.predicted_s - measured) / measured : 0.0;
+    summary.oom = candidate_oom;
+    summary.ops_replaced = CountReplacedOps(
+        current_graph, current_placement, candidate.graph,
+        candidate.schedule.strategy.placement);
+    summary.splits = static_cast<int>(candidate.splits.size());
+    summary.algorithm_s = result.algorithm_time_s - round_algo_before;
+
     // An out-of-memory run crashes a real session: always roll back.
     if (!candidate_oom && measured <= current_measured) {
+      summary.committed = true;
       current_graph = candidate.graph;
       current_placement = candidate.schedule.strategy.placement;
       current_priorities = priorities;
@@ -253,10 +297,31 @@ CalculatorResult RunFastT(const ModelBuildFn& build,
       result.strategy_time_s += options.restart_overhead_s;
     }
 
+    result.events.Emit("round")
+        .Int("round", summary.round)
+        .Number("predicted_s", summary.predicted_s)
+        .Number("measured_s", summary.measured_s)
+        .Number("best_before_s", summary.best_before_s)
+        .Number("cost_model_rel_error", summary.rel_error)
+        .Int("ops_replaced", summary.ops_replaced)
+        .Int("splits", summary.splits)
+        .Number("algorithm_s", summary.algorithm_s)
+        .Number("restart_overhead_s",
+                options.restart_overhead_s *
+                    (summary.committed ? 1.0 : 2.0))
+        .Bool("committed", summary.committed)
+        .Str("decision", summary.committed       ? "commit"
+                         : summary.oom           ? "rollback_oom"
+                                                 : "rollback_slower");
+    result.round_history.push_back(summary);
+
     // Pre-training ends when the cost models are stable (paper's rule).
     stability.Observe(result.comp, cluster.num_devices(),
                       CostKeys(current_graph));
-    if (stability.IsStable()) break;
+    if (stability.IsStable()) {
+      result.events.Emit("stable").Int("round", result.rounds);
+      break;
+    }
   }
 
   // ---- normal training: measure the final strategy --------------------------
@@ -270,6 +335,24 @@ CalculatorResult RunFastT(const ModelBuildFn& build,
 
   // Algorithm time is also part of the simulated strategy time.
   result.strategy_time_s += result.algorithm_time_s;
+  result.events.Emit("final")
+      .Str("model", model_name)
+      .Number("iteration_s", result.iteration_s)
+      .Int("rounds", result.rounds)
+      .Int("rollbacks", result.rollbacks)
+      .Int("activations", result.activations)
+      .Int("splits", static_cast<int64_t>(result.strategy.splits.size()))
+      .Number("strategy_time_s", result.strategy_time_s)
+      .Number("algorithm_time_s", result.algorithm_time_s)
+      .Bool("oom", result.final_sim.oom);
+
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  metrics.AddCounter("calculator/runs");
+  metrics.AddCounter("calculator/rounds", result.rounds);
+  metrics.AddCounter("calculator/rollbacks", result.rollbacks);
+  metrics.AddCounter("calculator/activations", result.activations);
+  metrics.SetGauge("calculator/last_iteration_s", result.iteration_s);
+  metrics.SetGauge("calculator/last_strategy_time_s", result.strategy_time_s);
   (void)host_start;
   return result;
 }

@@ -14,6 +14,7 @@
 #include "core/data_parallel.h"
 #include "core/os_dpos.h"
 #include "cost/stability.h"
+#include "obs/event_log.h"
 #include "sim/exec_sim.h"
 
 namespace fastt {
@@ -41,6 +42,24 @@ struct CalculatorOptions {
   int measure_iterations = 5;
 };
 
+// One pre-training round of the workflow: what the scheduler predicted, what
+// the profiled steps measured, and what the calculator decided. The paper
+// reports only the end of this trajectory; keeping every round makes the
+// cost-model convergence (predicted-vs-measured error shrinking) and the
+// rollback behaviour inspectable.
+struct RoundSummary {
+  int round = 0;              // 1-based
+  double predicted_s = 0.0;   // DPOS FT(o_exit) of the candidate strategy
+  double measured_s = 0.0;    // profiled mean iteration time of the candidate
+  double best_before_s = 0.0; // incumbent's measured time entering the round
+  double rel_error = 0.0;     // (predicted - measured) / measured
+  bool committed = false;     // candidate became the incumbent
+  bool oom = false;           // candidate ran out of memory (forced rollback)
+  int ops_replaced = 0;       // placements changed vs. the incumbent
+  int splits = 0;             // split decisions in the candidate
+  double algorithm_s = 0.0;   // host CPU inside DPOS/OS-DPOS this round
+};
+
 struct CalculatorResult {
   Graph graph;       // final training graph (with committed splits)
   Strategy strategy; // final placement / order / split list
@@ -60,6 +79,11 @@ struct CalculatorResult {
   CommCostModel comm;
   SimResult final_sim;  // one representative simulation of the final setup
   int64_t global_batch = 0;
+  // Round-by-round trajectory of the pre-training loop (RunFastT only).
+  std::vector<RoundSummary> round_history;
+  // Structured JSONL narration of the whole workflow (probe, bootstrap,
+  // rounds, rollbacks, stability stop, final measurement).
+  EventLog events;
 };
 
 // Runs the complete FastT workflow for a model on a cluster.

@@ -1,0 +1,59 @@
+#include "obs/event_log.h"
+
+#include <fstream>
+
+namespace fastt {
+
+EventLog::Builder::Builder(EventLog& log, const std::string& type)
+    : log_(log) {
+  writer_.BeginObject();
+  writer_.Key("event").String(type);
+  writer_.Key("seq").Int(static_cast<int64_t>(log.lines_.size()));
+}
+
+EventLog::Builder::~Builder() {
+  writer_.EndObject();
+  log_.lines_.push_back(writer_.str());
+}
+
+EventLog::Builder& EventLog::Builder::Str(const std::string& key,
+                                          const std::string& value) {
+  writer_.Key(key).String(value);
+  return *this;
+}
+
+EventLog::Builder& EventLog::Builder::Number(const std::string& key,
+                                             double value) {
+  writer_.Key(key).Number(value);
+  return *this;
+}
+
+EventLog::Builder& EventLog::Builder::Int(const std::string& key,
+                                          int64_t value) {
+  writer_.Key(key).Int(value);
+  return *this;
+}
+
+EventLog::Builder& EventLog::Builder::Bool(const std::string& key,
+                                           bool value) {
+  writer_.Key(key).Bool(value);
+  return *this;
+}
+
+std::string EventLog::ToJsonl() const {
+  std::string out;
+  for (const std::string& line : lines_) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+bool EventLog::WriteJsonl(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << ToJsonl();
+  return static_cast<bool>(file);
+}
+
+}  // namespace fastt

@@ -1,0 +1,63 @@
+// Structured event log: an append-only sequence of JSON objects, one per
+// line (JSONL). StrategyCalculator narrates the pre-training workflow with
+// it — communication probe, bootstrap choice, each round's predicted vs.
+// measured iteration time, commits, rollbacks and their reasons, restart
+// overheads, the stability stop — so the search becomes replayable data
+// instead of an opaque final number.
+//
+//   EventLog log;
+//   log.Emit("round").Int("round", 2).Number("measured_s", 0.081)
+//      .Bool("committed", true);
+//   log.WriteJsonl("events.jsonl");
+//
+// The builder stamps "event" (the type) and "seq" automatically; the line is
+// appended when the builder goes out of scope.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace fastt {
+
+class EventLog {
+ public:
+  class Builder {
+   public:
+    Builder(EventLog& log, const std::string& type);
+    ~Builder();  // appends the finished line to the log
+    Builder(const Builder&) = delete;
+    Builder& operator=(const Builder&) = delete;
+
+    Builder& Str(const std::string& key, const std::string& value);
+    Builder& Number(const std::string& key, double value);
+    Builder& Int(const std::string& key, int64_t value);
+    Builder& Bool(const std::string& key, bool value);
+
+   private:
+    EventLog& log_;
+    JsonWriter writer_;
+  };
+
+  // Starts a new event of the given type.
+  Builder Emit(const std::string& type) { return Builder(*this, type); }
+
+  size_t size() const { return lines_.size(); }
+  // The i-th event as a JSON object string (no trailing newline).
+  const std::string& line(size_t i) const { return lines_[i]; }
+
+  // All events, newline-separated (JSONL).
+  std::string ToJsonl() const;
+  // Writes ToJsonl() to `path`. Returns false on I/O failure.
+  bool WriteJsonl(const std::string& path) const;
+
+  void Clear() { lines_.clear(); }
+
+ private:
+  friend class Builder;
+  std::vector<std::string> lines_;
+};
+
+}  // namespace fastt

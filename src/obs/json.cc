@@ -1,0 +1,302 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace fastt {
+
+std::string JsonQuote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  // %.9g round-trips the magnitudes we deal in (seconds, bytes, counts)
+  // without printing 17-digit noise for every value.
+  std::string s = StrFormat("%.9g", v);
+  return s;
+}
+
+void JsonWriter::BeforeValue() {
+  if (!stack_.empty() && stack_.back() == 'V') {
+    stack_.back() = 'O';  // value for the pending key
+    return;
+  }
+  if (needs_comma_) out_ += ',';
+  needs_comma_ = false;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  stack_ += 'O';
+  needs_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  FASTT_CHECK(!stack_.empty() && stack_.back() == 'O');
+  stack_.pop_back();
+  out_ += '}';
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  stack_ += 'A';
+  needs_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  FASTT_CHECK(!stack_.empty() && stack_.back() == 'A');
+  stack_.pop_back();
+  out_ += ']';
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& name) {
+  FASTT_CHECK(!stack_.empty() && stack_.back() == 'O');
+  if (needs_comma_) out_ += ',';
+  needs_comma_ = false;
+  out_ += JsonQuote(name);
+  out_ += ':';
+  stack_.back() = 'V';
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(const std::string& value) {
+  BeforeValue();
+  out_ += JsonQuote(value);
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(double value) {
+  BeforeValue();
+  out_ += JsonNumber(value);
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ += StrFormat("%lld", static_cast<long long>(value));
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Raw(const std::string& json) {
+  BeforeValue();
+  out_ += json;
+  needs_comma_ = true;
+  return *this;
+}
+
+namespace {
+
+// Recursive-descent validator. Tracks position for error messages.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool Validate(std::string* error) {
+    SkipWs();
+    if (!Value()) {
+      if (error) *error = StrFormat("%s at offset %zu", error_.c_str(), pos_);
+      return false;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      if (error) *error = StrFormat("trailing garbage at offset %zu", pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+  bool Fail(const char* what) {
+    error_ = what;
+    return false;
+  }
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool Literal(const char* lit) {
+    const size_t n = std::char_traits<char>::length(lit);
+    if (text_.compare(pos_, n, lit) != 0) return Fail("bad literal");
+    pos_ += n;
+    return true;
+  }
+
+  bool Value() {
+    if (depth_ > 256) return Fail("nesting too deep");
+    switch (Peek()) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return ParseString();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return ParseNumber();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    ++depth_;
+    SkipWs();
+    if (Peek() == '}') { ++pos_; --depth_; return true; }
+    while (true) {
+      SkipWs();
+      if (Peek() != '"') return Fail("expected object key");
+      if (!ParseString()) return false;
+      SkipWs();
+      if (Peek() != ':') return Fail("expected ':'");
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; --depth_; return true; }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    ++depth_;
+    SkipWs();
+    if (Peek() == ']') { ++pos_; --depth_; return true; }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; --depth_; return true; }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseString() {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20)
+        return Fail("raw control character in string");
+      if (c == '\\') {
+        ++pos_;
+        const char e = Peek();
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (!std::isxdigit(static_cast<unsigned char>(Peek())))
+              return Fail("bad \\u escape");
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return Fail("bad escape");
+        }
+      }
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    if (!std::isdigit(static_cast<unsigned char>(Peek())))
+      return Fail("expected value");
+    if (Peek() == '0') {
+      ++pos_;
+    } else {
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (Peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(Peek())))
+        return Fail("bad fraction");
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(Peek())))
+        return Fail("bad exponent");
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+bool JsonValidate(const std::string& text, std::string* error) {
+  return Parser(text).Validate(error);
+}
+
+bool JsonlValidate(const std::string& text, std::string* error) {
+  size_t start = 0;
+  int lineno = 1;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    if (!line.empty() && line.find_first_not_of(" \t\r") != std::string::npos) {
+      std::string inner;
+      if (!JsonValidate(line, &inner)) {
+        if (error) *error = StrFormat("line %d: %s", lineno, inner.c_str());
+        return false;
+      }
+    }
+    if (end == text.size()) break;
+    start = end + 1;
+    ++lineno;
+  }
+  return true;
+}
+
+}  // namespace fastt

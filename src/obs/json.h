@@ -1,0 +1,66 @@
+// Minimal JSON support for the observability layer: a streaming writer used
+// by every exporter (metrics, event log, schedule analysis, bench reports)
+// and a validating parser used by tests and tools to assert that what we
+// emit actually is JSON. Dependency-light by design — no third-party JSON
+// library is available in the build image, and the subsystem only needs
+// write + validate, never a DOM.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fastt {
+
+// Escapes `s` for inclusion in a JSON string and wraps it in quotes.
+std::string JsonQuote(const std::string& s);
+
+// Formats a double as a JSON number (finite values only; non-finite values
+// render as 0 with no trailing garbage, since JSON has no Inf/NaN).
+std::string JsonNumber(double v);
+
+// Streaming writer for nested objects/arrays. Keeps a small state stack so
+// commas and closings are emitted correctly:
+//
+//   JsonWriter w;
+//   w.BeginObject();
+//   w.Key("makespan").Number(0.012);
+//   w.Key("devices").BeginArray();
+//   w.BeginObject(); w.Key("id").Int(0); w.EndObject();
+//   w.EndArray();
+//   w.EndObject();
+//   std::string json = w.str();
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(const std::string& name);
+  JsonWriter& String(const std::string& value);
+  JsonWriter& Number(double value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Bool(bool value);
+  // Splices a pre-serialized JSON value in verbatim (caller guarantees
+  // well-formedness) — used to embed one exporter's output in another's.
+  JsonWriter& Raw(const std::string& json);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void BeforeValue();
+  std::string out_;
+  // 'O' = in object expecting key, 'V' = in object expecting value,
+  // 'A' = in array.
+  std::string stack_;
+  bool needs_comma_ = false;
+};
+
+// Validates that `text` is a single well-formed JSON value. On failure
+// returns false and, if `error` is non-null, a human-readable reason with an
+// offset. Accepts exactly the JSON grammar (RFC 8259) minus no extensions.
+bool JsonValidate(const std::string& text, std::string* error = nullptr);
+
+// Validates a JSONL document: every non-empty line must be well-formed JSON.
+bool JsonlValidate(const std::string& text, std::string* error = nullptr);
+
+}  // namespace fastt

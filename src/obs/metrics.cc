@@ -1,0 +1,111 @@
+#include "obs/metrics.h"
+
+#include <fstream>
+
+#include "obs/event_log.h"
+#include "obs/json.h"
+
+namespace fastt {
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+void MetricsRegistry::AddCounter(const std::string& name, int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+int64_t MetricsRegistry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::SetGauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = value;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+void MetricsRegistry::RecordTimer(const std::string& name, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Timer& t = timers_[name];
+  ++t.count;
+  t.total_s += seconds;
+}
+
+double MetricsRegistry::timer_total_s(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = timers_.find(name);
+  return it == timers_.end() ? 0.0 : it->second.total_s;
+}
+
+int64_t MetricsRegistry::timer_count(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = timers_.find(name);
+  return it == timers_.end() ? 0 : it->second.count;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  timers_.clear();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, value] : counters_) w.Key(name).Int(value);
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, value] : gauges_) w.Key(name).Number(value);
+  w.EndObject();
+  w.Key("timers").BeginObject();
+  for (const auto& [name, t] : timers_) {
+    w.Key(name).BeginObject();
+    w.Key("count").Int(t.count);
+    w.Key("total_s").Number(t.total_s);
+    w.Key("mean_s").Number(t.count > 0 ? t.total_s / double(t.count) : 0.0);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+std::string MetricsToJson(const MetricsRegistry& registry,
+                          const EventLog* events) {
+  // Splice the registry object and the event array into one document. The
+  // registry JSON always ends in '}', so insert before it.
+  std::string doc = registry.ToJson();
+  if (events != nullptr) {
+    std::string tail = ",\"events\":[";
+    for (size_t i = 0; i < events->size(); ++i) {
+      if (i > 0) tail += ',';
+      tail += events->line(i);
+    }
+    tail += "]";
+    doc.insert(doc.size() - 1, tail);
+  }
+  return doc;
+}
+
+bool WriteMetricsJson(const std::string& path, const MetricsRegistry& registry,
+                      const EventLog* events) {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << MetricsToJson(registry, events) << "\n";
+  return static_cast<bool>(file);
+}
+
+}  // namespace fastt

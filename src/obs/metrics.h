@@ -1,0 +1,107 @@
+// Process-wide metrics: named counters, gauges and accumulating timers with
+// an RAII scope helper, exported as JSON.
+//
+// Everything FastT does — DPOS invocations, split probes, simulated runs,
+// rollbacks — funnels through a handful of hot loops; the registry makes
+// those loops observable without plumbing a context object through every
+// call site. All operations are thread-safe (searchers and future parallel
+// probes may bump counters concurrently); the maps use node-stable storage
+// so handles returned once stay valid for the registry's lifetime.
+//
+// Typical use:
+//   MetricsRegistry::Global().AddCounter("dpos/invocations");
+//   { FASTT_SCOPED_TIMER("dpos/total"); ... }
+//   WriteMetricsJson("out.json", MetricsRegistry::Global());
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace fastt {
+
+class EventLog;
+
+class MetricsRegistry {
+ public:
+  // The process-wide registry used by the FASTT_SCOPED_TIMER macro and the
+  // instrumented library code. Separate instances can be created for tests.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // ---- Counters (monotonic int64) ----------------------------------------
+  void AddCounter(const std::string& name, int64_t delta = 1);
+  int64_t counter(const std::string& name) const;  // 0 if absent
+
+  // ---- Gauges (last-written double) --------------------------------------
+  void SetGauge(const std::string& name, double value);
+  double gauge(const std::string& name) const;  // 0 if absent
+
+  // ---- Timers (accumulated seconds + call count) -------------------------
+  void RecordTimer(const std::string& name, double seconds);
+  double timer_total_s(const std::string& name) const;
+  int64_t timer_count(const std::string& name) const;
+
+  // Removes every metric (tests; also lets the CLI scope metrics per run).
+  void Reset();
+
+  // {"counters": {...}, "gauges": {...},
+  //  "timers": {"name": {"count": n, "total_s": t, "mean_s": m}}}
+  std::string ToJson() const;
+
+ private:
+  struct Timer {
+    int64_t count = 0;
+    double total_s = 0.0;
+  };
+  mutable std::mutex mu_;
+  // std::map: deterministic export order and node stability under insert.
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Timer> timers_;
+};
+
+// RAII timer: accumulates the scope's wall time under `name` on destruction.
+class ScopedTimer {
+ public:
+  ScopedTimer(MetricsRegistry& registry, std::string name)
+      : registry_(registry),
+        name_(std::move(name)),
+        start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    registry_.RecordTimer(name_,
+                          std::chrono::duration<double>(elapsed).count());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  MetricsRegistry& registry_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Full metrics document: the registry plus (optionally) a structured event
+// log under "events" — what `fastt run --metrics out.json` writes.
+std::string MetricsToJson(const MetricsRegistry& registry,
+                          const EventLog* events = nullptr);
+
+// Writes MetricsToJson to `path`. Returns false on I/O failure.
+bool WriteMetricsJson(const std::string& path, const MetricsRegistry& registry,
+                      const EventLog* events = nullptr);
+
+}  // namespace fastt
+
+#define FASTT_TIMER_CONCAT2(a, b) a##b
+#define FASTT_TIMER_CONCAT(a, b) FASTT_TIMER_CONCAT2(a, b)
+// Times the enclosing scope into the global registry under `name`.
+#define FASTT_SCOPED_TIMER(name)                         \
+  ::fastt::ScopedTimer FASTT_TIMER_CONCAT(fastt_scoped_timer_, __LINE__)( \
+      ::fastt::MetricsRegistry::Global(), (name))

@@ -1,0 +1,436 @@
+#include "obs/schedule_analysis.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "obs/json.h"
+#include "util/check.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace fastt {
+namespace {
+
+using Kind = CriticalPathSegment::Kind;
+
+// Times on the path come from one simulation, so equal bounds compare equal
+// exactly in the common case; the epsilon only absorbs double summation
+// noise in derived quantities.
+constexpr double kEps = 1e-12;
+
+struct Candidate {
+  enum What { kNone, kOccupancy, kProducer, kTransfer } what = kNone;
+  double time = -1.0;
+  OpId op = kInvalidOp;             // producer / occupancy predecessor
+  const TransferRecord* transfer = nullptr;
+};
+
+// Extracts the realized critical path, gap-free from t = 0 to the makespan:
+// walk back from the op finishing last, at each step following whichever
+// constraint bound the current op's start — the previous kernel on its
+// device (occupancy), a same-device producer, or an incoming transfer — and
+// materializing any slack between bound and start as an explicit wait.
+std::vector<CriticalPathSegment> ExtractCriticalPath(
+    const Graph& g, const SimResult& sim,
+    const std::vector<DeviceId>& placement_by_record) {
+  std::vector<CriticalPathSegment> rev;
+  if (sim.op_records.empty()) return rev;
+
+  // Ops per device ordered by finish time (devices are serial engines).
+  std::map<DeviceId, std::vector<const OpRecord*>> by_device;
+  OpId last = kInvalidOp;
+  for (const OpRecord& rec : sim.op_records) {
+    if (rec.device == kInvalidDevice) continue;
+    by_device[rec.device].push_back(&rec);
+    if (last == kInvalidOp ||
+        rec.finish > sim.op_records[static_cast<size_t>(last)].finish)
+      last = rec.op;
+  }
+  if (last == kInvalidOp) return rev;
+  for (auto& [d, recs] : by_device)
+    std::sort(recs.begin(), recs.end(),
+              [](const OpRecord* a, const OpRecord* b) {
+                return a->finish < b->finish;
+              });
+
+  // Physical copies by (producer, destination device): TF rendezvous sends a
+  // tensor once per destination, so aliased consumers must look the carrying
+  // record up by producer rather than by their own op id.
+  std::map<std::pair<OpId, DeviceId>, const TransferRecord*> copy_of;
+  for (const TransferRecord& t : sim.transfers)
+    copy_of[{t.src_op, t.dst}] = &t;
+
+  std::unordered_set<OpId> visited;
+  OpId cur = last;
+  {
+    const OpRecord& rec = sim.op_records[static_cast<size_t>(cur)];
+    rev.push_back({Kind::kOp, cur, kInvalidOp, rec.device, kInvalidDevice, 0,
+                   rec.start, rec.finish});
+    visited.insert(cur);
+  }
+  double t = sim.op_records[static_cast<size_t>(cur)].start;
+
+  const size_t step_limit = sim.op_records.size() + sim.transfers.size() + 4;
+  for (size_t step = 0; step < step_limit && t > kEps; ++step) {
+    const OpRecord& rec = sim.op_records[static_cast<size_t>(cur)];
+    const DeviceId d = rec.device;
+
+    Candidate best;
+    auto consider = [&](const Candidate& c) {
+      // Prefer the latest bound; on ties prefer transfers, then producers,
+      // whose chains carry more structure than bare occupancy.
+      if (c.time > best.time + kEps ||
+          (c.time > best.time - kEps && c.what > best.what))
+        best = c;
+    };
+
+    for (EdgeId e : g.in_edges(cur)) {
+      const Edge& edge = g.edge(e);
+      if (edge.dead || g.op(edge.src).dead) continue;
+      const DeviceId pd = placement_by_record[static_cast<size_t>(edge.src)];
+      const OpRecord& prec = sim.op_records[static_cast<size_t>(edge.src)];
+      if (pd == d) {
+        if (!visited.count(edge.src) && prec.finish <= t + kEps)
+          consider({Candidate::kProducer, prec.finish, edge.src, nullptr});
+      } else if (auto it = copy_of.find({edge.src, d});
+                 it != copy_of.end()) {
+        const TransferRecord* tr = it->second;
+        if (!visited.count(edge.src) && tr->arrival <= t + kEps)
+          consider({Candidate::kTransfer, tr->arrival, edge.src, tr});
+      }
+    }
+    {
+      // Latest unvisited kernel on this device finishing at or before t.
+      const auto& recs = by_device[d];
+      for (auto it = recs.rbegin(); it != recs.rend(); ++it) {
+        if ((*it)->finish > t + kEps) continue;
+        if (visited.count((*it)->op)) continue;
+        consider({Candidate::kOccupancy, (*it)->finish, (*it)->op, nullptr});
+        break;
+      }
+    }
+
+    if (best.what == Candidate::kNone) {
+      // Entry op: everything before it is executor-startup wait.
+      rev.push_back({Kind::kWait, cur, kInvalidOp, d, kInvalidDevice, 0, 0.0,
+                     t});
+      t = 0.0;
+      break;
+    }
+
+    if (t - best.time > kEps)
+      rev.push_back({Kind::kWait, cur, kInvalidOp, d, kInvalidDevice, 0,
+                     best.time, t});
+
+    if (best.what == Candidate::kTransfer) {
+      const TransferRecord* tr = best.transfer;
+      rev.push_back({Kind::kTransfer, cur, tr->src_op, tr->dst, tr->src,
+                     tr->bytes, tr->start, tr->arrival});
+      const OpRecord& prec = sim.op_records[static_cast<size_t>(tr->src_op)];
+      if (tr->start - prec.finish > kEps)
+        // Copy-engine queueing between the producer finishing and the
+        // channel picking the tensor up.
+        rev.push_back({Kind::kWait, kInvalidOp, tr->src_op, tr->src,
+                       kInvalidDevice, 0, prec.finish, tr->start});
+      cur = tr->src_op;
+    } else {
+      cur = best.op;
+    }
+    const OpRecord& nrec = sim.op_records[static_cast<size_t>(cur)];
+    rev.push_back({Kind::kOp, cur, kInvalidOp, nrec.device, kInvalidDevice, 0,
+                   nrec.start, nrec.finish});
+    visited.insert(cur);
+    t = nrec.start;
+  }
+  if (t > kEps)
+    rev.push_back({Kind::kWait, cur, kInvalidOp,
+                   sim.op_records[static_cast<size_t>(cur)].device,
+                   kInvalidDevice, 0, 0.0, t});
+
+  std::reverse(rev.begin(), rev.end());
+  return rev;
+}
+
+std::string SegmentName(const Graph& g, const CriticalPathSegment& s) {
+  switch (s.kind) {
+    case Kind::kOp:
+      return g.op(s.op).name;
+    case Kind::kTransfer:
+      return StrFormat("%s -> GPU%d", g.op(s.src_op).name.c_str(), s.device);
+    case Kind::kWait:
+      return "(wait)";
+  }
+  return "";
+}
+
+std::string Route(DeviceId src, DeviceId dst) {
+  return StrFormat("GPU%d -> GPU%d", src, dst);
+}
+
+}  // namespace
+
+ScheduleAnalysis AnalyzeSchedule(const Graph& g, const SimResult& sim,
+                                 const Cluster& cluster) {
+  ScheduleAnalysis a;
+  a.makespan = sim.makespan;
+  a.total_compute_s = sim.total_compute_s;
+  a.total_memcpy_s = sim.total_memcpy_s;
+  a.oom = sim.oom;
+
+  // The sim records placements in op_records; reconstruct the per-slot
+  // device vector the path extractor wants.
+  std::vector<DeviceId> placement(sim.op_records.size(), kInvalidDevice);
+  for (const OpRecord& rec : sim.op_records)
+    if (rec.device != kInvalidDevice)
+      placement[static_cast<size_t>(rec.op)] = rec.device;
+
+  a.critical_path = ExtractCriticalPath(g, sim, placement);
+  for (const CriticalPathSegment& s : a.critical_path) {
+    switch (s.kind) {
+      case Kind::kOp: a.cp_op_s += s.duration(); break;
+      case Kind::kTransfer: a.cp_transfer_s += s.duration(); break;
+      case Kind::kWait: a.cp_wait_s += s.duration(); break;
+    }
+  }
+
+  // ---- per-device busy/bubble decomposition -------------------------------
+  const int32_t n_dev = cluster.num_devices();
+  a.devices.resize(static_cast<size_t>(n_dev));
+  std::vector<std::vector<const OpRecord*>> recs(static_cast<size_t>(n_dev));
+  for (const OpRecord& rec : sim.op_records)
+    if (rec.device != kInvalidDevice)
+      recs[static_cast<size_t>(rec.device)].push_back(&rec);
+  for (DeviceId d = 0; d < n_dev; ++d) {
+    DeviceBreakdown& db = a.devices[static_cast<size_t>(d)];
+    db.device = d;
+    auto& r = recs[static_cast<size_t>(d)];
+    std::sort(r.begin(), r.end(), [](const OpRecord* x, const OpRecord* y) {
+      return x->start < y->start;
+    });
+    db.num_ops = static_cast<int>(r.size());
+    db.busy_s = d < static_cast<DeviceId>(sim.device_busy_s.size())
+                    ? sim.device_busy_s[static_cast<size_t>(d)]
+                    : 0.0;
+    db.idle_s = std::max(0.0, a.makespan - db.busy_s);
+    if (a.makespan > 0.0) {
+      db.utilization = db.busy_s / a.makespan;
+      db.bubble_fraction = 1.0 - db.utilization;
+    }
+    double cursor = 0.0;
+    auto gap = [&](double until) {
+      if (until - cursor > kEps) {
+        ++db.num_bubbles;
+        db.longest_bubble_s = std::max(db.longest_bubble_s, until - cursor);
+      }
+    };
+    for (const OpRecord* rec : r) {
+      gap(rec->start);
+      cursor = std::max(cursor, rec->finish);
+    }
+    gap(a.makespan);
+    if (d < static_cast<DeviceId>(sim.peak_memory.size()))
+      db.peak_memory_bytes = sim.peak_memory[static_cast<size_t>(d)];
+  }
+
+  // ---- ranked critical-path contributors ----------------------------------
+  std::map<OpId, double> op_seconds;
+  for (const CriticalPathSegment& s : a.critical_path) {
+    if (s.kind == Kind::kOp) op_seconds[s.op] += s.duration();
+    if (s.kind == Kind::kTransfer)
+      a.top_transfers.push_back({s.src_op, g.op(s.src_op).name, s.src_device,
+                                 s.device, s.bytes, s.duration(),
+                                 a.makespan > 0 ? s.duration() / a.makespan
+                                                : 0.0});
+  }
+  for (const auto& [op, seconds] : op_seconds)
+    a.top_ops.push_back({op, g.op(op).name, placement[static_cast<size_t>(op)],
+                         seconds,
+                         a.makespan > 0 ? seconds / a.makespan : 0.0});
+  std::sort(a.top_ops.begin(), a.top_ops.end(),
+            [](const OpContribution& x, const OpContribution& y) {
+              if (x.seconds != y.seconds) return x.seconds > y.seconds;
+              return x.op < y.op;
+            });
+  std::sort(a.top_transfers.begin(), a.top_transfers.end(),
+            [](const TransferContribution& x, const TransferContribution& y) {
+              if (x.seconds != y.seconds) return x.seconds > y.seconds;
+              return x.src_op < y.src_op;
+            });
+
+  // ---- link traffic -------------------------------------------------------
+  std::map<std::pair<DeviceId, DeviceId>, LinkStat> links;
+  for (const TransferRecord& t : sim.transfers) {
+    LinkStat& l = links[{t.src, t.dst}];
+    l.src = t.src;
+    l.dst = t.dst;
+    ++l.num_transfers;
+    l.bytes += t.bytes;
+    l.busy_s += t.duration();
+  }
+  for (auto& [key, l] : links) {
+    if (l.busy_s > 0.0)
+      l.achieved_bandwidth = static_cast<double>(l.bytes) / l.busy_s;
+    a.links.push_back(l);
+  }
+  std::sort(a.links.begin(), a.links.end(),
+            [](const LinkStat& x, const LinkStat& y) {
+              return x.busy_s > y.busy_s;
+            });
+  return a;
+}
+
+std::string RenderScheduleAnalysis(const Graph& g, const ScheduleAnalysis& a,
+                                   int top_k) {
+  std::string out;
+  const double ms = a.makespan;
+  auto pct = [&](double s) {
+    return ms > 0 ? StrFormat("%.1f%%", 100.0 * s / ms) : std::string("-");
+  };
+  out += StrFormat("makespan %s   (sum compute %s, sum memcpy %s)%s\n",
+                   HumanSeconds(ms).c_str(),
+                   HumanSeconds(a.total_compute_s).c_str(),
+                   HumanSeconds(a.total_memcpy_s).c_str(),
+                   a.oom ? "   ** OOM **" : "");
+  out += StrFormat(
+      "critical path: %zu segments = kernels %s (%s) + transfers %s (%s) + "
+      "waits %s (%s)\n\n",
+      a.critical_path.size(), HumanSeconds(a.cp_op_s).c_str(),
+      pct(a.cp_op_s).c_str(), HumanSeconds(a.cp_transfer_s).c_str(),
+      pct(a.cp_transfer_s).c_str(), HumanSeconds(a.cp_wait_s).c_str(),
+      pct(a.cp_wait_s).c_str());
+
+  TablePrinter devices(
+      {"device", "ops", "busy", "util", "bubble", "#bubbles",
+       "longest bubble", "peak mem"});
+  for (const DeviceBreakdown& d : a.devices)
+    devices.AddRow({StrFormat("GPU%d", d.device), StrFormat("%d", d.num_ops),
+                    HumanSeconds(d.busy_s),
+                    StrFormat("%.1f%%", 100.0 * d.utilization),
+                    StrFormat("%.1f%%", 100.0 * d.bubble_fraction),
+                    StrFormat("%d", d.num_bubbles),
+                    HumanSeconds(d.longest_bubble_s),
+                    HumanBytes(static_cast<double>(d.peak_memory_bytes))});
+  out += "Per-device utilization:\n" + devices.Render();
+
+  TablePrinter ops({"op", "device", "CP time", "share"});
+  for (int i = 0; i < top_k && i < static_cast<int>(a.top_ops.size()); ++i) {
+    const OpContribution& c = a.top_ops[static_cast<size_t>(i)];
+    ops.AddRow({c.name, StrFormat("GPU%d", c.device), HumanSeconds(c.seconds),
+                StrFormat("%.1f%%", 100.0 * c.share)});
+  }
+  out += StrFormat("\nTop %d ops by critical-path contribution:\n", top_k) +
+         ops.Render();
+
+  TablePrinter xfer({"tensor (producer)", "route", "bytes", "CP time",
+                     "share"});
+  for (int i = 0;
+       i < top_k && i < static_cast<int>(a.top_transfers.size()); ++i) {
+    const TransferContribution& c = a.top_transfers[static_cast<size_t>(i)];
+    xfer.AddRow({c.name, Route(c.src, c.dst),
+                 HumanBytes(static_cast<double>(c.bytes)),
+                 HumanSeconds(c.seconds), StrFormat("%.1f%%", 100.0 * c.share)});
+  }
+  if (a.top_transfers.empty())
+    out += "\nNo transfers on the critical path.\n";
+  else
+    out += StrFormat("\nTop %d critical-path transfers:\n", top_k) +
+           xfer.Render();
+
+  TablePrinter links({"route", "transfers", "bytes", "busy", "achieved bw"});
+  for (int i = 0; i < top_k && i < static_cast<int>(a.links.size()); ++i) {
+    const LinkStat& l = a.links[static_cast<size_t>(i)];
+    links.AddRow({Route(l.src, l.dst), StrFormat("%d", l.num_transfers),
+                  HumanBytes(static_cast<double>(l.bytes)),
+                  HumanSeconds(l.busy_s),
+                  StrFormat("%.2f GB/s", l.achieved_bandwidth / 1e9)});
+  }
+  if (!a.links.empty())
+    out += "\nBusiest links:\n" + links.Render();
+  (void)g;
+  return out;
+}
+
+std::string ScheduleAnalysisToJson(const Graph& g,
+                                   const ScheduleAnalysis& a) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("makespan_s").Number(a.makespan);
+  w.Key("total_compute_s").Number(a.total_compute_s);
+  w.Key("total_memcpy_s").Number(a.total_memcpy_s);
+  w.Key("oom").Bool(a.oom);
+  w.Key("critical_path").BeginObject();
+  w.Key("op_s").Number(a.cp_op_s);
+  w.Key("transfer_s").Number(a.cp_transfer_s);
+  w.Key("wait_s").Number(a.cp_wait_s);
+  w.Key("segments").BeginArray();
+  for (const CriticalPathSegment& s : a.critical_path) {
+    w.BeginObject();
+    w.Key("kind").String(s.kind == Kind::kOp ? "op"
+                         : s.kind == Kind::kTransfer ? "transfer" : "wait");
+    w.Key("name").String(SegmentName(g, s));
+    w.Key("device").Int(s.device);
+    if (s.kind == Kind::kTransfer) {
+      w.Key("src_device").Int(s.src_device);
+      w.Key("bytes").Int(s.bytes);
+    }
+    w.Key("start_s").Number(s.start);
+    w.Key("finish_s").Number(s.finish);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  w.Key("devices").BeginArray();
+  for (const DeviceBreakdown& d : a.devices) {
+    w.BeginObject();
+    w.Key("device").Int(d.device);
+    w.Key("ops").Int(d.num_ops);
+    w.Key("busy_s").Number(d.busy_s);
+    w.Key("idle_s").Number(d.idle_s);
+    w.Key("utilization").Number(d.utilization);
+    w.Key("bubble_fraction").Number(d.bubble_fraction);
+    w.Key("num_bubbles").Int(d.num_bubbles);
+    w.Key("longest_bubble_s").Number(d.longest_bubble_s);
+    w.Key("peak_memory_bytes").Int(d.peak_memory_bytes);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("top_ops").BeginArray();
+  for (const OpContribution& c : a.top_ops) {
+    w.BeginObject();
+    w.Key("name").String(c.name);
+    w.Key("device").Int(c.device);
+    w.Key("seconds").Number(c.seconds);
+    w.Key("share").Number(c.share);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("top_transfers").BeginArray();
+  for (const TransferContribution& c : a.top_transfers) {
+    w.BeginObject();
+    w.Key("producer").String(c.name);
+    w.Key("src").Int(c.src);
+    w.Key("dst").Int(c.dst);
+    w.Key("bytes").Int(c.bytes);
+    w.Key("seconds").Number(c.seconds);
+    w.Key("share").Number(c.share);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("links").BeginArray();
+  for (const LinkStat& l : a.links) {
+    w.BeginObject();
+    w.Key("src").Int(l.src);
+    w.Key("dst").Int(l.dst);
+    w.Key("transfers").Int(l.num_transfers);
+    w.Key("bytes").Int(l.bytes);
+    w.Key("busy_s").Number(l.busy_s);
+    w.Key("achieved_bandwidth").Number(l.achieved_bandwidth);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace fastt

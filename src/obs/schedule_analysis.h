@@ -1,0 +1,110 @@
+// Schedule analysis: turns a simulated run (SimResult) into the quantities
+// the paper's argument is actually about — where the realized critical path
+// runs, how much of each device's time is pipeline bubble, which ops and
+// transfers the makespan is made of, and how contended each interconnect
+// link was. "It's the Critical Path!" (Mayer et al.) makes the case that
+// this structure, not a single scalar, is how scheduling quality should be
+// judged; this module extracts it from any schedule the simulator executes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/cluster.h"
+#include "sim/exec_sim.h"
+
+namespace fastt {
+
+// One segment of the realized critical path. The path is gap-free by
+// construction: op (kernel) and transfer segments are joined by explicit
+// wait segments (executor dispatch delay, channel queueing, link latency
+// attributed to the consumer side), so segment durations sum exactly to the
+// makespan — the invariant the tests assert.
+struct CriticalPathSegment {
+  enum class Kind { kOp, kTransfer, kWait };
+  Kind kind = Kind::kOp;
+  // kOp: the op itself. kTransfer: the consumer op. kWait: the op whose
+  // start the wait precedes (kInvalidOp for transfer-internal waits).
+  OpId op = kInvalidOp;
+  OpId src_op = kInvalidOp;  // kTransfer: producer op
+  DeviceId device = kInvalidDevice;
+  DeviceId src_device = kInvalidDevice;  // kTransfer only
+  int64_t bytes = 0;                     // kTransfer only
+  double start = 0.0;
+  double finish = 0.0;
+  double duration() const { return finish - start; }
+};
+
+// Per-device busy/idle decomposition over [0, makespan].
+struct DeviceBreakdown {
+  DeviceId device = kInvalidDevice;
+  int num_ops = 0;
+  double busy_s = 0.0;
+  double idle_s = 0.0;
+  double utilization = 0.0;     // busy_s / makespan
+  double bubble_fraction = 0.0; // idle_s / makespan; utilization + this = 1
+  int num_bubbles = 0;          // idle gaps (incl. leading/trailing)
+  double longest_bubble_s = 0.0;
+  int64_t peak_memory_bytes = 0;
+};
+
+// Aggregate critical-path contribution of one op (an op can appear once).
+struct OpContribution {
+  OpId op = kInvalidOp;
+  std::string name;
+  DeviceId device = kInvalidDevice;
+  double seconds = 0.0;
+  double share = 0.0;  // seconds / makespan
+};
+
+// One critical-path transfer (at most one entry per physical copy).
+struct TransferContribution {
+  OpId src_op = kInvalidOp;
+  std::string name;  // producer op name
+  DeviceId src = kInvalidDevice;
+  DeviceId dst = kInvalidDevice;
+  int64_t bytes = 0;
+  double seconds = 0.0;
+  double share = 0.0;
+};
+
+// All traffic carried by one directed device pair during the run.
+struct LinkStat {
+  DeviceId src = kInvalidDevice;
+  DeviceId dst = kInvalidDevice;
+  int num_transfers = 0;
+  int64_t bytes = 0;
+  double busy_s = 0.0;           // sum of transfer durations
+  double achieved_bandwidth = 0.0;  // bytes / busy_s
+};
+
+struct ScheduleAnalysis {
+  double makespan = 0.0;
+  double total_compute_s = 0.0;
+  double total_memcpy_s = 0.0;
+  bool oom = false;
+  std::vector<CriticalPathSegment> critical_path;
+  double cp_op_s = 0.0;        // path seconds inside kernels
+  double cp_transfer_s = 0.0;  // path seconds inside transfers
+  double cp_wait_s = 0.0;      // path seconds idle/queueing
+  std::vector<DeviceBreakdown> devices;
+  std::vector<OpContribution> top_ops;              // descending seconds
+  std::vector<TransferContribution> top_transfers;  // descending seconds
+  std::vector<LinkStat> links;                      // descending busy_s
+};
+
+// Analyzes a finished simulation of `g` on `cluster`.
+ScheduleAnalysis AnalyzeSchedule(const Graph& g, const SimResult& sim,
+                                 const Cluster& cluster);
+
+// Human-readable report (TablePrinter tables), showing the top_k entries of
+// each ranked section.
+std::string RenderScheduleAnalysis(const Graph& g, const ScheduleAnalysis& a,
+                                   int top_k = 5);
+
+// Machine-readable export of the full analysis.
+std::string ScheduleAnalysisToJson(const Graph& g,
+                                   const ScheduleAnalysis& a);
+
+}  // namespace fastt

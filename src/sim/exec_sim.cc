@@ -5,6 +5,7 @@
 #include <queue>
 #include <unordered_set>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -44,27 +45,46 @@ struct ReadyEntry {
 
 class MemoryTracker {
  public:
-  MemoryTracker(const Cluster& cluster, bool enabled)
+  MemoryTracker(const Cluster& cluster, bool enabled, bool record_timeline)
       : enabled_(enabled),
         usage_(static_cast<size_t>(cluster.num_devices()), 0),
-        peak_(static_cast<size_t>(cluster.num_devices()), 0) {}
+        peak_(static_cast<size_t>(cluster.num_devices()), 0) {
+    if (enabled_ && record_timeline)
+      timeline_.resize(static_cast<size_t>(cluster.num_devices()));
+  }
 
-  void Alloc(DeviceId d, int64_t bytes) {
+  void Alloc(DeviceId d, int64_t bytes, double now) {
     if (!enabled_ || bytes == 0) return;
     auto i = static_cast<size_t>(d);
     usage_[i] += bytes;
     peak_[i] = std::max(peak_[i], usage_[i]);
+    Sample(i, now);
   }
-  void Free(DeviceId d, int64_t bytes) {
+  void Free(DeviceId d, int64_t bytes, double now) {
     if (!enabled_ || bytes == 0) return;
     usage_[static_cast<size_t>(d)] -= bytes;
+    Sample(static_cast<size_t>(d), now);
   }
   const std::vector<int64_t>& peak() const { return peak_; }
+  std::vector<std::vector<MemorySample>> TakeTimeline() {
+    return std::move(timeline_);
+  }
 
  private:
+  void Sample(size_t i, double now) {
+    if (timeline_.empty()) return;
+    auto& t = timeline_[i];
+    // Coalesce same-timestamp updates into the final value at that instant.
+    if (!t.empty() && t.back().time == now)
+      t.back().bytes = usage_[i];
+    else
+      t.push_back(MemorySample{now, usage_[i]});
+  }
+
   bool enabled_;
   std::vector<int64_t> usage_;
   std::vector<int64_t> peak_;
+  std::vector<std::vector<MemorySample>> timeline_;
 };
 
 }  // namespace
@@ -85,6 +105,7 @@ bool PlacementParamsFit(const Graph& g,
 
 SimResult Simulate(const Graph& g, const std::vector<DeviceId>& placement,
                    const Cluster& cluster, const SimOptions& options) {
+  FASTT_SCOPED_TIMER("sim/simulate");
   const auto live = g.LiveOps();
   FASTT_CHECK_MSG(placement.size() >= static_cast<size_t>(g.num_slots()),
                   "placement must cover all op slots");
@@ -106,11 +127,12 @@ SimResult Simulate(const Graph& g, const std::vector<DeviceId>& placement,
   result.op_records.assign(static_cast<size_t>(g.num_slots()), OpRecord{});
   result.device_busy_s.assign(static_cast<size_t>(cluster.num_devices()), 0.0);
 
-  MemoryTracker memory(cluster, options.track_memory);
+  MemoryTracker memory(cluster, options.track_memory,
+                       options.record_memory_timeline);
   // Parameters are resident for the whole iteration.
   for (OpId id : live)
     memory.Alloc(placement[static_cast<size_t>(id)],
-                 g.op(id).resident_bytes());
+                 g.op(id).resident_bytes(), 0.0);
 
   // Remaining tensor arrivals per op (each live in-edge delivers one).
   std::vector<int32_t> pending(static_cast<size_t>(g.num_slots()), 0);
@@ -162,10 +184,10 @@ SimResult Simulate(const Graph& g, const std::vector<DeviceId>& placement,
   // Edges whose arrival carries a physical copy (vs. aliasing a dedup'd one).
   std::unordered_set<EdgeId> carrying_edges;
 
-  auto release_output_hold = [&](OpId producer) {
+  auto release_output_hold = [&](OpId producer, double now) {
     if (--out_refs[static_cast<size_t>(producer)] == 0) {
       memory.Free(placement[static_cast<size_t>(producer)],
-                  g.op(producer).output_bytes());
+                  g.op(producer).output_bytes(), now);
     }
   };
 
@@ -206,7 +228,7 @@ SimResult Simulate(const Graph& g, const std::vector<DeviceId>& placement,
     rec.device = d;
     rec.start = now;
     rec.finish = now + dur;
-    memory.Alloc(d, o.temp_bytes);
+    memory.Alloc(d, o.temp_bytes, now);
     events.push(Event{rec.finish, next_seq++, Event::kOpFinish, op, -1});
   };
 
@@ -229,22 +251,22 @@ SimResult Simulate(const Graph& g, const std::vector<DeviceId>& placement,
       const auto& rec = result.op_records[static_cast<size_t>(op)];
       result.device_busy_s[static_cast<size_t>(d)] += rec.duration();
       if (IsMathOp(o.type)) result.total_compute_s += rec.duration();
-      memory.Free(d, o.temp_bytes);
-      memory.Free(d, staged_bytes[static_cast<size_t>(op)]);
+      memory.Free(d, o.temp_bytes, now);
+      memory.Free(d, staged_bytes[static_cast<size_t>(op)], now);
       staged_bytes[static_cast<size_t>(op)] = 0;
       result.makespan = std::max(result.makespan, now);
 
       // Output buffer materializes now; terminal ops drop it immediately.
-      memory.Alloc(d, o.output_bytes());
+      memory.Alloc(d, o.output_bytes(), now);
       if (out_refs[static_cast<size_t>(op)] == 0)
-        memory.Free(d, o.output_bytes());
+        memory.Free(d, o.output_bytes(), now);
 
       // This op held its same-device inputs in place while running.
       for (EdgeId e : g.in_edges(op)) {
         const Edge& edge = g.edge(e);
         if (edge.dead || g.op(edge.src).dead) continue;
         if (placement[static_cast<size_t>(edge.src)] == d)
-          release_output_hold(edge.src);
+          release_output_hold(edge.src, now);
       }
 
       // TF rendezvous semantics: one physical send per (tensor, destination
@@ -291,10 +313,10 @@ SimResult Simulate(const Graph& g, const std::vector<DeviceId>& placement,
         // consumer's device; aliased arrivals reuse it. The producer-side
         // buffer hold is released per consumer as arrivals land.
         if (carrying_edges.count(ev.edge) > 0) {
-          memory.Alloc(cd, edge.bytes);
+          memory.Alloc(cd, edge.bytes, now);
           staged_bytes[static_cast<size_t>(consumer)] += edge.bytes;
         }
-        release_output_hold(edge.src);
+        release_output_hold(edge.src, now);
       }
       auto& left = pending[static_cast<size_t>(consumer)];
       FASTT_CHECK(left > 0);
@@ -316,6 +338,15 @@ SimResult Simulate(const Graph& g, const std::vector<DeviceId>& placement,
       result.oom_devices.push_back(d);
     }
   }
+  if (options.record_memory_timeline)
+    result.memory_timeline = memory.TakeTimeline();
+
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  metrics.AddCounter("sim/runs");
+  metrics.AddCounter("sim/ops_executed", static_cast<int64_t>(finished));
+  metrics.AddCounter("sim/transfers",
+                     static_cast<int64_t>(result.transfers.size()));
+  if (result.oom) metrics.AddCounter("sim/oom_runs");
   return result;
 }
 

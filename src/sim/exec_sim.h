@@ -50,6 +50,16 @@ struct SimOptions {
   uint64_t seed = 1;
   // Account memory and flag OOM.
   bool track_memory = true;
+  // Additionally record the live-memory timeline per device (one sample per
+  // alloc/free). Off by default: trace export wants it, the thousands of
+  // simulations inside the strategy search do not.
+  bool record_memory_timeline = false;
+};
+
+// One live-memory sample: bytes resident on the device at `time`.
+struct MemorySample {
+  double time = 0.0;
+  int64_t bytes = 0;
 };
 
 struct OpRecord {
@@ -84,6 +94,10 @@ struct SimResult {
   // paper's Fig. 5 breakdown) and sum of transfer durations ("memcpy time").
   double total_compute_s = 0.0;
   double total_memcpy_s = 0.0;
+  // Per-device live-memory samples; populated only when
+  // SimOptions::record_memory_timeline is set (feeds the Chrome-trace
+  // counter tracks that visualize the Table 3 OOM story).
+  std::vector<std::vector<MemorySample>> memory_timeline;
 };
 
 // Executes the live subgraph of `g` under `placement` (DeviceId per OpId) on

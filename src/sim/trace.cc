@@ -32,6 +32,31 @@ void AppendThreadName(std::ostringstream& out, bool& first, int pid, int tid,
       << "\"}}";
 }
 
+// Flow event ("s" start / "t" step / "f" finish): Perfetto draws an arrow
+// through the slices enclosing each ts, which is how producer → transfer →
+// consumer causality becomes visible. `ts` must land inside the slice, so
+// callers pass the slice midpoint.
+void AppendFlow(std::ostringstream& out, bool& first, const char* phase,
+                int id, int tid, double ts_s) {
+  if (!first) out << ",\n";
+  first = false;
+  out << "  {\"name\": \"tensor\", \"cat\": \"flow\", \"ph\": \"" << phase
+      << "\", \"id\": " << id << ", \"pid\": 0, \"tid\": " << tid
+      << ", \"ts\": " << StrFormat("%.3f", Us(ts_s));
+  if (phase[0] == 'f') out << ", \"bp\": \"e\"";
+  out << "}";
+}
+
+// Counter event: one sample of a per-device counter track.
+void AppendCounter(std::ostringstream& out, bool& first,
+                   const std::string& name, double ts_s, int64_t value) {
+  if (!first) out << ",\n";
+  first = false;
+  out << "  {\"name\": \"" << name << "\", \"ph\": \"C\", \"pid\": 0"
+      << ", \"ts\": " << StrFormat("%.3f", Us(ts_s))
+      << ", \"args\": {\"bytes\": " << value << "}}";
+}
+
 }  // namespace
 
 std::string ExportChromeTrace(const Graph& g, const SimResult& result) {
@@ -51,12 +76,32 @@ std::string ExportChromeTrace(const Graph& g, const SimResult& result) {
     AppendEvent(out, first, g.op(rec.op).name, "op", 0, rec.device,
                 rec.start, rec.duration());
   }
+  int flow_id = 0;
   for (const TransferRecord& t : result.transfers) {
     AppendEvent(out, first,
                 StrFormat("%s -> GPU%d (%s)", g.op(t.src_op).name.c_str(),
                           t.dst,
                           HumanBytes(static_cast<double>(t.bytes)).c_str()),
                 "memcpy", 0, 100 + t.src, t.start, t.duration());
+    // Producer kernel → copy slice → consumer kernel, as one flow arrow.
+    const OpRecord& src = result.op_records[static_cast<size_t>(t.src_op)];
+    const OpRecord& dst = result.op_records[static_cast<size_t>(t.dst_op)];
+    const int id = flow_id++;
+    AppendFlow(out, first, "s", id, t.src, (src.start + src.finish) / 2.0);
+    AppendFlow(out, first, "t", id, 100 + t.src,
+               (t.start + t.arrival) / 2.0);
+    if (dst.device != kInvalidDevice)
+      AppendFlow(out, first, "f", id, t.dst,
+                 (dst.start + dst.finish) / 2.0);
+  }
+
+  // Live-memory counter tracks (populated when the simulation ran with
+  // record_memory_timeline): lets Perfetto show exactly when a device
+  // approaches its capacity — the Table 3 OOM story as a picture.
+  for (size_t d = 0; d < result.memory_timeline.size(); ++d) {
+    const std::string name = StrFormat("GPU %zu memory", d);
+    for (const MemorySample& sample : result.memory_timeline[d])
+      AppendCounter(out, first, name, sample.time, sample.bytes);
   }
   out << "\n]\n";
   return out.str();

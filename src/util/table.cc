@@ -1,9 +1,42 @@
 #include "util/table.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 
 namespace fastt {
+namespace {
+
+// A cell counts as numeric if it reads as a number possibly wrapped in sign,
+// percent, and unit decorations: "41.038 ms", "+3.1%", "8.90 GB/s", "264".
+// Placeholder cells ("-", "") stay neutral so a column of timings with a few
+// dashes still right-aligns.
+bool IsNumericCell(const std::string& cell) {
+  size_t i = 0;
+  const size_t n = cell.size();
+  if (i < n && (cell[i] == '+' || cell[i] == '-')) ++i;
+  size_t digits = 0;
+  while (i < n && (std::isdigit(static_cast<unsigned char>(cell[i])) ||
+                   cell[i] == '.' || cell[i] == ',')) {
+    if (std::isdigit(static_cast<unsigned char>(cell[i]))) ++digits;
+    ++i;
+  }
+  if (digits == 0) return false;
+  // Optional unit suffix: letters, '%', '/', e.g. " ms", "%", " GB/s", "x".
+  if (i < n && cell[i] == ' ') ++i;
+  for (; i < n; ++i) {
+    const char c = cell[i];
+    if (!std::isalpha(static_cast<unsigned char>(c)) && c != '%' && c != '/')
+      return false;
+  }
+  return true;
+}
+
+bool IsPlaceholderCell(const std::string& cell) {
+  return cell.empty() || cell == "-";
+}
+
+}  // namespace
 
 TablePrinter::TablePrinter(std::vector<std::string> headers)
     : headers_(std::move(headers)) {}
@@ -20,11 +53,33 @@ std::string TablePrinter::Render() const {
     for (size_t c = 0; c < row.size(); ++c)
       widths[c] = std::max(widths[c], row[c].size());
 
-  auto render_row = [&](const std::vector<std::string>& row) {
+  // Right-align a column iff it has at least one numeric body cell and no
+  // non-numeric ones (placeholders aside). All-text columns keep the familiar
+  // left alignment, so mixed tables stay stable.
+  std::vector<bool> right(headers_.size(), false);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    bool any_numeric = false;
+    bool all_ok = true;
+    for (const auto& row : rows_) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      if (IsPlaceholderCell(cell)) continue;
+      if (IsNumericCell(cell))
+        any_numeric = true;
+      else
+        all_ok = false;
+    }
+    right[c] = any_numeric && all_ok;
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row, bool is_header) {
     std::string line = "|";
     for (size_t c = 0; c < headers_.size(); ++c) {
       const std::string& cell = c < row.size() ? row[c] : "";
-      line += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+      const std::string pad(widths[c] - cell.size(), ' ');
+      if (right[c] && !is_header)
+        line += " " + pad + cell + " |";
+      else
+        line += " " + cell + pad + " |";
     }
     return line + "\n";
   };
@@ -34,8 +89,8 @@ std::string TablePrinter::Render() const {
     sep += std::string(widths[c] + 2, '-') + "|";
   sep += "\n";
 
-  std::string out = render_row(headers_) + sep;
-  for (const auto& row : rows_) out += render_row(row);
+  std::string out = render_row(headers_, /*is_header=*/true) + sep;
+  for (const auto& row : rows_) out += render_row(row, /*is_header=*/false);
   return out;
 }
 

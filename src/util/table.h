@@ -14,7 +14,9 @@ class TablePrinter {
 
   void AddRow(std::vector<std::string> cells);
 
-  // Renders with column alignment and a header separator.
+  // Renders with column alignment and a header separator. Columns whose body
+  // cells are all numeric (dashes allowed) are right-aligned; text columns
+  // stay left-aligned.
   std::string Render() const;
 
   // Renders and writes to stdout.

@@ -1,0 +1,333 @@
+// Observability subsystem: metrics registry, JSON writer/validator, event
+// log, schedule analysis invariants, trace export, and the workflow's
+// round-by-round history.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "core/strategy_calculator.h"
+#include "models/model_zoo.h"
+#include "obs/event_log.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/schedule_analysis.h"
+#include "sim/trace.h"
+#include "util/table.h"
+
+namespace fastt {
+namespace {
+
+// Same deterministic 1 ms compute op the simulator tests use.
+Operation ComputeOp(const std::string& name, double millis = 1.0,
+                    int64_t out_bytes = 4096) {
+  Operation op;
+  op.name = name;
+  op.type = OpType::kMatMul;
+  op.output_shape = TensorShape{out_bytes / 4};
+  op.flops = (millis * 1e-3 - 4e-6) * 15.7e12 * 0.70;
+  op.bytes_touched = 0;
+  return op;
+}
+
+// ---- JSON -----------------------------------------------------------------
+
+TEST(Json, QuoteEscapes) {
+  EXPECT_EQ(JsonQuote("plain"), "\"plain\"");
+  EXPECT_EQ(JsonQuote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(JsonQuote(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(Json, NumberHandlesNonFinite) {
+  EXPECT_EQ(JsonNumber(1.5), "1.5");
+  EXPECT_EQ(JsonNumber(std::nan("")), "0");
+  EXPECT_EQ(JsonNumber(1.0 / 0.0), "0");
+}
+
+TEST(Json, WriterProducesValidNestedDocument) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("makespan").Number(0.012);
+  w.Key("name").String("a\"b");
+  w.Key("devices").BeginArray();
+  w.BeginObject();
+  w.Key("id").Int(0);
+  w.Key("oom").Bool(false);
+  w.EndObject();
+  w.Int(7);
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"makespan\":0.012,\"name\":\"a\\\"b\","
+            "\"devices\":[{\"id\":0,\"oom\":false},7]}");
+  EXPECT_TRUE(JsonValidate(w.str()));
+}
+
+TEST(Json, ValidateAcceptsAndRejects) {
+  EXPECT_TRUE(JsonValidate("{\"a\": [1, 2.5e-3, \"x\", null, true]}"));
+  std::string error;
+  EXPECT_FALSE(JsonValidate("{\"a\": }", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(JsonValidate("[1, 2,]"));
+  EXPECT_FALSE(JsonValidate("[1] trailing"));
+  EXPECT_FALSE(JsonValidate(""));
+  EXPECT_TRUE(JsonlValidate("{\"a\": 1}\n{\"b\": 2}\n"));
+  EXPECT_FALSE(JsonlValidate("{\"a\": 1}\nnot json\n"));
+}
+
+// ---- MetricsRegistry ------------------------------------------------------
+
+TEST(Metrics, CountersGaugesTimers) {
+  MetricsRegistry r;
+  r.AddCounter("x");
+  r.AddCounter("x", 4);
+  EXPECT_EQ(r.counter("x"), 5);
+  EXPECT_EQ(r.counter("absent"), 0);
+  r.SetGauge("g", 2.5);
+  r.SetGauge("g", 3.5);
+  EXPECT_DOUBLE_EQ(r.gauge("g"), 3.5);
+  r.RecordTimer("t", 0.25);
+  r.RecordTimer("t", 0.75);
+  EXPECT_EQ(r.timer_count("t"), 2);
+  EXPECT_DOUBLE_EQ(r.timer_total_s("t"), 1.0);
+  r.Reset();
+  EXPECT_EQ(r.counter("x"), 0);
+  EXPECT_EQ(r.timer_count("t"), 0);
+}
+
+TEST(Metrics, ConcurrentCounterBumpsAreExact) {
+  MetricsRegistry r;
+  constexpr int kThreads = 8;
+  constexpr int kBumps = 10000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i)
+    threads.emplace_back([&r] {
+      for (int j = 0; j < kBumps; ++j) r.AddCounter("shared");
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(r.counter("shared"), int64_t{kThreads} * kBumps);
+}
+
+TEST(Metrics, ScopedTimerNests) {
+  MetricsRegistry r;
+  {
+    ScopedTimer outer(r, "outer");
+    {
+      ScopedTimer inner(r, "inner");
+      // Busy-wait a little so inner has measurable duration.
+      volatile double sink = 0;
+      for (int i = 0; i < 100000; ++i) sink = sink + i;
+      (void)sink;
+    }
+  }
+  EXPECT_EQ(r.timer_count("outer"), 1);
+  EXPECT_EQ(r.timer_count("inner"), 1);
+  // The outer scope encloses the inner one.
+  EXPECT_GE(r.timer_total_s("outer"), r.timer_total_s("inner"));
+}
+
+TEST(Metrics, JsonExportIsValid) {
+  MetricsRegistry r;
+  r.AddCounter("dpos/invocations", 3);
+  r.SetGauge("calculator/last_iteration_s", 0.08);
+  r.RecordTimer("sim/simulate", 0.002);
+  EXPECT_TRUE(JsonValidate(r.ToJson()));
+  EXPECT_NE(r.ToJson().find("\"dpos/invocations\":3"), std::string::npos);
+
+  EventLog events;
+  events.Emit("round").Int("round", 1).Bool("committed", true);
+  const std::string doc = MetricsToJson(r, &events);
+  EXPECT_TRUE(JsonValidate(doc));
+  EXPECT_NE(doc.find("\"events\""), std::string::npos);
+}
+
+// ---- EventLog -------------------------------------------------------------
+
+TEST(EventLog, EmitsValidJsonlWithSeqAndType) {
+  EventLog log;
+  log.Emit("bootstrap").Str("start_strategy", "data parallel").Int("ops", 42);
+  log.Emit("round")
+      .Int("round", 1)
+      .Number("predicted_s", 0.080)
+      .Bool("committed", true);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_TRUE(JsonlValidate(log.ToJsonl()));
+  EXPECT_NE(log.line(0).find("\"event\":\"bootstrap\""), std::string::npos);
+  EXPECT_NE(log.line(0).find("\"seq\":0"), std::string::npos);
+  EXPECT_NE(log.line(1).find("\"seq\":1"), std::string::npos);
+  EXPECT_NE(log.line(1).find("\"committed\":true"), std::string::npos);
+  log.Clear();
+  EXPECT_EQ(log.size(), 0u);
+}
+
+// ---- Schedule analysis ----------------------------------------------------
+
+// Hand-built 2-device graph: a chain a -> b crossing devices (so the path
+// has a transfer) plus an independent op c keeping device 0 busy.
+struct TwoDeviceFixture {
+  Graph g;
+  Cluster cluster = Cluster::SingleServer(2);
+  SimResult sim;
+  TwoDeviceFixture() {
+    const OpId a = g.AddOp(ComputeOp("a", 2.0, 9 * 1000 * 1000));
+    const OpId b = g.AddOp(ComputeOp("b", 3.0));
+    const OpId c = g.AddOp(ComputeOp("c", 1.0));
+    g.AddEdge(a, b);
+    (void)c;
+    SimOptions options;
+    options.record_memory_timeline = true;
+    sim = Simulate(g, {0, 1, 0}, cluster, options);
+  }
+};
+
+TEST(ScheduleAnalysis, CriticalPathSegmentsSumToMakespan) {
+  TwoDeviceFixture f;
+  const ScheduleAnalysis a = AnalyzeSchedule(f.g, f.sim, f.cluster);
+  EXPECT_GT(a.makespan, 0.0);
+  ASSERT_FALSE(a.critical_path.empty());
+  double sum = 0.0;
+  for (const CriticalPathSegment& s : a.critical_path) {
+    EXPECT_GE(s.duration(), -1e-12);
+    sum += s.duration();
+  }
+  EXPECT_NEAR(sum, a.makespan, 1e-9);
+  // The path is contiguous: each segment starts where the previous ended,
+  // beginning at t = 0 and ending at the makespan.
+  EXPECT_NEAR(a.critical_path.front().start, 0.0, 1e-12);
+  EXPECT_NEAR(a.critical_path.back().finish, a.makespan, 1e-12);
+  for (size_t i = 1; i < a.critical_path.size(); ++i)
+    EXPECT_NEAR(a.critical_path[i].start, a.critical_path[i - 1].finish,
+                1e-12);
+  // Totals decompose the makespan by segment kind.
+  EXPECT_NEAR(a.cp_op_s + a.cp_transfer_s + a.cp_wait_s, a.makespan, 1e-9);
+  // The cross-device chain a -> b must put a transfer on the path.
+  EXPECT_GT(a.cp_transfer_s, 0.0);
+}
+
+TEST(ScheduleAnalysis, UtilizationPlusBubbleIsOnePerDevice) {
+  TwoDeviceFixture f;
+  const ScheduleAnalysis a = AnalyzeSchedule(f.g, f.sim, f.cluster);
+  ASSERT_EQ(a.devices.size(), 2u);
+  for (const DeviceBreakdown& d : a.devices) {
+    EXPECT_NEAR(d.utilization + d.bubble_fraction, 1.0, 1e-9);
+    EXPECT_NEAR(d.busy_s + d.idle_s, a.makespan, 1e-9);
+    EXPECT_GE(d.longest_bubble_s, 0.0);
+  }
+  EXPECT_EQ(a.devices[0].num_ops, 2);  // a and c
+  EXPECT_EQ(a.devices[1].num_ops, 1);  // b
+  // Device 1 idles while a computes and the tensor moves: it has a bubble.
+  EXPECT_GT(a.devices[1].bubble_fraction, 0.0);
+  EXPECT_GE(a.devices[1].num_bubbles, 1);
+}
+
+TEST(ScheduleAnalysis, RankingsAndLinks) {
+  TwoDeviceFixture f;
+  const ScheduleAnalysis a = AnalyzeSchedule(f.g, f.sim, f.cluster);
+  ASSERT_FALSE(a.top_ops.empty());
+  // b (3 ms) dominates the path.
+  EXPECT_EQ(a.top_ops[0].name, "b");
+  for (size_t i = 1; i < a.top_ops.size(); ++i)
+    EXPECT_GE(a.top_ops[i - 1].seconds, a.top_ops[i].seconds);
+  ASSERT_EQ(a.top_transfers.size(), 1u);
+  EXPECT_EQ(a.top_transfers[0].name, "a");
+  EXPECT_EQ(a.top_transfers[0].bytes, 9 * 1000 * 1000);
+  ASSERT_EQ(a.links.size(), 1u);
+  EXPECT_EQ(a.links[0].src, 0);
+  EXPECT_EQ(a.links[0].dst, 1);
+  EXPECT_EQ(a.links[0].num_transfers, 1);
+  EXPECT_GT(a.links[0].achieved_bandwidth, 0.0);
+}
+
+TEST(ScheduleAnalysis, RenderAndJsonExport) {
+  TwoDeviceFixture f;
+  const ScheduleAnalysis a = AnalyzeSchedule(f.g, f.sim, f.cluster);
+  const std::string text = RenderScheduleAnalysis(f.g, a);
+  EXPECT_NE(text.find("Per-device utilization"), std::string::npos);
+  EXPECT_NE(text.find("critical path"), std::string::npos);
+  const std::string json = ScheduleAnalysisToJson(f.g, a);
+  std::string error;
+  EXPECT_TRUE(JsonValidate(json, &error)) << error;
+  EXPECT_NE(json.find("\"critical_path\""), std::string::npos);
+  EXPECT_NE(json.find("\"devices\""), std::string::npos);
+}
+
+// ---- Trace export ---------------------------------------------------------
+
+TEST(Trace, ChromeTraceIsValidJsonWithFlowAndCounters) {
+  TwoDeviceFixture f;
+  const std::string trace = ExportChromeTrace(f.g, f.sim);
+  std::string error;
+  EXPECT_TRUE(JsonValidate(trace, &error)) << error;
+  // Flow arrow for the a -> b tensor and memory counter samples.
+  EXPECT_NE(trace.find("\"cat\": \"flow\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\": \"s\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\": \"f\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(trace.find("GPU 0 memory"), std::string::npos);
+}
+
+TEST(Trace, MemoryTimelineOnlyWhenRequested) {
+  Graph g;
+  g.AddOp(ComputeOp("a", 1.0));
+  const Cluster c = Cluster::SingleServer(1);
+  EXPECT_TRUE(Simulate(g, {0}, c).memory_timeline.empty());
+  SimOptions options;
+  options.record_memory_timeline = true;
+  const SimResult r = Simulate(g, {0}, c, options);
+  ASSERT_EQ(r.memory_timeline.size(), 1u);
+  EXPECT_FALSE(r.memory_timeline[0].empty());
+}
+
+// ---- Workflow round history ----------------------------------------------
+
+TEST(Workflow, RoundHistoryAndEventsRecorded) {
+  const ModelSpec& spec = FindModel("lenet");
+  CalculatorOptions options;
+  options.max_rounds = 3;
+  const auto ft = RunFastT(spec.build, spec.name, 64, Scaling::kStrong,
+                           Cluster::SingleServer(2), options);
+  ASSERT_EQ(static_cast<int>(ft.round_history.size()), ft.rounds);
+  int commits = 0;
+  for (const RoundSummary& r : ft.round_history) {
+    EXPECT_GT(r.predicted_s, 0.0);
+    EXPECT_GT(r.measured_s, 0.0);
+    EXPECT_GE(r.ops_replaced, 0);
+    if (r.committed) ++commits;
+  }
+  // Every round activates its candidate; the uncommitted ones roll back.
+  EXPECT_EQ(ft.activations, ft.rounds);
+  EXPECT_EQ(commits, ft.activations - ft.rollbacks);
+  // The event log narrates the run and is valid JSONL.
+  EXPECT_GT(ft.events.size(), 0u);
+  EXPECT_TRUE(JsonlValidate(ft.events.ToJsonl()));
+  EXPECT_NE(ft.events.ToJsonl().find("\"event\":\"final\""),
+            std::string::npos);
+}
+
+// ---- TablePrinter alignment ----------------------------------------------
+
+TEST(Table, NumericColumnsRightAlign) {
+  TablePrinter t({"name", "value", "note"});
+  t.AddRow({"alpha", "3.5 ms", "ok"});
+  t.AddRow({"b", "112.0 ms", "longer note"});
+  t.AddRow({"c", "-", "x"});
+  const std::string out = t.Render();
+  // Numeric column pads on the left; text columns pad on the right.
+  EXPECT_NE(out.find("|   3.5 ms |"), std::string::npos);
+  EXPECT_NE(out.find("| 112.0 ms |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha |"), std::string::npos);
+  EXPECT_NE(out.find("| ok          |"), std::string::npos);
+}
+
+TEST(Table, MixedColumnStaysLeftAligned) {
+  TablePrinter t({"col"});
+  t.AddRow({"12.5"});
+  t.AddRow({"word"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("| 12.5 |"), std::string::npos);
+  EXPECT_NE(out.find("| word |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fastt

@@ -10,7 +10,16 @@
 //   fastt export <model> <graph.txt> [--batch B]
 //       Serialize the training graph to the text format.
 //   fastt trace <model> <trace.json> [--gpus N]
-//       Run FastT and dump the final schedule as a Chrome trace.
+//       Run FastT and dump the final schedule as a Chrome trace (with flow
+//       arrows for tensor transfers and per-device memory counter tracks).
+//   fastt analyze <model> [--gpus N] [--servers S] [--batch B] [--json F]
+//       Run FastT and report the realized critical path, per-device
+//       utilization/bubble breakdown, top critical ops/transfers and link
+//       traffic of the final schedule.
+//
+// Every command also accepts a global `--metrics <out.json>` flag that dumps
+// the process metrics registry (counters, timers, gauges — plus the round-
+// by-round workflow event log for run/analyze) on exit.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -22,6 +31,8 @@
 #include "core/strategy_calculator.h"
 #include "graph/serialize.h"
 #include "models/model_zoo.h"
+#include "obs/metrics.h"
+#include "obs/schedule_analysis.h"
 #include "sim/trace.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -34,6 +45,8 @@ struct Args {
   std::string command;
   std::string model;
   std::string path;
+  std::string metrics_path;  // --metrics: dump the metrics registry here
+  std::string json_path;     // --json: machine-readable analysis output
   int gpus = 4;
   int servers = 1;
   int64_t batch = 0;  // 0 = model default
@@ -55,6 +68,10 @@ Args Parse(int argc, char** argv) {
       args.servers = std::atoi(next());
     } else if (a == "--batch") {
       args.batch = std::atoll(next());
+    } else if (a == "--metrics") {
+      args.metrics_path = next();
+    } else if (a == "--json") {
+      args.json_path = next();
     } else if (a == "--weak") {
       args.scaling = Scaling::kWeak;
     } else if (positional == 0) {
@@ -72,6 +89,16 @@ Cluster MakeCluster(const Args& args) {
   return args.servers > 1
              ? Cluster::MultiServer(args.servers, args.gpus / args.servers)
              : Cluster::SingleServer(args.gpus);
+}
+
+// Honors the global --metrics flag; `events` (may be null) is the workflow
+// event log of whatever the command just ran.
+void MaybeWriteMetrics(const Args& args, const EventLog* events) {
+  if (args.metrics_path.empty()) return;
+  if (WriteMetricsJson(args.metrics_path, MetricsRegistry::Global(), events))
+    std::printf("wrote metrics to %s\n", args.metrics_path.c_str());
+  else
+    std::fprintf(stderr, "cannot write %s\n", args.metrics_path.c_str());
 }
 
 int CmdModels() {
@@ -118,6 +145,49 @@ int CmdRun(const Args& args) {
   for (const SplitDecision& s : ft.strategy.splits)
     std::printf("    split %s %s x%d\n", s.op_name.c_str(),
                 SplitDimName(s.dim), s.num_splits);
+  if (!ft.round_history.empty()) {
+    TablePrinter rounds({"round", "predicted", "measured", "rel err",
+                         "replaced", "splits", "decision"});
+    for (const RoundSummary& r : ft.round_history)
+      rounds.AddRow({StrFormat("%d", r.round),
+                     StrFormat("%.3f ms", r.predicted_s * 1e3),
+                     StrFormat("%.3f ms", r.measured_s * 1e3),
+                     StrFormat("%+.1f%%", 100.0 * r.rel_error),
+                     StrFormat("%d", r.ops_replaced),
+                     StrFormat("%d", r.splits),
+                     r.committed ? "commit"
+                     : r.oom     ? "rollback (OOM)"
+                                 : "rollback (slower)"});
+    std::printf("  pre-training rounds (predicted vs measured):\n");
+    rounds.Print();
+  }
+  MaybeWriteMetrics(args, &ft.events);
+  return 0;
+}
+
+int CmdAnalyze(const Args& args) {
+  const ModelSpec& spec = FindModel(args.model);
+  const int64_t batch = args.batch > 0 ? args.batch : spec.strong_batch;
+  const Cluster cluster = MakeCluster(args);
+  std::printf("FastT schedule analysis: %s, batch %lld, %s\n\n",
+              spec.name.c_str(), (long long)batch,
+              cluster.ToString().c_str());
+  CalculatorOptions options;
+  const auto ft = RunFastT(spec.build, spec.name, batch, args.scaling,
+                           cluster, options);
+  const ScheduleAnalysis analysis =
+      AnalyzeSchedule(ft.graph, ft.final_sim, cluster);
+  std::fputs(RenderScheduleAnalysis(ft.graph, analysis).c_str(), stdout);
+  if (!args.json_path.empty()) {
+    std::ofstream out(args.json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", args.json_path.c_str());
+      return 1;
+    }
+    out << ScheduleAnalysisToJson(ft.graph, analysis) << "\n";
+    std::printf("\nwrote analysis JSON to %s\n", args.json_path.c_str());
+  }
+  MaybeWriteMetrics(args, &ft.events);
   return 0;
 }
 
@@ -193,12 +263,21 @@ int CmdTrace(const Args& args) {
   CalculatorOptions options;
   const auto ft = RunFastT(spec.build, spec.name, spec.strong_batch,
                            Scaling::kStrong, cluster, options);
-  if (!WriteChromeTrace(ft.graph, ft.final_sim, args.path)) {
+  // Re-simulate the final strategy with the memory timeline recorder on so
+  // the trace gets per-device live-memory counter tracks.
+  SimOptions so;
+  so.dispatch = DispatchMode::kPriority;
+  so.priorities =
+      PrioritiesFromOrder(ft.strategy.execution_order, ft.graph.num_slots());
+  so.record_memory_timeline = true;
+  const SimResult sim = Simulate(ft.graph, ft.strategy.placement, cluster, so);
+  if (!WriteChromeTrace(ft.graph, sim, args.path)) {
     std::fprintf(stderr, "cannot write %s\n", args.path.c_str());
     return 1;
   }
   std::printf("wrote %s — load in chrome://tracing or Perfetto\n",
               args.path.c_str());
+  MaybeWriteMetrics(args, &ft.events);
   return 0;
 }
 
@@ -211,7 +290,10 @@ int Usage() {
                "  fastt compare <model> [--gpus N] [--servers S] "
                "[--batch B]\n"
                "  fastt export <model> <graph.txt> [--batch B]\n"
-               "  fastt trace <model> <trace.json> [--gpus N]\n");
+               "  fastt trace <model> <trace.json> [--gpus N]\n"
+               "  fastt analyze <model> [--gpus N] [--servers S] "
+               "[--batch B] [--json F]\n"
+               "options: every command accepts --metrics <out.json>\n");
   return 2;
 }
 
@@ -220,12 +302,24 @@ int Usage() {
 int main(int argc, char** argv) {
   const Args args = Parse(argc, argv);
   try {
-    if (args.command == "models") return CmdModels();
+    if (args.command == "models") {
+      const int rc = CmdModels();
+      MaybeWriteMetrics(args, nullptr);
+      return rc;
+    }
     if (args.command == "run" && !args.model.empty()) return CmdRun(args);
-    if (args.command == "compare" && !args.model.empty())
-      return CmdCompare(args);
-    if (args.command == "export" && !args.path.empty())
-      return CmdExport(args);
+    if (args.command == "analyze" && !args.model.empty())
+      return CmdAnalyze(args);
+    if (args.command == "compare" && !args.model.empty()) {
+      const int rc = CmdCompare(args);
+      MaybeWriteMetrics(args, nullptr);
+      return rc;
+    }
+    if (args.command == "export" && !args.path.empty()) {
+      const int rc = CmdExport(args);
+      MaybeWriteMetrics(args, nullptr);
+      return rc;
+    }
     if (args.command == "trace" && !args.path.empty()) return CmdTrace(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
