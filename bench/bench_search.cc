@@ -1,0 +1,325 @@
+// bench_search — wall-clock of the strategy search engine itself (not the
+// simulated training it optimizes): OS-DPOS end-to-end at --jobs 1 vs
+// --jobs N on one model, verifying the parallel run produces a byte-identical
+// strategy, plus the incremental-resimulation speedup over full re-simulation
+// for single-op re-placements. These back the PR's "search acceleration"
+// claims; the paper's own tables time the simulated cluster, this times the
+// host-side algorithms.
+//
+// Usage: bench_search [--model NAME] [--gpus N] [--batch N] [--jobs N]
+//                     [--repeat N] [--edits N]
+// Defaults exercise the headline configuration (largest zoo model, 8 GPUs,
+// jobs 8); CI smoke runs pass e.g. `--model lenet --gpus 2 --repeat 1`.
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness.h"
+#include "core/data_parallel.h"
+#include "core/os_dpos.h"
+#include "core/strategy_io.h"
+#include "sim/exec_sim.h"
+#include "sim/incremental_sim.h"
+#include "sim/profiler.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace fastt {
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct SearchInput {
+  Graph graph;
+  Cluster cluster;
+  CompCostModel comp;
+  CommCostModel comm;
+  std::vector<DeviceId> placement;
+};
+
+SearchInput Prepare(const std::string& model, int gpus, int64_t batch) {
+  const ModelSpec& spec = FindModel(model);
+  SearchInput in{Graph{}, Cluster::SingleServer(gpus), {}, {}, {}};
+  auto dp = BuildDataParallel(spec.build, spec.name,
+                              batch > 0 ? batch : spec.strong_batch, gpus,
+                              Scaling::kStrong);
+  in.placement = CanonicalDataParallelPlacement(dp);
+  in.graph = std::move(dp.graph);
+  SimOptions so;
+  so.noise_cv = 0.03;
+  so.seed = 11;
+  const RunProfile profile = ExtractProfile(
+      in.graph, Simulate(in.graph, in.placement, in.cluster, so));
+  in.comp.AddProfile(profile);
+  in.comm.AddProfile(profile);
+  return in;
+}
+
+struct SearchTiming {
+  double best_s = 0.0;
+  int probes = 0;
+  std::string strategy;  // serialized, for the byte-identity check
+};
+
+SearchTiming TimeSearch(const SearchInput& in, int jobs, int repeat) {
+  SetSearchJobs(jobs);
+  SearchTiming t;
+  for (int r = 0; r < repeat; ++r) {
+    const double t0 = Now();
+    const OsDposResult os = OsDpos(in.graph, in.cluster, in.comp, in.comm);
+    const double elapsed = Now() - t0;
+    if (r == 0 || elapsed < t.best_s) t.best_s = elapsed;
+    t.probes = os.probes;
+    t.strategy = SerializeStrategy(os.schedule.strategy);
+  }
+  SetSearchJobs(1);
+  return t;
+}
+
+struct ResimTiming {
+  double incremental_s = 0.0;
+  double full_s = 0.0;
+  int edits = 0;
+};
+
+// Which ops a resim benchmark edits. The dirty cone of an exact incremental
+// replay spans the timeline from the edited op's earliest possible effect —
+// its *data-readiness* on the new device — so the three modes probe the
+// spectrum: kRandom edits dirty most of the timeline on a data-parallel
+// graph (ops are data-ready long before their device frees up, so a move
+// can legitimately reshuffle the target device's whole schedule); kTail
+// restricts edits to the last decile by cached start, which helps only when
+// readiness is also late; kLatest re-places the latest-starting op — the
+// critical-path refinement move of a local search — whose cone is tiny.
+enum class EditMode { kRandom, kTail, kLatest };
+
+// Single-op re-placements, re-simulated both ways.
+ResimTiming TimeResim(const SearchInput& in, int edits, EditMode mode) {
+  SimOptions so;
+  so.track_memory = false;
+  ResimTiming t;
+  t.edits = edits;
+  Rng rng(23);
+  auto live = in.graph.LiveOps();
+
+  std::vector<DeviceId> placement = in.placement;
+  IncrementalSim inc(in.graph, placement, in.cluster, so);
+  const auto& recs = inc.result().op_records;
+  if (mode == EditMode::kTail) {
+    std::vector<double> starts;
+    starts.reserve(live.size());
+    for (OpId id : live)
+      starts.push_back(recs[static_cast<size_t>(id)].start);
+    std::nth_element(starts.begin(), starts.begin() + starts.size() * 9 / 10,
+                     starts.end());
+    const double cutoff = starts[starts.size() * 9 / 10];
+    live.erase(std::remove_if(live.begin(), live.end(),
+                              [&](OpId id) {
+                                return recs[static_cast<size_t>(id)].start <
+                                       cutoff;
+                              }),
+               live.end());
+  } else if (mode == EditMode::kLatest) {
+    OpId latest = live.front();
+    for (OpId id : live)
+      if (recs[static_cast<size_t>(id)].start >
+          recs[static_cast<size_t>(latest)].start)
+        latest = id;
+    live.assign(1, latest);
+  }
+  // Draw (op, device) moves that actually change the placement: a no-op
+  // move is free for the incremental side but a full re-simulation for the
+  // baseline, which would flatter the speedup.
+  std::vector<std::pair<OpId, DeviceId>> moves;
+  std::vector<DeviceId> scratch = placement;
+  while (static_cast<int>(moves.size()) < edits) {
+    const OpId op = live[rng.NextBelow(live.size())];
+    const DeviceId dev = static_cast<DeviceId>(rng.NextBelow(
+        static_cast<uint64_t>(in.cluster.num_devices())));
+    if (scratch[static_cast<size_t>(op)] == dev) continue;
+    scratch[static_cast<size_t>(op)] = dev;
+    moves.push_back({op, dev});
+  }
+
+  double t0 = Now();
+  for (const auto& [op, dev] : moves) inc.Replace(op, dev);
+  t.incremental_s = Now() - t0;
+
+  t0 = Now();
+  double checksum = 0.0;
+  for (const auto& [op, dev] : moves) {
+    placement[static_cast<size_t>(op)] = dev;
+    checksum += Simulate(in.graph, placement, in.cluster, so).makespan;
+  }
+  t.full_s = Now() - t0;
+
+  // The two paths must agree on the final timeline (the property tests do
+  // the exhaustive version of this; here it guards the numbers we report).
+  const SimResult full = Simulate(in.graph, placement, in.cluster, so);
+  if (inc.result().makespan != full.makespan || checksum <= 0.0) {
+    std::fprintf(stderr, "incremental/full divergence: %.17g vs %.17g\n",
+                 inc.result().makespan, full.makespan);
+    std::exit(1);
+  }
+  return t;
+}
+
+int Run(int argc, char** argv) {
+  std::string model = "bert_large";
+  int gpus = 8;
+  int64_t batch = 0;
+  int jobs = 8;
+  int repeat = 3;
+  int edits = 200;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value after %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--model")) {
+      model = next();
+    } else if (!std::strcmp(argv[i], "--gpus")) {
+      gpus = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--batch")) {
+      batch = std::atoll(next());
+    } else if (!std::strcmp(argv[i], "--jobs")) {
+      jobs = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--repeat")) {
+      repeat = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--edits")) {
+      edits = std::atoi(next());
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  const SearchInput in = Prepare(model, gpus, batch);
+  const int host_cores =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  // Timing more threads than the host has cores only measures scheduler
+  // churn, so the timed parallel run is clamped to the core count; the
+  // byte-identity check still runs at the requested width (determinism must
+  // hold regardless of how much the threads actually overlap).
+  const int jobs_eff = std::min(jobs, host_cores);
+  std::printf("bench_search: %s, %d GPUs, %d live ops, %d host cores\n",
+              model.c_str(), gpus, in.graph.num_live_ops(), host_cores);
+
+  const SearchTiming serial = TimeSearch(in, 1, repeat);
+  const SearchTiming parallel = TimeSearch(in, jobs_eff, repeat);
+  const SearchTiming identity =
+      jobs_eff == jobs ? parallel : TimeSearch(in, jobs, 1);
+  const bool identical = identity.strategy == serial.strategy &&
+                         parallel.strategy == serial.strategy;
+  const double search_speedup =
+      parallel.best_s > 0.0 ? serial.best_s / parallel.best_s : 0.0;
+
+  const ResimTiming resim = TimeResim(in, edits, EditMode::kRandom);
+  const double resim_speedup =
+      resim.incremental_s > 0.0 ? resim.full_s / resim.incremental_s : 0.0;
+  const ResimTiming tail = TimeResim(in, edits, EditMode::kTail);
+  const double tail_speedup =
+      tail.incremental_s > 0.0 ? tail.full_s / tail.incremental_s : 0.0;
+  const ResimTiming latest = TimeResim(in, edits, EditMode::kLatest);
+  const double latest_speedup =
+      latest.incremental_s > 0.0 ? latest.full_s / latest.incremental_s : 0.0;
+
+  TablePrinter table({"measurement", "serial", "parallel", "speedup"});
+  table.AddRow({StrFormat("OS-DPOS (%d probes), jobs %d of %d", serial.probes,
+                          jobs_eff, jobs),
+                StrFormat("%.3fs", serial.best_s),
+                StrFormat("%.3fs", parallel.best_s),
+                StrFormat("%.2fx", search_speedup)});
+  table.AddRow({StrFormat("re-sim x%d random edits", resim.edits),
+                StrFormat("%.3fs", resim.full_s),
+                StrFormat("%.3fs", resim.incremental_s),
+                StrFormat("%.2fx", resim_speedup)});
+  table.AddRow({StrFormat("re-sim x%d tail edits", tail.edits),
+                StrFormat("%.3fs", tail.full_s),
+                StrFormat("%.3fs", tail.incremental_s),
+                StrFormat("%.2fx", tail_speedup)});
+  table.AddRow({StrFormat("re-sim x%d latest-op edits", latest.edits),
+                StrFormat("%.3fs", latest.full_s),
+                StrFormat("%.3fs", latest.incremental_s),
+                StrFormat("%.2fx", latest_speedup)});
+  std::printf("%s", table.Render().c_str());
+  std::printf("strategies byte-identical across jobs: %s\n",
+              identical ? "yes" : "NO");
+
+  if (const char* path = std::getenv("FASTT_BENCH_JSON");
+      path != nullptr && *path != '\0') {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("benchmark");
+    w.String("bench_search");
+    w.Key("model");
+    w.String(model);
+    w.Key("gpus");
+    w.Int(gpus);
+    w.Key("jobs");
+    w.Int(jobs);
+    w.Key("jobs_effective");
+    w.Int(jobs_eff);
+    w.Key("host_cores");
+    w.Int(host_cores);
+    w.Key("live_ops");
+    w.Int(in.graph.num_live_ops());
+    w.Key("osdpos_probes");
+    w.Int(serial.probes);
+    w.Key("osdpos_serial_s");
+    w.Number(serial.best_s);
+    w.Key("osdpos_parallel_s");
+    w.Number(parallel.best_s);
+    w.Key("osdpos_speedup");
+    w.Number(search_speedup);
+    w.Key("strategies_identical");
+    w.Bool(identical);
+    w.Key("resim_edits");
+    w.Int(resim.edits);
+    w.Key("resim_full_s");
+    w.Number(resim.full_s);
+    w.Key("resim_incremental_s");
+    w.Number(resim.incremental_s);
+    w.Key("resim_speedup");
+    w.Number(resim_speedup);
+    w.Key("resim_tail_full_s");
+    w.Number(tail.full_s);
+    w.Key("resim_tail_incremental_s");
+    w.Number(tail.incremental_s);
+    w.Key("resim_tail_speedup");
+    w.Number(tail_speedup);
+    w.Key("resim_latest_full_s");
+    w.Number(latest.full_s);
+    w.Key("resim_latest_incremental_s");
+    w.Number(latest.incremental_s);
+    w.Key("resim_latest_speedup");
+    w.Number(latest_speedup);
+    w.Key("metrics");
+    w.Raw(MetricsRegistry::Global().ToJson());
+    w.EndObject();
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path);
+    } else {
+      out << w.str() << "\n";
+      std::printf("wrote benchmark JSON to %s\n", path);
+    }
+  }
+
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace fastt
+
+int main(int argc, char** argv) { return fastt::Run(argc, argv); }

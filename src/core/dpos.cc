@@ -13,6 +13,7 @@
 #include "core/timeline.h"
 #include "obs/metrics.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace fastt {
 namespace {
@@ -56,8 +57,33 @@ DposResult Dpos(const Graph& g, const Cluster& cluster,
   FASTT_CHECK(n_dev >= 1);
   const size_t slots = static_cast<size_t>(g.num_slots());
 
+  // Read-mostly cost snapshots: one model lookup per (op, device) and per
+  // device pair up front; every query below — including from worker threads —
+  // is an unsynchronized array read.
+  const CompCostTable comp_t(g, comp, n_dev);
+  const CommCostTable comm_t(comm, n_dev);
+  // Memoized per-slot placement memory demand (MemNeed walks successor
+  // lists; the device-selection loops ask for it O(devices · CP) times).
+  std::vector<int64_t> mem_need(slots, 0);
+  for (OpId id : g.LiveOps())
+    mem_need[static_cast<size_t>(id)] = MemNeed(g, id);
+
+  // Candidate-device loops fan out across the search pool when wide enough;
+  // each device writes its verdict into its own slot and the reduction runs
+  // serially in ascending device order, so the chosen device is identical
+  // for any thread count (--jobs 1 is the reference semantics).
+  //
+  // The two loops have very different grain. The CP prefix scan walks the
+  // whole remaining critical path per device, so it pays off from a handful
+  // of devices. Per-pop candidate scoring is O(fan-in) per device — a few
+  // microseconds — and runs once per placed op (tens of thousands of times),
+  // so below ~16 devices the pool hand-off costs more than the scan and the
+  // loop must stay inline.
+  constexpr size_t kMinParallelDevices = 4;
+  constexpr size_t kMinParallelScoreDevices = 16;
+
   DposResult result;
-  result.rank = ComputeRankU(g, comp, comm, n_dev);
+  result.rank = ComputeRankU(g, comp_t, comm_t);
   result.critical_path = CriticalPathByRank(g, result.rank);
   result.start_time.assign(slots, 0.0);
   result.finish_time.assign(slots, 0.0);
@@ -79,31 +105,44 @@ DposResult Dpos(const Graph& g, const Cluster& cluster,
   std::unordered_set<OpId> on_cp(result.critical_path.begin(),
                                  result.critical_path.end());
   if (options.use_critical_path_device) {
+    struct CpCandidate {
+      double avg = kInf;
+      size_t count = 0;
+    };
+    std::vector<CpCandidate> cands(static_cast<size_t>(n_dev));
     size_t pos = 0;
     while (pos < result.critical_path.size()) {
+      // Per-device prefix scan, parallel across devices.
+      ParallelFor(
+          static_cast<size_t>(n_dev),
+          [&](size_t di) {
+            const DeviceId d = static_cast<DeviceId>(di);
+            int64_t free = mem_budget[di] - planned_mem[di];
+            double total = 0.0;
+            size_t count = 0;
+            for (size_t i = pos; i < result.critical_path.size(); ++i) {
+              const OpId cp_op = result.critical_path[i];
+              if (mem_need[static_cast<size_t>(cp_op)] > free) break;
+              free -= mem_need[static_cast<size_t>(cp_op)];
+              total += comp_t.Time(cp_op, d);
+              ++count;
+            }
+            cands[di].count = count;
+            cands[di].avg =
+                count == 0 ? kInf : total / static_cast<double>(count);
+          },
+          kMinParallelDevices);
       DeviceId best = kInvalidDevice;
       double best_avg = kInf;
       size_t best_count = 0;
       for (DeviceId d = 0; d < n_dev; ++d) {
-        int64_t free = mem_budget[static_cast<size_t>(d)] -
-                       planned_mem[static_cast<size_t>(d)];
-        double total = 0.0;
-        size_t count = 0;
-        for (size_t i = pos; i < result.critical_path.size(); ++i) {
-          const OpId cp_op = result.critical_path[i];
-          const Operation& op = g.op(cp_op);
-          if (MemNeed(g, cp_op) > free) break;
-          free -= MemNeed(g, cp_op);
-          total += comp.EstimateOrExplore(op, d);
-          ++count;
-        }
-        if (count == 0) continue;
-        const double avg = total / static_cast<double>(count);
-        if (avg < best_avg - 1e-15 ||
-            (avg <= best_avg + 1e-15 && count > best_count)) {
-          best_avg = avg;
+        const CpCandidate& c = cands[static_cast<size_t>(d)];
+        if (c.count == 0) continue;
+        if (c.avg < best_avg - 1e-15 ||
+            (c.avg <= best_avg + 1e-15 && c.count > best_count)) {
+          best_avg = c.avg;
           best = d;
-          best_count = count;
+          best_count = c.count;
         }
       }
       if (best == kInvalidDevice) {
@@ -115,7 +154,8 @@ DposResult Dpos(const Graph& g, const Cluster& cluster,
       for (size_t i = pos; i < pos + best_count; ++i) {
         const OpId id = result.critical_path[i];
         cp_device[id] = best;
-        planned_mem[static_cast<size_t>(best)] += MemNeed(g, id);
+        planned_mem[static_cast<size_t>(best)] +=
+            mem_need[static_cast<size_t>(id)];
       }
       pos += best_count;
     }
@@ -147,7 +187,8 @@ DposResult Dpos(const Graph& g, const Cluster& cluster,
   std::map<std::pair<OpId, DeviceId>, double> sent_arrival;
 
   // Earliest data-ready time of `op` on device `d` given placed preds.
-  // Evaluation-only: consults but does not advance the channel state.
+  // Evaluation-only: consults but does not advance the channel state, so
+  // concurrent evaluations for different candidate devices are safe.
   auto ready_time = [&](OpId op, DeviceId d) {
     double t = 0.0;
     for (EdgeId e : g.in_edges(op)) {
@@ -165,7 +206,7 @@ DposResult Dpos(const Graph& g, const Cluster& cluster,
           const double start =
               std::max({ft, egress_free[static_cast<size_t>(pd)],
                         ingress_free[static_cast<size_t>(d)]});
-          arrival = start + comm.Estimate(pd, d, edge.bytes);
+          arrival = start + comm_t.Estimate(pd, d, edge.bytes);
         }
       }
       t = std::max(t, arrival);
@@ -186,12 +227,12 @@ DposResult Dpos(const Graph& g, const Cluster& cluster,
       const double start =
           std::max({ft, egress_free[static_cast<size_t>(pd)],
                     ingress_free[static_cast<size_t>(d)]});
-      const double dur = comm.Estimate(pd, d, edge.bytes);
+      const double dur = comm_t.Estimate(pd, d, edge.bytes);
       egress_free[static_cast<size_t>(pd)] = start + dur;
       ingress_free[static_cast<size_t>(d)] = start + dur;
       sent_arrival[{edge.src, d}] = start + dur;
     }
-    const double w = comp.EstimateOrExplore(g.op(op), d);
+    const double w = comp_t.Time(op, d);
     const double ready = ready_time(op, d);
     const double start = timeline[static_cast<size_t>(d)].EarliestSlot(ready, w);
     timeline[static_cast<size_t>(d)].Commit(start, w, op);
@@ -199,6 +240,48 @@ DposResult Dpos(const Graph& g, const Cluster& cluster,
     result.start_time[static_cast<size_t>(op)] = start;
     result.finish_time[static_cast<size_t>(op)] = start + w;
   };
+
+  // Candidate score of placing `op` on `d`: EFT plus the communication
+  // affinity term. Returns +inf when the device lacks memory.
+  auto device_score = [&](OpId op, DeviceId d) {
+    if (planned_mem[static_cast<size_t>(d)] +
+            mem_need[static_cast<size_t>(op)] >
+        mem_budget[static_cast<size_t>(d)])
+      return kInf;
+    const double w = comp_t.Time(op, d);
+    const double ready = ready_time(op, d);
+    const double eft =
+        timeline[static_cast<size_t>(d)].EarliestSlot(ready, w) + w;
+    double score = eft;
+    if (options.comm_affinity > 0.0) {
+      double traffic = 0.0;
+      for (EdgeId e : g.in_edges(op)) {
+        const Edge& edge = g.edge(e);
+        if (edge.dead || g.op(edge.src).dead) continue;
+        const DeviceId pd =
+            result.strategy.placement[static_cast<size_t>(edge.src)];
+        traffic += comm_t.Estimate(pd, d, edge.bytes);
+      }
+      for (EdgeId e : g.out_edges(op)) {
+        const Edge& edge = g.edge(e);
+        if (edge.dead || g.op(edge.dst).dead) continue;
+        // Consumers are unplaced, but colocation can already pin them
+        // (gradients flowing toward a parameter's aggregation/update
+        // site) — exactly the traffic §6.5's placements avoid.
+        const OpId anchor = g.op(edge.dst).colocate_with;
+        if (anchor == kInvalidOp) continue;
+        const DeviceId ad =
+            result.strategy.placement[static_cast<size_t>(anchor)];
+        if (ad != kInvalidDevice)
+          traffic += comm_t.Estimate(d, ad, edge.bytes);
+      }
+      score += options.comm_affinity * traffic;
+    }
+    return score;
+  };
+
+  const char* trace = std::getenv("FASTT_DPOS_TRACE");
+  std::vector<double> scores(static_cast<size_t>(n_dev), kInf);
 
   size_t placed = 0;
   while (!queue.empty()) {
@@ -213,52 +296,31 @@ DposResult Dpos(const Graph& g, const Cluster& cluster,
         result.strategy.placement[static_cast<size_t>(colocate)] !=
             kInvalidDevice) {
       chosen = result.strategy.placement[static_cast<size_t>(colocate)];
-      planned_mem[static_cast<size_t>(chosen)] += MemNeed(g, op);
+      planned_mem[static_cast<size_t>(chosen)] +=
+          mem_need[static_cast<size_t>(op)];
     } else if (cp_it != cp_device.end()) {
       chosen = cp_it->second;  // memory already reserved in phase 1
     } else {
-      // Min-(EFT + communication affinity) over memory-feasible devices.
+      // Min-(EFT + communication affinity) over memory-feasible devices:
+      // score every candidate (in parallel when wide enough), then reduce
+      // serially in device order — first strict improvement wins, matching
+      // the serial loop's tie-break exactly.
+      const bool tracing =
+          trace != nullptr && o.name.find(trace) != std::string::npos;
+      ParallelFor(
+          static_cast<size_t>(n_dev),
+          [&](size_t di) {
+            scores[di] = device_score(op, static_cast<DeviceId>(di));
+          },
+          tracing ? static_cast<size_t>(n_dev) + 1 : kMinParallelScoreDevices);
+      if (tracing) {
+        for (DeviceId d = 0; d < n_dev; ++d)
+          std::fprintf(stderr, "dpos %-28s d%d: score=%.4f\n",
+                       o.name.c_str(), d, scores[static_cast<size_t>(d)]);
+      }
       double best_score = kInf;
       for (DeviceId d = 0; d < n_dev; ++d) {
-        if (planned_mem[static_cast<size_t>(d)] + MemNeed(g, op) >
-            mem_budget[static_cast<size_t>(d)])
-          continue;
-        const double w = comp.EstimateOrExplore(o, d);
-        const double ready = ready_time(op, d);
-        const double eft =
-            timeline[static_cast<size_t>(d)].EarliestSlot(ready, w) + w;
-        double score = eft;
-        if (options.comm_affinity > 0.0) {
-          double traffic = 0.0;
-          for (EdgeId e : g.in_edges(op)) {
-            const Edge& edge = g.edge(e);
-            if (edge.dead || g.op(edge.src).dead) continue;
-            const DeviceId pd =
-                result.strategy.placement[static_cast<size_t>(edge.src)];
-            traffic += comm.Estimate(pd, d, edge.bytes);
-          }
-          for (EdgeId e : g.out_edges(op)) {
-            const Edge& edge = g.edge(e);
-            if (edge.dead || g.op(edge.dst).dead) continue;
-            // Consumers are unplaced, but colocation can already pin them
-            // (gradients flowing toward a parameter's aggregation/update
-            // site) — exactly the traffic §6.5's placements avoid.
-            const OpId anchor = g.op(edge.dst).colocate_with;
-            if (anchor == kInvalidOp) continue;
-            const DeviceId ad =
-                result.strategy.placement[static_cast<size_t>(anchor)];
-            if (ad != kInvalidDevice)
-              traffic += comm.Estimate(d, ad, edge.bytes);
-          }
-          score += options.comm_affinity * traffic;
-        }
-        if (const char* trace = std::getenv("FASTT_DPOS_TRACE");
-            trace != nullptr && o.name.find(trace) != std::string::npos) {
-          std::fprintf(stderr,
-                       "dpos %-28s d%d: w=%.4f ready=%.4f eft=%.4f "
-                       "score=%.4f\n",
-                       o.name.c_str(), d, w, ready, eft, score);
-        }
+        const double score = scores[static_cast<size_t>(d)];
         if (score < best_score) {
           best_score = score;
           chosen = d;
@@ -278,7 +340,8 @@ DposResult Dpos(const Graph& g, const Cluster& cluster,
           }
         }
       }
-      planned_mem[static_cast<size_t>(chosen)] += MemNeed(g, op);
+      planned_mem[static_cast<size_t>(chosen)] +=
+          mem_need[static_cast<size_t>(op)];
     }
 
     schedule_on(op, chosen);

@@ -1,9 +1,11 @@
 #include "core/os_dpos.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "graph/rewrite.h"
 #include "obs/metrics.h"
+#include "util/thread_pool.h"
 
 namespace fastt {
 namespace {
@@ -53,28 +55,52 @@ OsDposResult OsDpos(const Graph& g, const Cluster& cluster,
     if (result.graph.op(op).dead) continue;  // consumed by an earlier commit
     ++probed;
 
-    // Probe every (dimension, count) rewrite of this op.
+    // Probe every (dimension, count) rewrite of this op. The trial list is
+    // built serially (dims outer, counts inner — the serial probe order),
+    // each trial evaluated independently into its own slot, and the winner
+    // reduced serially in trial order with the same strict `<`, so the
+    // committed split is identical for any --jobs value. Each trial is a
+    // full graph copy + rewrite + Dpos, which is exactly the coarse-grained
+    // work that amortizes thread hand-off.
+    struct Trial {
+      SplitDim dim;
+      int n;
+      bool viable = false;
+      Graph graph;
+      DposResult sched;
+    };
+    std::vector<Trial> trials;
+    for (SplitDim dim : ParallelizableDims(result.graph.op(op).type)) {
+      for (int n : counts) {
+        if (!CanSplit(result.graph, op, dim, n)) continue;
+        trials.push_back(Trial{dim, n});
+      }
+    }
+    ParallelFor(trials.size(), [&](size_t i) {
+      Trial& t = trials[i];
+      Graph trial = result.graph;
+      SplitOperation(trial, op, t.dim, t.n);
+      DposResult sched = Dpos(trial, cluster, comp, comm, options.dpos);
+      if (sched.memory_overflow) return;
+      t.viable = true;
+      t.graph = std::move(trial);
+      t.sched = std::move(sched);
+    });
+    result.probes += static_cast<int>(trials.size());
+
     double best_ft = ft_old;
     Graph best_graph;
     DposResult best_schedule;
     SplitDecision best_decision;
     bool improved = false;
-    for (SplitDim dim : ParallelizableDims(result.graph.op(op).type)) {
-      for (int n : counts) {
-        if (!CanSplit(result.graph, op, dim, n)) continue;
-        Graph trial = result.graph;
-        SplitOperation(trial, op, dim, n);
-        DposResult sched = Dpos(trial, cluster, comp, comm, options.dpos);
-        ++result.probes;
-        if (sched.memory_overflow) continue;
-        if (sched.ft_exit < best_ft) {
-          best_ft = sched.ft_exit;
-          best_graph = std::move(trial);
-          best_schedule = std::move(sched);
-          best_decision =
-              SplitDecision{result.graph.op(op).name, dim, n};
-          improved = true;
-        }
+    for (Trial& t : trials) {
+      if (!t.viable) continue;
+      if (t.sched.ft_exit < best_ft) {
+        best_ft = t.sched.ft_exit;
+        best_graph = std::move(t.graph);
+        best_schedule = std::move(t.sched);
+        best_decision = SplitDecision{result.graph.op(op).name, t.dim, t.n};
+        improved = true;
       }
     }
 

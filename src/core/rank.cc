@@ -14,6 +14,13 @@ std::vector<double> ComputeRankU(const Graph& g, const CompCostModel& comp,
       [&](const Edge& e) { return comm.MaxOverPairs(e.bytes); });
 }
 
+std::vector<double> ComputeRankU(const Graph& g, const CompCostTable& comp,
+                                 const CommCostTable& comm) {
+  return g.LongestPathFromExit(
+      [&](const Operation& op) { return comp.MaxOverDevices(op.id); },
+      [&](const Edge& e) { return comm.MaxOverPairs(e.bytes); });
+}
+
 std::vector<OpId> CriticalPathByRank(const Graph& g,
                                      const std::vector<double>& rank) {
   OpId best = kInvalidOp;

@@ -11,6 +11,7 @@
 
 #include "cost/comm_cost.h"
 #include "cost/comp_cost.h"
+#include "cost/cost_table.h"
 #include "graph/graph.h"
 
 namespace fastt {
@@ -19,6 +20,10 @@ namespace fastt {
 std::vector<double> ComputeRankU(const Graph& g, const CompCostModel& comp,
                                  const CommCostModel& comm,
                                  int32_t num_devices);
+
+// Same, reading from dense cost-table snapshots (the search hot path).
+std::vector<double> ComputeRankU(const Graph& g, const CompCostTable& comp,
+                                 const CommCostTable& comm);
 
 // The critical path: starting from the live op with the largest rank,
 // repeatedly follow the successor with the largest rank.

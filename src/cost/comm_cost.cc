@@ -10,6 +10,7 @@ namespace fastt {
 void CommCostModel::AddSample(DeviceId src, DeviceId dst, int64_t bytes,
                               double duration_s) {
   models_[{src, dst}].Add(static_cast<double>(bytes), duration_s);
+  ++version_;
 }
 
 void CommCostModel::AddProfile(const RunProfile& profile) {

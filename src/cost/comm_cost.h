@@ -31,7 +31,13 @@ class CommCostModel {
 
   bool KnowsPair(DeviceId src, DeviceId dst) const;
   size_t num_pairs() const { return models_.size(); }
-  void Clear() { models_.clear(); }
+  void Clear() {
+    models_.clear();
+    ++version_;
+  }
+
+  // Monotonic mutation counter (see CompCostModel::version).
+  uint64_t version() const { return version_; }
 
   // Fitted parameters for inspection/tests.
   std::optional<std::pair<double, double>> InterceptSlope(DeviceId src,
@@ -45,6 +51,7 @@ class CommCostModel {
 
  private:
   std::map<std::pair<DeviceId, DeviceId>, LinearRegression> models_;
+  uint64_t version_ = 0;
 };
 
 }  // namespace fastt

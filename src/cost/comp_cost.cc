@@ -9,6 +9,7 @@ namespace fastt {
 void CompCostModel::AddSample(const std::string& cost_key, DeviceId device,
                               double duration_s) {
   entries_[cost_key].by_device[device].Add(duration_s);
+  ++version_;
 }
 
 void CompCostModel::AddProfile(const RunProfile& profile) {
@@ -54,7 +55,10 @@ size_t CompCostModel::num_entries() const {
   return n;
 }
 
-void CompCostModel::Clear() { entries_.clear(); }
+void CompCostModel::Clear() {
+  entries_.clear();
+  ++version_;
+}
 
 std::string CompCostModel::Serialize() const {
   std::string out;

@@ -49,6 +49,11 @@ class CompCostModel {
   size_t num_entries() const;
   void Clear();
 
+  // Monotonic mutation counter: bumped by every AddSample/Clear. Dense
+  // snapshots (CompCostTable) record it so staleness after a profiling
+  // round is detectable.
+  uint64_t version() const { return version_; }
+
   // Text (de)serialization: one "key<TAB>device<TAB>mean<TAB>count" per line.
   std::string Serialize() const;
   static CompCostModel Deserialize(const std::string& text);
@@ -58,6 +63,7 @@ class CompCostModel {
     std::unordered_map<DeviceId, OnlineMean> by_device;
   };
   std::unordered_map<std::string, PerDevice> entries_;
+  uint64_t version_ = 0;
 };
 
 }  // namespace fastt

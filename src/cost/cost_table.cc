@@ -1,0 +1,65 @@
+#include "cost/cost_table.h"
+
+namespace fastt {
+
+CompCostTable::CompCostTable(const Graph& g, const CompCostModel& model,
+                             int32_t num_devices)
+    : num_devices_(num_devices),
+      num_slots_(g.num_slots()),
+      model_version_(model.version()) {
+  const size_t slots = static_cast<size_t>(num_slots_);
+  const size_t devs = static_cast<size_t>(num_devices_);
+  times_.assign(slots * devs, 0.0);
+  max_time_.assign(slots, 0.0);
+  for (OpId id = 0; id < num_slots_; ++id) {
+    const Operation& op = g.op(id);
+    if (op.dead) continue;
+    double best = 0.0;
+    for (DeviceId d = 0; d < num_devices_; ++d) {
+      const double t = model.EstimateOrExplore(op, d);
+      times_[static_cast<size_t>(id) * devs + static_cast<size_t>(d)] = t;
+      best = t > best ? t : best;
+    }
+    max_time_[static_cast<size_t>(id)] = best;
+  }
+}
+
+bool CompCostTable::Fresh(const Graph& g, const CompCostModel& model) const {
+  return model_version_ == model.version() && num_slots_ == g.num_slots();
+}
+
+CommCostTable::CommCostTable(const CommCostModel& model, int32_t num_devices)
+    : num_devices_(num_devices), model_version_(model.version()) {
+  pairs_.assign(static_cast<size_t>(num_devices_) *
+                    static_cast<size_t>(num_devices_),
+                Pair{});
+  for (DeviceId src = 0; src < num_devices_; ++src) {
+    for (DeviceId dst = 0; dst < num_devices_; ++dst) {
+      if (src == dst) continue;
+      if (auto fit = model.InterceptSlope(src, dst)) {
+        Pair& p = pairs_[static_cast<size_t>(src) *
+                             static_cast<size_t>(num_devices_) +
+                         static_cast<size_t>(dst)];
+        p.intercept = fit->first;
+        p.slope = fit->second;
+        p.known = true;
+        known_pairs_.push_back(p);
+      }
+    }
+  }
+}
+
+double CommCostTable::MaxOverPairs(int64_t bytes) const {
+  double best = 0.0;
+  for (const Pair& p : known_pairs_) {
+    const double t = p.intercept + p.slope * static_cast<double>(bytes);
+    best = t > best ? t : best;
+  }
+  return best;
+}
+
+bool CommCostTable::Fresh(const CommCostModel& model) const {
+  return model_version_ == model.version();
+}
+
+}  // namespace fastt

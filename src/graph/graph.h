@@ -53,6 +53,8 @@ class Graph {
   // Total slots including tombstones; iterate with op(i).dead checks, or use
   // LiveOps().
   int32_t num_slots() const { return static_cast<int32_t>(ops_.size()); }
+  // Total edge slots including tombstones (index space of EdgeId).
+  int32_t num_edge_slots() const { return static_cast<int32_t>(edges_.size()); }
   int32_t num_live_ops() const { return num_live_; }
   int64_t num_live_edges() const;
 

@@ -10,26 +10,33 @@
 #include "util/rng.h"
 
 namespace fastt {
-namespace {
 
 // Deterministic per-op noise independent of event processing order: each op
 // draws from its own stream derived from (run seed, op id).
-double NoiseFactor(uint64_t seed, OpId op, double cv) {
+double SimNoiseFactor(uint64_t seed, OpId op, double cv) {
   if (cv <= 0.0) return 1.0;
   Rng rng(seed * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(op) + 1);
   const double f = 1.0 + cv * rng.NextGaussian();
   return std::max(0.25, f);
 }
 
+namespace {
+
 struct Event {
   double time = 0.0;
-  uint64_t seq = 0;  // tie-break: deterministic FIFO semantics
-  enum Kind { kOpFinish, kArrival } kind = kOpFinish;
+  enum Kind { kOpFinish = 0, kArrival = 1 } kind = kOpFinish;
   OpId op = kInvalidOp;       // kOpFinish: the op; kArrival: consumer op
   EdgeId edge = -1;           // kArrival only
+  // Canonical order (time, kind, op, edge): a pure function of event
+  // content, so any engine that generates the same events — in particular
+  // IncrementalSim's partial replay — processes them in the same order.
+  // (No two events share all four fields: an op finishes once, an edge
+  // delivers once.)
   bool operator>(const Event& other) const {
     if (time != other.time) return time > other.time;
-    return seq > other.seq;
+    if (kind != other.kind) return kind > other.kind;
+    if (op != other.op) return op > other.op;
+    return edge > other.edge;
   }
 };
 
@@ -125,6 +132,7 @@ SimResult Simulate(const Graph& g, const std::vector<DeviceId>& placement,
 
   SimResult result;
   result.op_records.assign(static_cast<size_t>(g.num_slots()), OpRecord{});
+  result.edge_arrival.assign(static_cast<size_t>(g.num_edge_slots()), -1.0);
   result.device_busy_s.assign(static_cast<size_t>(cluster.num_devices()), 0.0);
 
   MemoryTracker memory(cluster, options.track_memory,
@@ -158,7 +166,6 @@ SimResult Simulate(const Graph& g, const std::vector<DeviceId>& placement,
   }
 
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
-  uint64_t next_seq = 0;
 
   using ReadyQueue =
       std::priority_queue<ReadyEntry, std::vector<ReadyEntry>,
@@ -222,14 +229,14 @@ SimResult Simulate(const Graph& g, const std::vector<DeviceId>& placement,
     busy[static_cast<size_t>(d)] = true;
     const Operation& o = g.op(op);
     const double dur = GroundTruthDuration(o, cluster.device(d)) *
-                       NoiseFactor(options.seed, op, options.noise_cv);
+                       SimNoiseFactor(options.seed, op, options.noise_cv);
     auto& rec = result.op_records[static_cast<size_t>(op)];
     rec.op = op;
     rec.device = d;
     rec.start = now;
     rec.finish = now + dur;
     memory.Alloc(d, o.temp_bytes, now);
-    events.push(Event{rec.finish, next_seq++, Event::kOpFinish, op, -1});
+    events.push(Event{rec.finish, Event::kOpFinish, op, -1});
   };
 
   // Seed: ops with no inputs are ready at t = 0.
@@ -277,11 +284,12 @@ SimResult Simulate(const Graph& g, const std::vector<DeviceId>& placement,
         if (edge.dead || g.op(edge.dst).dead) continue;
         const DeviceId dd = placement[static_cast<size_t>(edge.dst)];
         if (dd == d) {
-          events.push(Event{now, next_seq++, Event::kArrival, edge.dst, e});
+          result.edge_arrival[static_cast<size_t>(e)] = now;
+          events.push(Event{now, Event::kArrival, edge.dst, e});
         } else if (auto it = sent_arrival.find(dd);
                    it != sent_arrival.end()) {
-          events.push(
-              Event{it->second, next_seq++, Event::kArrival, edge.dst, e});
+          result.edge_arrival[static_cast<size_t>(e)] = it->second;
+          events.push(Event{it->second, Event::kArrival, edge.dst, e});
         } else {
           const Link link = cluster.LinkBetween(d, dd);
           auto eg = earliest(egress_free[static_cast<size_t>(d)]);
@@ -295,10 +303,10 @@ SimResult Simulate(const Graph& g, const std::vector<DeviceId>& placement,
           sent_arrival[dd] = arrival;
           carrying_edges.insert(e);
           result.transfers.push_back(TransferRecord{
-              op, edge.dst, d, dd, edge.bytes, start, arrival});
+              op, edge.dst, d, dd, edge.bytes, start, arrival, e});
           result.total_memcpy_s += arrival - start;
-          events.push(
-              Event{arrival, next_seq++, Event::kArrival, edge.dst, e});
+          result.edge_arrival[static_cast<size_t>(e)] = arrival;
+          events.push(Event{arrival, Event::kArrival, edge.dst, e});
         }
       }
       busy[static_cast<size_t>(d)] = false;

@@ -78,6 +78,7 @@ struct TransferRecord {
   int64_t bytes = 0;
   double start = 0.0;    // when the channel begins carrying the tensor
   double arrival = 0.0;  // when the consumer may use it
+  EdgeId edge = -1;      // the carrying edge (dedup'd consumers alias it)
   double duration() const { return arrival - start; }
 };
 
@@ -98,13 +99,29 @@ struct SimResult {
   // SimOptions::record_memory_timeline is set (feeds the Chrome-trace
   // counter tracks that visualize the Table 3 OOM story).
   std::vector<std::vector<MemorySample>> memory_timeline;
+  // Consumer-visible arrival time per EdgeId slot (-1 for dead/unused
+  // edges). Same-device edges arrive at the producer's finish; dedup'd
+  // cross-device edges share the carrying transfer's arrival. This is the
+  // per-edge timeline that incremental re-simulation replays.
+  std::vector<double> edge_arrival;
 };
 
 // Executes the live subgraph of `g` under `placement` (DeviceId per OpId) on
 // `cluster`. Throws std::logic_error on malformed inputs (missing placements,
 // cyclic graph).
+//
+// Event-ordering contract: simultaneous events are processed in the canonical
+// order (time, kind, op id, edge id) with op-finish ranked before arrival.
+// This makes the processing order a pure function of event content — not of
+// push order — which is what lets IncrementalSim replay a subset of the
+// timeline and still interleave identically with the full simulation.
 SimResult Simulate(const Graph& g, const std::vector<DeviceId>& placement,
                    const Cluster& cluster, const SimOptions& options = {});
+
+// Deterministic per-op execution-time noise factor, a pure function of
+// (run seed, op id, cv) — shared by Simulate and IncrementalSim so a
+// replayed op draws exactly the duration the full simulation would.
+double SimNoiseFactor(uint64_t seed, OpId op, double cv);
 
 // Convenience: true iff the placement's resident parameters alone already
 // exceed some device's memory (cheap static check used by schedulers).

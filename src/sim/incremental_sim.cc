@@ -1,0 +1,737 @@
+#include "sim/incremental_sim.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "graph/rewrite.h"
+#include "obs/metrics.h"
+#include "sim/device.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace fastt {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Mirrors exec_sim's canonical event order (time, kind, op, edge); kEmit is
+// a clean producer's op-finish replayed at its cached time, so it shares the
+// finish rank and orders exactly where the full run's kOpFinish would.
+struct REvent {
+  double time = 0.0;
+  enum Kind { kFinish = 0, kArrival = 1 } kind = kFinish;
+  OpId op = kInvalidOp;
+  EdgeId edge = -1;
+  bool operator>(const REvent& other) const {
+    if (time != other.time) return time > other.time;
+    if (kind != other.kind) return kind > other.kind;
+    if (op != other.op) return op > other.op;
+    return edge > other.edge;
+  }
+};
+
+struct ReadyEntry {
+  int64_t key = 0;
+  uint64_t seq = 0;
+  OpId op = kInvalidOp;
+  bool operator>(const ReadyEntry& other) const {
+    if (key != other.key) return key > other.key;
+    return seq > other.seq;
+  }
+};
+
+}  // namespace
+
+std::vector<OpId> IncrementalSim::AddedOps(const SplitResult& split) {
+  std::vector<OpId> added;
+  added.insert(added.end(), split.split_nodes.begin(), split.split_nodes.end());
+  added.insert(added.end(), split.sub_ops.begin(), split.sub_ops.end());
+  if (split.concat_node != kInvalidOp) added.push_back(split.concat_node);
+  return added;
+}
+
+IncrementalSim::IncrementalSim(const Graph& g,
+                               std::vector<DeviceId> placement,
+                               const Cluster& cluster,
+                               const SimOptions& options)
+    : g_(g),
+      placement_(std::move(placement)),
+      cluster_(cluster),
+      options_(options) {
+  FASTT_CHECK_MSG(!options_.track_memory && !options_.record_memory_timeline,
+                  "IncrementalSim replays timing only; construct with "
+                  "track_memory = false");
+  base_ = Simulate(g_, placement_, cluster_, options_);
+  const size_t slots = static_cast<size_t>(g_.num_slots());
+  dirty_.assign(slots, 0);
+  emit_dirty_.assign(slots, 0);
+  u_.assign(slots, kInf);
+  hd_.assign(static_cast<size_t>(cluster_.num_devices()), kInf);
+  he_.assign(static_cast<size_t>(cluster_.num_devices()), kInf);
+  RebuildIndexes();
+}
+
+void IncrementalSim::RebuildIndexes() {
+  FASTT_SCOPED_TIMER("inc_sim/rebuild");
+  const size_t n_dev = static_cast<size_t>(cluster_.num_devices());
+  ops_by_device_.assign(n_dev, {});
+  for (OpId id : g_.LiveOps())
+    ops_by_device_[static_cast<size_t>(placement_[static_cast<size_t>(id)])]
+        .push_back(id);
+  for (auto& ops : ops_by_device_) {
+    std::sort(ops.begin(), ops.end(), [&](OpId a, OpId b) {
+      const double sa = base_.op_records[static_cast<size_t>(a)].start;
+      const double sb = base_.op_records[static_cast<size_t>(b)].start;
+      if (sa != sb) return sa < sb;
+      return a < b;
+    });
+  }
+  transfers_by_device_.assign(n_dev, {});
+  transfers_by_src_.assign(static_cast<size_t>(g_.num_slots()), {});
+  transfer_of_edge_.assign(static_cast<size_t>(g_.num_edge_slots()), -1);
+  for (size_t i = 0; i < base_.transfers.size(); ++i) {
+    const TransferRecord& t = base_.transfers[i];
+    transfers_by_device_[static_cast<size_t>(t.src)].push_back(i);
+    if (t.dst != t.src)
+      transfers_by_device_[static_cast<size_t>(t.dst)].push_back(i);
+    transfers_by_src_[static_cast<size_t>(t.src_op)].push_back(i);
+    transfer_of_edge_[static_cast<size_t>(t.edge)] = static_cast<int64_t>(i);
+  }
+  // Engine-horizon sweeps binary-search each device's transfers by cached
+  // start (emission order is not start order: a transfer emitted earlier can
+  // start later if its engine is backed up).
+  for (auto& ts : transfers_by_device_) {
+    std::sort(ts.begin(), ts.end(), [&](size_t a, size_t b) {
+      const double sa = base_.transfers[a].start;
+      const double sb = base_.transfers[b].start;
+      if (sa != sb) return sa < sb;
+      return a < b;
+    });
+  }
+}
+
+// ---- Dirty-cone fixpoint ---------------------------------------------------
+// MarkDirty / MarkEmissionDirty / Lower* apply their state change immediately
+// and queue the consequences; Drain() runs the worklist to closure. All three
+// quantities (u per op, hd and he per device) only ever decrease and are
+// drawn from the finite set of cached times, so the fixpoint terminates.
+
+void IncrementalSim::Push(WorkItem::Kind kind, int32_t id, double t) {
+  switch (kind) {
+    case WorkItem::kDirty:
+      if (dirty_[static_cast<size_t>(id)] && u_[static_cast<size_t>(id)] <= t)
+        return;
+      break;
+    case WorkItem::kEmit:
+      // Emission-dirtying is idempotent and subsumed by full dirtiness.
+      if (dirty_[static_cast<size_t>(id)] ||
+          emit_dirty_[static_cast<size_t>(id)])
+        return;
+      break;
+    case WorkItem::kHd:
+      if (hd_[static_cast<size_t>(id)] <= t) return;
+      break;
+    case WorkItem::kHe:
+      if (he_[static_cast<size_t>(id)] <= t) return;
+      break;
+  }
+  work_.push(WorkItem{t, kind, id});
+}
+
+void IncrementalSim::LowerDispatchHorizon(DeviceId d, double t) {
+  if (t >= hd_[static_cast<size_t>(d)]) return;
+  const double old = hd_[static_cast<size_t>(d)];
+  hd_[static_cast<size_t>(d)] = t;
+  // Every op on d whose cached start falls in [t, old) may now be dispatched
+  // differently; ops at >= old were dirtied by an earlier lowering.
+  const auto& ops = ops_by_device_[static_cast<size_t>(d)];
+  auto it = std::lower_bound(ops.begin(), ops.end(), t, [&](OpId a, double v) {
+    return base_.op_records[static_cast<size_t>(a)].start < v;
+  });
+  for (; it != ops.end(); ++it) {
+    if (base_.op_records[static_cast<size_t>(*it)].start >= old) break;
+    Push(WorkItem::kDirty, *it, t);
+  }
+}
+
+void IncrementalSim::LowerEngineHorizon(DeviceId d, double t) {
+  if (t >= he_[static_cast<size_t>(d)]) return;
+  const double old = he_[static_cast<size_t>(d)];
+  he_[static_cast<size_t>(d)] = t;
+  // Any cached carrying transfer whose start falls in [t, old) may see
+  // different engine availability; its producer must re-emit live. Starts
+  // at >= old were swept by an earlier lowering.
+  const auto& ts = transfers_by_device_[static_cast<size_t>(d)];
+  auto it = std::lower_bound(ts.begin(), ts.end(), t, [&](size_t ti, double v) {
+    return base_.transfers[ti].start < v;
+  });
+  for (; it != ts.end(); ++it) {
+    const TransferRecord& tr = base_.transfers[*it];
+    if (tr.start >= old) break;
+    Push(WorkItem::kEmit, tr.src_op,
+         base_.op_records[static_cast<size_t>(tr.src_op)].finish);
+  }
+}
+
+void IncrementalSim::MarkDirty(OpId op, double u) {
+  if (g_.op(op).dead) return;
+  if (dirty_[static_cast<size_t>(op)] && u_[static_cast<size_t>(op)] <= u)
+    return;
+  const bool newly = !dirty_[static_cast<size_t>(op)];
+  dirty_[static_cast<size_t>(op)] = 1;
+  u_[static_cast<size_t>(op)] = std::min(u_[static_cast<size_t>(op)], u);
+  const double uu = u_[static_cast<size_t>(op)];
+  const DeviceId d = placement_[static_cast<size_t>(op)];
+  // The op's start can move to uu, so dispatch on its device can change from
+  // uu on. But its duration is a pure function of (op, device, seed), so
+  // nothing downstream — its finish, its outgoing transfers, its consumers —
+  // can react before uu + dur, and cross-device consumers not before the
+  // link's latency + occupancy on top (IEEE addition is monotone, so these
+  // bounds hold bit-exactly against the replay's own arithmetic).
+  const double dur =
+      GroundTruthDuration(g_.op(op), cluster_.device(d)) *
+      SimNoiseFactor(options_.seed, op, options_.noise_cv);
+  const double fin = uu + dur;
+  Push(WorkItem::kHd, d, uu);
+  Push(WorkItem::kHe, d, fin);
+  for (EdgeId e : g_.out_edges(op)) {
+    const Edge& edge = g_.edge(e);
+    if (edge.dead || g_.op(edge.dst).dead) continue;
+    const DeviceId cd = placement_[static_cast<size_t>(edge.dst)];
+    if (cd == d) {
+      Push(WorkItem::kDirty, edge.dst, fin);
+    } else {
+      const Link link = cluster_.LinkBetween(d, cd);
+      Push(WorkItem::kDirty, edge.dst,
+           fin + link.latency +
+               static_cast<double>(edge.bytes) / link.bandwidth);
+      Push(WorkItem::kHe, cd, fin);
+    }
+  }
+  if (newly) {
+    // Its cached outgoing reservations disappear from the engine timelines.
+    for (size_t ti : transfers_by_src_[static_cast<size_t>(op)]) {
+      const TransferRecord& tr = base_.transfers[ti];
+      Push(WorkItem::kHe, tr.src, tr.start);
+      Push(WorkItem::kHe, tr.dst, tr.start);
+    }
+  }
+}
+
+void IncrementalSim::MarkEmissionDirty(OpId op) {
+  if (g_.op(op).dead) return;
+  if (dirty_[static_cast<size_t>(op)] || emit_dirty_[static_cast<size_t>(op)])
+    return;
+  emit_dirty_[static_cast<size_t>(op)] = 1;
+  // The op itself is clean — its finish stands — but its send loop re-runs,
+  // so cross-device consumers' arrivals and both engine endpoints can change
+  // from its finish time on (consumers not before the link time on top).
+  const double f = base_.op_records[static_cast<size_t>(op)].finish;
+  const DeviceId d = placement_[static_cast<size_t>(op)];
+  Push(WorkItem::kHe, d, f);
+  for (EdgeId e : g_.out_edges(op)) {
+    const Edge& edge = g_.edge(e);
+    if (edge.dead || g_.op(edge.dst).dead) continue;
+    const DeviceId cd = placement_[static_cast<size_t>(edge.dst)];
+    if (cd == d) continue;  // same-device arrival == finish, unchanged
+    const Link link = cluster_.LinkBetween(d, cd);
+    Push(WorkItem::kDirty, edge.dst,
+         f + link.latency + static_cast<double>(edge.bytes) / link.bandwidth);
+    Push(WorkItem::kHe, cd, f);
+  }
+}
+
+void IncrementalSim::Drain() {
+  FASTT_SCOPED_TIMER("inc_sim/drain");
+  while (!work_.empty()) {
+    const WorkItem w = work_.top();
+    work_.pop();
+    switch (w.kind) {
+      case WorkItem::kDirty:
+        MarkDirty(w.id, w.t);
+        break;
+      case WorkItem::kEmit:
+        MarkEmissionDirty(w.id);
+        break;
+      case WorkItem::kHd:
+        LowerDispatchHorizon(static_cast<DeviceId>(w.id), w.t);
+        break;
+      case WorkItem::kHe:
+        LowerEngineHorizon(static_cast<DeviceId>(w.id), w.t);
+        break;
+    }
+  }
+}
+
+const SimResult& IncrementalSim::Replace(OpId op, DeviceId device) {
+  FASTT_CHECK_MSG(op >= 0 && op < g_.num_slots() && !g_.op(op).dead,
+                  "Replace: op must be live");
+  FASTT_CHECK(device >= 0 && device < cluster_.num_devices());
+  const DeviceId old = placement_[static_cast<size_t>(op)];
+  if (old == device) return base_;
+  MetricsRegistry::Global().AddCounter("inc_sim/replacements");
+
+  // The old device dispatches differently from where the op used to start.
+  LowerDispatchHorizon(old, base_.op_records[static_cast<size_t>(op)].start);
+  placement_[static_cast<size_t>(op)] = device;
+
+  // Earliest the op can possibly be ready on the new device: each producer's
+  // finish plus, for cross-device producers, the link's latency + occupancy
+  // (the tensor must still traverse the wire even on an idle engine).
+  double u0 = 0.0;
+  for (EdgeId e : g_.in_edges(op)) {
+    const Edge& edge = g_.edge(e);
+    if (edge.dead || g_.op(edge.src).dead) continue;
+    const double f = base_.op_records[static_cast<size_t>(edge.src)].finish;
+    const DeviceId pd = placement_[static_cast<size_t>(edge.src)];
+    double bound = f;
+    if (pd != device) {
+      const Link link = cluster_.LinkBetween(pd, device);
+      bound = f + link.latency +
+              static_cast<double>(edge.bytes) / link.bandwidth;
+    }
+    u0 = std::max(u0, bound);
+    // Producers now send here instead of (or in addition to) the old device.
+    Push(WorkItem::kEmit, edge.src, f);
+    // Their cached transfers into the old placement free those engine slots.
+    const int64_t ti = transfer_of_edge_[static_cast<size_t>(e)];
+    if (ti >= 0) {
+      const TransferRecord& tr = base_.transfers[static_cast<size_t>(ti)];
+      Push(WorkItem::kHe, tr.src, tr.start);
+      Push(WorkItem::kHe, tr.dst, tr.start);
+    }
+  }
+  MarkDirty(op, u0);
+  Drain();
+  Replay();
+  return base_;
+}
+
+const SimResult& IncrementalSim::NotifySplit(
+    OpId removed, const SplitResult& split,
+    const std::vector<DeviceId>& devices) {
+  FASTT_CHECK_MSG(g_.op(removed).dead,
+                  "NotifySplit: `removed` must already be tombstoned");
+  const std::vector<OpId> added = AddedOps(split);
+  FASTT_CHECK_MSG(devices.size() == added.size(),
+                  "NotifySplit: one device per added op");
+  MetricsRegistry::Global().AddCounter("inc_sim/splits");
+
+  // The graph grew: extend every slot-indexed structure.
+  const size_t slots = static_cast<size_t>(g_.num_slots());
+  placement_.resize(slots, kInvalidDevice);
+  dirty_.resize(slots, 0);
+  emit_dirty_.resize(slots, 0);
+  u_.resize(slots, kInf);
+  base_.op_records.resize(slots, OpRecord{});
+  base_.edge_arrival.resize(static_cast<size_t>(g_.num_edge_slots()), -1.0);
+  transfers_by_src_.resize(slots, {});
+  for (size_t i = 0; i < added.size(); ++i) {
+    FASTT_CHECK(!g_.op(added[i]).dead);
+    FASTT_CHECK(devices[i] >= 0 && devices[i] < cluster_.num_devices());
+    placement_[static_cast<size_t>(added[i])] = devices[i];
+  }
+
+  // Removal seeds, using the removed op's cached record (then cleared).
+  const DeviceId old_dev = placement_[static_cast<size_t>(removed)];
+  LowerDispatchHorizon(old_dev,
+                       base_.op_records[static_cast<size_t>(removed)].start);
+  auto free_cached_transfer = [&](EdgeId e) {
+    const int64_t ti = transfer_of_edge_[static_cast<size_t>(e)];
+    if (ti < 0) return;
+    const TransferRecord& tr = base_.transfers[static_cast<size_t>(ti)];
+    Push(WorkItem::kHe, tr.src, tr.start);
+    Push(WorkItem::kHe, tr.dst, tr.start);
+  };
+  for (EdgeId e : g_.in_edges(removed)) {
+    const Edge& edge = g_.edge(e);
+    if (g_.op(edge.src).dead) continue;
+    // Former producers now feed the split nodes instead.
+    Push(WorkItem::kEmit, edge.src,
+         base_.op_records[static_cast<size_t>(edge.src)].finish);
+    free_cached_transfer(e);
+    base_.edge_arrival[static_cast<size_t>(e)] = -1.0;
+  }
+  for (EdgeId e : g_.out_edges(removed)) {
+    free_cached_transfer(e);
+    base_.edge_arrival[static_cast<size_t>(e)] = -1.0;
+  }
+
+  // Dirty the new ops in topological order (split_nodes -> sub_ops ->
+  // concat), so each one's uncertainty can read its producers' current
+  // state (the fixpoint re-relaxes through the new edges if a producer is
+  // lowered later). Bounds mirror MarkDirty's: a dirty producer cannot emit
+  // before u + its deterministic duration, a clean one before its cached
+  // finish, and a cross-device tensor adds the link's latency + occupancy.
+  for (OpId a : added) {
+    const DeviceId ad = placement_[static_cast<size_t>(a)];
+    double u = 0.0;
+    for (EdgeId e : g_.in_edges(a)) {
+      const Edge& edge = g_.edge(e);
+      if (edge.dead || g_.op(edge.src).dead) continue;
+      const size_t s = static_cast<size_t>(edge.src);
+      const DeviceId sd = placement_[s];
+      double bound;
+      if (dirty_[s]) {
+        const double dur =
+            GroundTruthDuration(g_.op(edge.src), cluster_.device(sd)) *
+            SimNoiseFactor(options_.seed, edge.src, options_.noise_cv);
+        bound = u_[s] + dur;
+      } else {
+        bound = base_.op_records[s].finish;
+      }
+      if (sd != ad) {
+        const Link link = cluster_.LinkBetween(sd, ad);
+        bound = bound + link.latency +
+                static_cast<double>(edge.bytes) / link.bandwidth;
+      }
+      u = std::max(u, bound);
+    }
+    MarkDirty(a, u);
+  }
+  Drain();
+  // Only now may the tombstoned record be cleared: the dispatch-horizon
+  // sweeps above binary-search ops_by_device_ by cached start, and the
+  // removed op still sits in that index — zeroing its start mid-fixpoint
+  // would unsort the array under lower_bound and skip ops it must dirty.
+  base_.op_records[static_cast<size_t>(removed)] = OpRecord{};
+  Replay();
+  return base_;
+}
+
+// ---- Replay ----------------------------------------------------------------
+
+void IncrementalSim::Replay() {
+  FASTT_SCOPED_TIMER("inc_sim/replay");
+  const auto live = g_.LiveOps();
+  const size_t n_dev = static_cast<size_t>(cluster_.num_devices());
+  const DispatchMode dispatch = options_.enforce_order
+                                    ? DispatchMode::kPriority
+                                    : options_.dispatch;
+  if (dispatch == DispatchMode::kPriority) {
+    FASTT_CHECK_MSG(
+        options_.priorities.size() >= static_cast<size_t>(g_.num_slots()),
+        "priority dispatch requires priorities per op (incl. split ops)");
+  }
+
+  // The clean op that releases each device to dirty work: the one whose
+  // op-finish event is canonically last among that device's clean ops.
+  std::vector<OpId> last_clean(n_dev, kInvalidOp);
+  size_t dirty_live = 0;
+  for (OpId id : live) {
+    if (dirty_[static_cast<size_t>(id)]) {
+      ++dirty_live;
+      continue;
+    }
+    const size_t d = static_cast<size_t>(placement_[static_cast<size_t>(id)]);
+    const OpId prev = last_clean[d];
+    if (prev == kInvalidOp) {
+      last_clean[d] = id;
+    } else {
+      const double f = base_.op_records[static_cast<size_t>(id)].finish;
+      const double pf = base_.op_records[static_cast<size_t>(prev)].finish;
+      if (f > pf || (f == pf && id > prev)) last_clean[d] = id;
+    }
+  }
+  MetricsRegistry::Global().AddCounter("inc_sim/dirty_ops",
+                                       static_cast<int64_t>(dirty_live));
+  MetricsRegistry::Global().AddCounter(
+      "inc_sim/clean_ops", static_cast<int64_t>(live.size() - dirty_live));
+
+  std::priority_queue<REvent, std::vector<REvent>, std::greater<REvent>>
+      events;
+
+  // Clean producers come in two kinds. Emission-dirty ones re-run their send
+  // loop live, as an event at their cached finish. Every other clean
+  // producer is passive: the fixpoint guarantees all its transfers keep
+  // their cached timing, so it never enters the event queue — its dirty
+  // consumers get their cached arrivals as up-front events, and only a
+  // device's canonically-last clean op needs a finish event (device
+  // hand-off duty). Passive engine occupancy is applied by the cached-
+  // transfer walk below.
+  for (OpId id : live) {
+    if (dirty_[static_cast<size_t>(id)]) continue;
+    const double finish = base_.op_records[static_cast<size_t>(id)].finish;
+    if (emit_dirty_[static_cast<size_t>(id)]) {
+      events.push(REvent{finish, REvent::kFinish, id, -1});
+      continue;
+    }
+    if (id == last_clean[static_cast<size_t>(
+                 placement_[static_cast<size_t>(id)])])
+      events.push(REvent{finish, REvent::kFinish, id, -1});
+    for (EdgeId e : g_.out_edges(id)) {
+      const Edge& edge = g_.edge(e);
+      if (edge.dead || g_.op(edge.dst).dead) continue;
+      if (!dirty_[static_cast<size_t>(edge.dst)]) continue;
+      // Cross-device: the cached transfer is guaranteed untouched. Same
+      // device: arrival == the producer's (unchanged) finish.
+      const double arrival = base_.edge_arrival[static_cast<size_t>(e)];
+      events.push(REvent{arrival, REvent::kArrival, edge.dst, e});
+    }
+  }
+
+  // Cached transfers of passive producers, in full-run emission order (the
+  // order base_.transfers was recorded in). The walk below merges them into
+  // the event stream at their producer's canonical op-finish position and
+  // applies their (unchanged) engine occupancy, reproducing the engine
+  // timelines the full run would build without replaying the producers.
+  std::vector<size_t> passive;
+  passive.reserve(base_.transfers.size());
+  for (size_t i = 0; i < base_.transfers.size(); ++i) {
+    const TransferRecord& t = base_.transfers[i];
+    if (g_.op(t.src_op).dead || g_.op(t.dst_op).dead ||
+        g_.edge(t.edge).dead)
+      continue;
+    if (dirty_[static_cast<size_t>(t.src_op)] ||
+        emit_dirty_[static_cast<size_t>(t.src_op)])
+      continue;
+    passive.push_back(i);
+  }
+  size_t next_passive = 0;
+
+  // Dirty-op scheduling state. Clean ops never enter the ready queues: the
+  // cone invariant guarantees every clean op on a device starts before any
+  // dirty op there can become ready, so their cached records stand.
+  std::vector<int32_t> pending(static_cast<size_t>(g_.num_slots()), 0);
+  for (OpId id : live) {
+    if (!dirty_[static_cast<size_t>(id)]) continue;
+    for (EdgeId e : g_.in_edges(id)) {
+      const Edge& edge = g_.edge(e);
+      if (!edge.dead && !g_.op(edge.src).dead)
+        ++pending[static_cast<size_t>(id)];
+    }
+  }
+
+  using ReadyQueue = std::priority_queue<ReadyEntry, std::vector<ReadyEntry>,
+                                         std::greater<ReadyEntry>>;
+  std::vector<ReadyQueue> ready(n_dev);
+  std::vector<bool> busy(n_dev, false);
+  for (size_t d = 0; d < n_dev; ++d) busy[d] = last_clean[d] != kInvalidOp;
+  uint64_t ready_counter = 0;
+
+  const size_t engines = SimOptions::kCopyEnginesPerDirection;
+  std::vector<std::vector<double>> egress_free(
+      n_dev, std::vector<double>(engines, 0.0));
+  std::vector<std::vector<double>> ingress_free(
+      n_dev, std::vector<double>(engines, 0.0));
+  auto earliest = [](std::vector<double>& v) {
+    return std::min_element(v.begin(), v.end());
+  };
+
+  std::vector<TransferRecord> transfers;
+  transfers.reserve(base_.transfers.size());
+  double memcpy_s = 0.0;
+
+  auto push_ready = [&](OpId op) {
+    const DeviceId d = placement_[static_cast<size_t>(op)];
+    ReadyEntry entry;
+    entry.seq = ready_counter++;
+    switch (dispatch) {
+      case DispatchMode::kFifo:
+        // Absolute FIFO keys differ from the full run's (clean ops skip the
+        // queue) but the relative order among dirty ops matches, which is
+        // all the comparator consumes.
+        entry.key = static_cast<int64_t>(entry.seq);
+        break;
+      case DispatchMode::kRandom: {
+        Rng rng(options_.seed * 0x2545f4914f6cdd1dULL +
+                static_cast<uint64_t>(op));
+        entry.key = static_cast<int64_t>(rng.NextU64() >> 1);
+        break;
+      }
+      case DispatchMode::kPriority:
+        entry.key = options_.priorities[static_cast<size_t>(op)];
+        break;
+    }
+    entry.op = op;
+    ready[static_cast<size_t>(d)].push(entry);
+  };
+
+  auto try_dispatch = [&](DeviceId d, double now) {
+    auto& q = ready[static_cast<size_t>(d)];
+    if (busy[static_cast<size_t>(d)] || q.empty()) return;
+    const OpId op = q.top().op;
+    q.pop();
+    busy[static_cast<size_t>(d)] = true;
+    const double dur =
+        GroundTruthDuration(g_.op(op), cluster_.device(d)) *
+        SimNoiseFactor(options_.seed, op, options_.noise_cv);
+    auto& rec = base_.op_records[static_cast<size_t>(op)];
+    rec.op = op;
+    rec.device = d;
+    rec.start = now;
+    rec.finish = now + dur;
+    events.push(REvent{rec.finish, REvent::kFinish, op, -1});
+  };
+
+  // Per-destination-device send dedup for emit(), epoch-stamped so it resets
+  // per producer without clearing (emit runs once per finishing op — a map
+  // here is measurable on large cones).
+  std::vector<double> sent_arrival(n_dev, 0.0);
+  std::vector<uint64_t> sent_stamp(n_dev, 0);
+  uint64_t send_epoch = 0;
+
+  // Re-runs `op`'s send loop at time `now` (its finish). For emission-dirty
+  // producers outside every dirty cone this must reproduce the cached
+  // timings bit-for-bit — checked below — because no dirty transfer may
+  // have touched the engines they select from (the he invariant).
+  auto emit = [&](OpId op, double now) {
+    const DeviceId d = placement_[static_cast<size_t>(op)];
+    ++send_epoch;
+    for (EdgeId e : g_.out_edges(op)) {
+      const Edge& edge = g_.edge(e);
+      if (edge.dead || g_.op(edge.dst).dead) continue;
+      const DeviceId dd = placement_[static_cast<size_t>(edge.dst)];
+      const bool consumer_dirty = dirty_[static_cast<size_t>(edge.dst)] != 0;
+      double arrival = 0.0;
+      if (dd == d) {
+        arrival = now;
+      } else if (sent_stamp[static_cast<size_t>(dd)] == send_epoch) {
+        arrival = sent_arrival[static_cast<size_t>(dd)];
+      } else {
+        const Link link = cluster_.LinkBetween(d, dd);
+        auto eg = earliest(egress_free[static_cast<size_t>(d)]);
+        auto in_ = earliest(ingress_free[static_cast<size_t>(dd)]);
+        const double start = std::max({now, *eg, *in_});
+        const double occupancy =
+            static_cast<double>(edge.bytes) / link.bandwidth;
+        arrival = start + link.latency + occupancy;
+        *eg = start + occupancy;
+        *in_ = start + occupancy;
+        sent_arrival[static_cast<size_t>(dd)] = arrival;
+        sent_stamp[static_cast<size_t>(dd)] = send_epoch;
+        transfers.push_back(TransferRecord{op, edge.dst, d, dd, edge.bytes,
+                                           start, arrival, e});
+        memcpy_s += arrival - start;
+      }
+      if (consumer_dirty) {
+        events.push(REvent{arrival, REvent::kArrival, edge.dst, e});
+      } else if (dd != d) {
+        FASTT_CHECK_MSG(
+            arrival == base_.edge_arrival[static_cast<size_t>(e)],
+            "incremental cone missed a changed arrival (" +
+                g_.op(op).name + " -> " + g_.op(edge.dst).name + ")");
+      }
+      base_.edge_arrival[static_cast<size_t>(e)] = arrival;
+    }
+  };
+
+  // Applies one passive cached transfer to the engine timelines: the full
+  // run would have selected exactly these min-free slots at this point in
+  // the canonical order (the checked equality is the he-invariant: nothing
+  // the replay computed live has touched the engines this transfer saw).
+  auto apply_cached = [&](const TransferRecord& tr) {
+    const Link link = cluster_.LinkBetween(tr.src, tr.dst);
+    auto eg = earliest(egress_free[static_cast<size_t>(tr.src)]);
+    auto in_ = earliest(ingress_free[static_cast<size_t>(tr.dst)]);
+    FASTT_CHECK_MSG(
+        std::max({base_.op_records[static_cast<size_t>(tr.src_op)].finish,
+                  *eg, *in_}) == tr.start,
+        "incremental cone: cached transfer would re-time (" +
+            g_.op(tr.src_op).name + " -> " + g_.op(tr.dst_op).name + ")");
+    const double occupancy =
+        static_cast<double>(tr.bytes) / link.bandwidth;
+    *eg = tr.start + occupancy;
+    *in_ = tr.start + occupancy;
+    transfers.push_back(tr);
+    memcpy_s += tr.arrival - tr.start;
+  };
+  // Applies every passive transfer whose producer's op-finish position
+  // (finish, kFinish, src_op) precedes — or is — the event about to be
+  // handled, keeping engine-state evolution in full-run order. A tie means
+  // the event IS the producer's own finish (a passive last-clean op): its
+  // sends precede its device hand-off, exactly as in the full run.
+  auto drain_cached_upto = [&](const REvent& ev) {
+    while (next_passive < passive.size()) {
+      const TransferRecord& tr = base_.transfers[passive[next_passive]];
+      const double f = base_.op_records[static_cast<size_t>(tr.src_op)].finish;
+      if (f > ev.time) break;
+      if (f == ev.time &&
+          (REvent::kFinish == ev.kind && tr.src_op > ev.op))
+        break;
+      apply_cached(tr);
+      ++next_passive;
+    }
+  };
+
+  // Seed: dirty source ops, in LiveOps order (matching the full run's
+  // relative FIFO order), then kick idle devices.
+  for (OpId id : live)
+    if (dirty_[static_cast<size_t>(id)] && pending[static_cast<size_t>(id)] == 0)
+      push_ready(id);
+  for (size_t d = 0; d < n_dev; ++d)
+    if (!busy[d]) try_dispatch(static_cast<DeviceId>(d), 0.0);
+
+  size_t finished_dirty = 0;
+  while (!events.empty()) {
+    const REvent ev = events.top();
+    events.pop();
+    drain_cached_upto(ev);
+    const double now = ev.time;
+    if (ev.kind == REvent::kFinish) {
+      const OpId op = ev.op;
+      const DeviceId d = placement_[static_cast<size_t>(op)];
+      if (dirty_[static_cast<size_t>(op)]) {
+        ++finished_dirty;
+        emit(op, now);
+        busy[static_cast<size_t>(d)] = false;
+        try_dispatch(d, now);
+      } else {
+        if (emit_dirty_[static_cast<size_t>(op)]) emit(op, now);
+        if (op == last_clean[static_cast<size_t>(d)]) {
+          busy[static_cast<size_t>(d)] = false;
+          try_dispatch(d, now);
+        }
+      }
+    } else {
+      auto& left = pending[static_cast<size_t>(ev.op)];
+      FASTT_CHECK(left > 0);
+      if (--left == 0) {
+        push_ready(ev.op);
+        try_dispatch(placement_[static_cast<size_t>(ev.op)], now);
+      }
+    }
+  }
+  // Passive transfers that postdate the last event still occupy engines in
+  // the result's transfer list.
+  while (next_passive < passive.size())
+    apply_cached(base_.transfers[passive[next_passive++]]);
+  FASTT_CHECK_MSG(finished_dirty == dirty_live,
+                  "incremental replay deadlocked (cone not closed?)");
+
+  // ---- Fold the replay into the cached result -----------------------------
+  base_.transfers = std::move(transfers);
+  base_.total_memcpy_s = memcpy_s;
+  base_.makespan = 0.0;
+  // Busy/compute totals re-accumulate in the full run's order (finish-event
+  // order) so floating-point summation matches bit-for-bit.
+  std::vector<std::pair<double, OpId>> by_finish;
+  by_finish.reserve(live.size());
+  for (OpId id : live)
+    by_finish.emplace_back(base_.op_records[static_cast<size_t>(id)].finish,
+                           id);
+  std::sort(by_finish.begin(), by_finish.end());
+  base_.device_busy_s.assign(n_dev, 0.0);
+  base_.total_compute_s = 0.0;
+  for (const auto& [finish, id] : by_finish) {
+    const auto& rec = base_.op_records[static_cast<size_t>(id)];
+    base_.device_busy_s[static_cast<size_t>(rec.device)] += rec.duration();
+    if (IsMathOp(g_.op(id).type)) base_.total_compute_s += rec.duration();
+    base_.makespan = std::max(base_.makespan, finish);
+  }
+  base_.peak_memory.assign(n_dev, 0);
+  base_.oom = false;
+  base_.oom_devices.clear();
+  base_.memory_timeline.clear();
+
+  // Reset the fixpoint for the next update.
+  std::fill(dirty_.begin(), dirty_.end(), 0);
+  std::fill(emit_dirty_.begin(), emit_dirty_.end(), 0);
+  std::fill(u_.begin(), u_.end(), kInf);
+  std::fill(hd_.begin(), hd_.end(), kInf);
+  std::fill(he_.begin(), he_.end(), kInf);
+  RebuildIndexes();
+}
+
+}  // namespace fastt

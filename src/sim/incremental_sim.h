@@ -1,0 +1,141 @@
+// Incremental re-simulation: after a local strategy edit — one op re-placed,
+// or one op split — only the affected cone of the event timeline is
+// recomputed; everything outside the cone is copied from the cached run.
+//
+// The contract is exactness, not approximation: the result after each update
+// equals what a fresh Simulate() of the edited graph/placement would return
+// (makespan, per-op records, per-edge arrivals, transfers — bit-identical),
+// which the property tests enforce. That works because:
+//
+//  * Simulate's events are processed in the canonical order
+//    (time, kind, op, edge) — a pure function of event content — so a replay
+//    that generates only a subset of the events still interleaves them
+//    exactly as the full run would.
+//  * The dirty cone is closed under two per-device horizons, both found by a
+//    worklist fixpoint that only ever lowers them:
+//      - dispatch horizon hd(D): every op on D whose cached start is at or
+//        after hd(D) is dirty. Each dirty op X carries an uncertainty time
+//        u(X), a lower bound on when its record can first differ from the
+//        cache; dirtying X lowers hd(dev(X)) to u(X). Too-low a u is merely
+//        conservative (dirties more), never wrong. Simulated durations are a
+//        pure function of (op, device, seed) and link times of (edge, device
+//        pair), so a consumer of X inherits u(X) + duration(X) plus the
+//        link's latency and occupancy when cross-device — not u(X) itself —
+//        which keeps the cone of a late edit from swallowing the timeline.
+//      - engine horizon he(D): every cached carrying transfer touching D
+//        (either endpoint) that starts at or after he(D) has its producer
+//        marked emission-dirty; an emission-dirty producer re-runs its send
+//        loop and its cross-device consumers are dirtied at its finish.
+//    Closure gives the two invariants replay relies on: every clean op on D
+//    starts before any dirty op on D can become ready (so clean dispatch
+//    decisions are untouched), and no clean transfer ever selects a copy
+//    engine slot written by a dirty transfer.
+//  * Replay re-dispatches only dirty ops. Clean ops keep their cached
+//    records. Emission-dirty producers re-run their send loop as an event at
+//    their cached finish (sharing the canonical position of their op-finish
+//    in the full run). Every other clean producer is passive: it never
+//    enters the event queue — its cached transfers are applied to the copy
+//    engines by a pointer walk merged into the event stream in canonical
+//    order, its dirty consumers receive their cached arrivals as up-front
+//    events, and only a device's canonically-last clean op gets a finish
+//    event (it must release the device to dirty work).
+//
+// Scope: timing only. Memory tracking is not replayed (construct with
+// SimOptions::track_memory = false); peak_memory/oom stay empty/false.
+#pragma once
+
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "graph/rewrite.h"
+#include "sim/cluster.h"
+#include "sim/exec_sim.h"
+
+namespace fastt {
+
+class IncrementalSim {
+ public:
+  // Runs one full simulation to seed the cache. `g` is held by reference and
+  // must outlive this object; it may only be mutated through rewrites that
+  // are reported via NotifySplit. Requires options.track_memory == false.
+  IncrementalSim(const Graph& g, std::vector<DeviceId> placement,
+                 const Cluster& cluster, const SimOptions& options = {});
+
+  // The simulation of the current graph + placement (always up to date).
+  const SimResult& result() const { return base_; }
+  const std::vector<DeviceId>& placement() const { return placement_; }
+
+  // Moves one live op to `device` and recomputes the affected cone.
+  const SimResult& Replace(OpId op, DeviceId device);
+
+  // Call after SplitOperation(g, removed, ...) rewrote the bound graph:
+  // `removed` is tombstoned and split.{split_nodes, sub_ops, concat_node}
+  // are new live ops. `devices` places them (parallel to the concatenation
+  // split_nodes ++ sub_ops ++ concat_node used by AddedOps()).
+  const SimResult& NotifySplit(OpId removed, const SplitResult& split,
+                               const std::vector<DeviceId>& devices);
+
+  // The new ops a split introduces, in NotifySplit's placement order.
+  static std::vector<OpId> AddedOps(const SplitResult& split);
+
+ private:
+  // One queued fixpoint consequence: dirty `op` from t on, re-run `op`'s send
+  // loop, or lower a device horizon to t. Drained in ascending (t, kind, id)
+  // order — any order reaches the same least fixpoint (every quantity only
+  // decreases), but ascending-time processing settles each op's uncertainty
+  // near its final value the first time it is seen instead of re-relaxing its
+  // whole downstream cone once per lowering.
+  struct WorkItem {
+    double t = 0.0;
+    enum Kind { kDirty = 0, kEmit = 1, kHd = 2, kHe = 3 };
+    Kind kind = kDirty;
+    int32_t id = -1;  // op for kDirty/kEmit, device for kHd/kHe
+    bool operator>(const WorkItem& other) const {
+      if (t != other.t) return t > other.t;
+      if (kind != other.kind) return kind > other.kind;
+      return id > other.id;
+    }
+  };
+
+  // Enqueues one consequence, unless the target state already satisfies it
+  // (every quantity only decreases, so a consequence satisfied at push time
+  // is still satisfied at pop time and would drain as a no-op). On dense
+  // cones most consequences are already satisfied; filtering here keeps the
+  // heap proportional to actual state changes.
+  void Push(WorkItem::Kind kind, int32_t id, double t);
+  void LowerDispatchHorizon(DeviceId d, double t);
+  void LowerEngineHorizon(DeviceId d, double t);
+  void MarkDirty(OpId op, double u);
+  void MarkEmissionDirty(OpId op);
+  void Drain();
+  void Replay();
+  void RebuildIndexes();
+
+  const Graph& g_;
+  std::vector<DeviceId> placement_;
+  const Cluster& cluster_;
+  SimOptions options_;
+  SimResult base_;
+
+  // Fixpoint state, reset after each Replay().
+  std::vector<char> dirty_;
+  std::vector<char> emit_dirty_;
+  std::vector<double> u_;         // per op; meaningful when dirty_
+  std::vector<double> hd_, he_;   // per device
+  // Worklist drained to closure by Drain().
+  std::priority_queue<WorkItem, std::vector<WorkItem>, std::greater<WorkItem>>
+      work_;
+
+  // Indexes over the cached run, rebuilt after each replay: live ops per
+  // device sorted by cached start (dispatch-horizon sweeps), cached carrying
+  // transfers touching each device sorted by cached transfer start
+  // (engine-horizon sweeps), cached transfers produced by each op, and the
+  // cached transfer carrying each edge, if any.
+  std::vector<std::vector<OpId>> ops_by_device_;
+  std::vector<std::vector<size_t>> transfers_by_device_;
+  std::vector<std::vector<size_t>> transfers_by_src_;
+  std::vector<int64_t> transfer_of_edge_;
+};
+
+}  // namespace fastt

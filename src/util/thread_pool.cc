@@ -1,0 +1,160 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+namespace fastt {
+namespace {
+
+thread_local bool t_in_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  workers_.reserve(static_cast<size_t>(num_threads > 0 ? num_threads : 0));
+  for (int i = 0; i < num_threads; ++i)
+    workers_.emplace_back([this] { WorkerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+bool ThreadPool::InWorker() { return t_in_worker; }
+
+void ThreadPool::Run(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const size_t threads = workers_.size();
+  if (threads == 0 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Static contiguous partition: chunk c covers [c*n/k, (c+1)*n/k). The
+  // partition depends only on (n, chunks), never on thread timing, so every
+  // index runs exactly once for any worker count.
+  struct Batch {
+    size_t n = 0;
+    size_t chunks = 0;
+    const std::function<void(size_t)>* fn = nullptr;
+    std::atomic<size_t> next_chunk{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  // Shared ownership: a worker that loses the claim race may still touch the
+  // batch counters after Run has returned.
+  auto batch = std::make_shared<Batch>();
+  batch->n = n;
+  batch->chunks = std::min(n, threads + 1);  // +1: the caller participates
+  batch->fn = &fn;  // outlives every claimed chunk (Run waits for them)
+  auto run_chunks = [](const std::shared_ptr<Batch>& b) {
+    for (;;) {
+      const size_t c = b->next_chunk.fetch_add(1);
+      if (c >= b->chunks) return;
+      const size_t begin = c * b->n / b->chunks;
+      const size_t end = (c + 1) * b->n / b->chunks;
+      for (size_t i = begin; i < end; ++i) (*b->fn)(i);
+      if (b->done.fetch_add(1) + 1 == b->chunks) {
+        std::lock_guard<std::mutex> lock(b->mu);
+        b->cv.notify_all();
+      }
+    }
+  };
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t t = 0; t < std::min(threads, batch->chunks); ++t)
+      tasks_.push([batch, run_chunks] { run_chunks(batch); });
+  }
+  cv_.notify_all();
+  run_chunks(batch);  // the calling thread helps
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->cv.wait(lock, [&] { return batch->done.load() == batch->chunks; });
+}
+
+namespace {
+
+struct SearchPoolState {
+  std::mutex mu;
+  int jobs = 0;  // 0 = uninitialized
+  std::unique_ptr<ThreadPool> pool;
+};
+
+SearchPoolState& PoolState() {
+  static SearchPoolState* state = new SearchPoolState();
+  return *state;
+}
+
+int InitialJobs() {
+  if (const char* env = std::getenv("FASTT_JOBS"); env != nullptr) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  return 1;
+}
+
+}  // namespace
+
+void SetSearchJobs(int jobs) {
+  if (jobs < 1) jobs = 1;
+  SearchPoolState& state = PoolState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.jobs == jobs) return;
+  state.jobs = jobs;
+  state.pool.reset();  // join old workers before spawning new ones
+  if (jobs > 1) state.pool = std::make_unique<ThreadPool>(jobs - 1);
+}
+
+int SearchJobs() {
+  SearchPoolState& state = PoolState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.jobs == 0) {
+    state.jobs = InitialJobs();
+    if (state.jobs > 1)
+      state.pool = std::make_unique<ThreadPool>(state.jobs - 1);
+  }
+  return state.jobs;
+}
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 size_t min_parallel) {
+  if (n == 0) return;
+  ThreadPool* pool = nullptr;
+  if (n >= min_parallel && !ThreadPool::InWorker()) {
+    SearchPoolState& state = PoolState();
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (state.jobs == 0) {
+      state.jobs = InitialJobs();
+      if (state.jobs > 1)
+        state.pool = std::make_unique<ThreadPool>(state.jobs - 1);
+    }
+    pool = state.pool.get();
+  }
+  if (pool == nullptr) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  pool->Run(n, fn);
+}
+
+}  // namespace fastt

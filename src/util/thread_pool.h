@@ -1,0 +1,75 @@
+// Fixed-size thread pool and a deterministic ParallelFor on top of it.
+//
+// The strategy search is the product's "in minutes" promise, and its hot
+// loops — candidate-device scoring in DPOS, split-factor trials in OS-DPOS —
+// are embarrassingly parallel. The pool here is deliberately minimal: a
+// shared queue, no work stealing, no futures. Determinism is the design
+// constraint, not throughput: ParallelFor writes each index's result into a
+// caller-owned slot and callers reduce serially in index order afterwards,
+// so the outcome is bit-identical for any worker count (including zero).
+//
+// Nested ParallelFor calls (e.g. a parallel OS-DPOS trial invoking DPOS,
+// which itself calls ParallelFor) run the inner loop serially on the worker
+// thread — same results, no pool deadlock.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fastt {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (0 = no workers; Run executes inline).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Runs fn(i) for i in [0, n), partitioned into contiguous chunks executed
+  // by the workers (and the calling thread). Blocks until every index has
+  // run. fn must not throw; calls for distinct i must be data-independent.
+  void Run(size_t n, const std::function<void(size_t)>& fn);
+
+  // True while the current thread is a pool worker executing a task; used to
+  // serialize nested parallelism.
+  static bool InWorker();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+// ---- Process-wide search concurrency ---------------------------------------
+//
+// The `--jobs N` knob (and the FASTT_JOBS environment variable) select how
+// many threads the strategy search may use. 1 = fully serial (the default,
+// and the reference behaviour every parallel path must reproduce exactly).
+
+// Set the search concurrency; clamps to >= 1. Creates/resizes the shared
+// pool lazily. Not safe to call concurrently with a running ParallelFor.
+void SetSearchJobs(int jobs);
+
+// Current search concurrency (reads FASTT_JOBS on first use; defaults to 1).
+int SearchJobs();
+
+// Deterministic parallel loop over [0, n) using the shared search pool.
+// Runs serially when jobs == 1, when n < min_parallel, or when called from
+// inside a pool worker (nested parallelism). Results must be written to
+// per-index slots; reduce serially afterwards for determinism.
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 size_t min_parallel = 2);
+
+}  // namespace fastt

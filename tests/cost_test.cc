@@ -2,8 +2,10 @@
 
 #include "cost/comm_cost.h"
 #include "cost/comp_cost.h"
+#include "cost/cost_table.h"
 #include "cost/linreg.h"
 #include "cost/stability.h"
+#include "graph/graph.h"
 
 namespace fastt {
 namespace {
@@ -195,6 +197,86 @@ TEST(Stability, LargeChangeResetsCounter) {
   const double change = detector.Observe(m, 1, {"op"});
   EXPECT_GT(change, 0.05);
   EXPECT_FALSE(detector.IsStable());
+}
+
+// A tiny graph whose ops have distinct cost keys.
+Graph CostTableGraph() {
+  Graph g;
+  for (int i = 0; i < 3; ++i) {
+    Operation op;
+    op.name = "t" + std::to_string(i);
+    op.type = i == 0 ? OpType::kMatMul : OpType::kRelu;
+    op.output_shape = TensorShape{8 << i};
+    op.flops = 1e6 * (i + 1);
+    g.AddOp(std::move(op));
+  }
+  return g;
+}
+
+TEST(CompCostTable, MatchesTheModelItSnapshotted) {
+  const Graph g = CostTableGraph();
+  CompCostModel comp;
+  comp.AddSample(g.op(0).CostKey(), 0, 0.002);
+  comp.AddSample(g.op(0).CostKey(), 1, 0.004);
+  comp.AddSample(g.op(1).CostKey(), 1, 0.001);
+  const CompCostTable table(g, comp, 2);
+  for (OpId id : g.LiveOps()) {
+    for (DeviceId d = 0; d < 2; ++d)
+      EXPECT_EQ(table.Time(id, d), comp.EstimateOrExplore(g.op(id), d))
+          << "op " << id << " dev " << d;
+    EXPECT_EQ(table.MaxOverDevices(id),
+              comp.MaxTimeOverDevices(g.op(id), 2));
+  }
+  EXPECT_TRUE(table.Fresh(g, comp));
+}
+
+TEST(CompCostTable, GoesStaleWhenTheModelLearns) {
+  const Graph g = CostTableGraph();
+  CompCostModel comp;
+  const CompCostTable table(g, comp, 2);
+  EXPECT_TRUE(table.Fresh(g, comp));
+  comp.AddSample(g.op(0).CostKey(), 0, 0.003);
+  EXPECT_FALSE(table.Fresh(g, comp));
+  // A rebuilt snapshot is fresh again and reflects the new sample.
+  const CompCostTable rebuilt(g, comp, 2);
+  EXPECT_TRUE(rebuilt.Fresh(g, comp));
+  EXPECT_EQ(rebuilt.Time(0, 0), comp.EstimateOrExplore(g.op(0), 0));
+}
+
+TEST(CompCostTable, GoesStaleWhenTheGraphGrows) {
+  Graph g = CostTableGraph();
+  CompCostModel comp;
+  const CompCostTable table(g, comp, 2);
+  Operation op;
+  op.name = "extra";
+  op.type = OpType::kRelu;
+  op.output_shape = TensorShape{4};
+  g.AddOp(std::move(op));
+  EXPECT_FALSE(table.Fresh(g, comp));
+}
+
+TEST(CommCostTable, MatchesTheModelItSnapshotted) {
+  CommCostModel comm;
+  for (int64_t bytes : {1 << 10, 1 << 16, 1 << 20})
+    comm.AddSample(0, 1, bytes, 1e-5 + 1e-9 * static_cast<double>(bytes));
+  comm.AddSample(1, 0, 1 << 16, 3e-4);
+  const CommCostTable table(comm, 2);
+  for (int64_t bytes : {0L, 1L << 12, 1L << 20}) {
+    for (DeviceId s = 0; s < 2; ++s)
+      for (DeviceId d = 0; d < 2; ++d)
+        EXPECT_EQ(table.Estimate(s, d, bytes), comm.Estimate(s, d, bytes));
+    EXPECT_EQ(table.MaxOverPairs(bytes), comm.MaxOverPairs(bytes));
+  }
+  EXPECT_TRUE(table.Fresh(comm));
+  comm.AddSample(0, 1, 1 << 8, 2e-5);
+  EXPECT_FALSE(table.Fresh(comm));
+}
+
+TEST(CommCostTable, UnknownPairsExplore) {
+  CommCostModel comm;
+  const CommCostTable table(comm, 3);
+  EXPECT_EQ(table.Estimate(0, 2, 1 << 20), 0.0);
+  EXPECT_EQ(table.Estimate(1, 1, 1 << 20), 0.0);
 }
 
 }  // namespace

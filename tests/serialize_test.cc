@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "core/dpos.h"
 #include "core/strategy_io.h"
 #include "graph/rewrite.h"
 #include "graph/serialize.h"
 #include "models/model_zoo.h"
+#include "sim/cluster.h"
 
 namespace fastt {
 namespace {
@@ -101,6 +105,51 @@ TEST(StrategySerialize, RoundTrips) {
   EXPECT_EQ(copy.splits[0].dim, SplitDim::kChannel);
   EXPECT_EQ(copy.splits[0].num_splits, 4);
   EXPECT_EQ(copy.splits[1].op_name, "rep1/fc6");
+}
+
+TEST(StrategySerialize, RoundTripsScheduledStrategyWithGlueOps) {
+  // A strategy as OS-DPOS emits it: the graph rewritten with a committed
+  // split, so the placement and execution order cover the split/concat glue
+  // ops, and the split list records the decision.
+  Graph g = BuildSingle(FindModel("alexnet"), 32);
+  const OpId conv = g.FindOp("conv3");
+  ASSERT_NE(conv, kInvalidOp);
+  SplitOperation(g, conv, SplitDim::kBatch, 4);
+
+  const Cluster cluster = Cluster::SingleServer(4);
+  CompCostModel comp;
+  CommCostModel comm;
+  const DposResult sched = Dpos(g, cluster, comp, comm);
+  Strategy s = sched.strategy;
+  s.splits.push_back({"conv3", SplitDim::kBatch, 4});
+
+  // The glue ops really are part of the serialized artifact.
+  for (const char* name : {"conv3/split0", "conv3/part0", "conv3/part3",
+                           "conv3/concat"}) {
+    const OpId id = g.FindOp(name);
+    ASSERT_NE(id, kInvalidOp) << name;
+    EXPECT_NE(s.placement[static_cast<size_t>(id)], kInvalidDevice) << name;
+    EXPECT_NE(std::find(s.execution_order.begin(), s.execution_order.end(),
+                        id),
+              s.execution_order.end())
+        << name;
+  }
+  // The tombstoned original is excluded from the order.
+  EXPECT_EQ(std::find(s.execution_order.begin(), s.execution_order.end(),
+                      conv),
+            s.execution_order.end());
+
+  const Strategy copy = DeserializeStrategy(SerializeStrategy(s));
+  EXPECT_EQ(copy.placement, s.placement);
+  EXPECT_EQ(copy.execution_order, s.execution_order);
+  EXPECT_DOUBLE_EQ(copy.predicted_makespan, s.predicted_makespan);
+  ASSERT_EQ(copy.splits.size(), 1u);
+  EXPECT_EQ(copy.splits[0].op_name, "conv3");
+  EXPECT_EQ(copy.splits[0].dim, SplitDim::kBatch);
+  EXPECT_EQ(copy.splits[0].num_splits, 4);
+  // Serialization is canonical: a round-trip re-serializes byte-identically
+  // (what the jobs=N differential tests rely on for strategy comparison).
+  EXPECT_EQ(SerializeStrategy(copy), SerializeStrategy(s));
 }
 
 TEST(StrategySerialize, EmptyStrategy) {

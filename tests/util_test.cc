@@ -3,10 +3,14 @@
 #include <cmath>
 #include <set>
 
+#include <atomic>
+#include <thread>
+
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/strings.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace fastt {
 namespace {
@@ -160,6 +164,86 @@ TEST(Table, ShortRowsArePadded) {
   TablePrinter t({"a", "b", "c"});
   t.AddRow({"only"});
   EXPECT_NE(t.Render().find("only"), std::string::npos);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  for (int workers : {0, 1, 4}) {
+    ThreadPool pool(workers);
+    std::vector<std::atomic<int>> hits(64);
+    pool.Run(64, [&](size_t i) { hits[i].fetch_add(1); });
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1) << workers << " workers";
+  }
+}
+
+TEST(ThreadPool, InWorkerIsFalseOutsidePoolTasks) {
+  EXPECT_FALSE(ThreadPool::InWorker());
+  ThreadPool pool(2);
+  pool.Run(8, [](size_t) {});
+  EXPECT_FALSE(ThreadPool::InWorker());
+}
+
+TEST(SearchJobs, ClampsToAtLeastOne) {
+  SetSearchJobs(0);
+  EXPECT_EQ(SearchJobs(), 1);
+  SetSearchJobs(-3);
+  EXPECT_EQ(SearchJobs(), 1);
+  SetSearchJobs(4);
+  EXPECT_EQ(SearchJobs(), 4);
+  SetSearchJobs(1);
+}
+
+TEST(ParallelFor, BitIdenticalForAnyJobCount) {
+  const size_t n = 1000;
+  auto fill = [&](std::vector<double>& out) {
+    ParallelFor(
+        n,
+        [&](size_t i) {
+          Rng rng(static_cast<uint64_t>(i) * 37 + 5);
+          out[i] = rng.NextDouble() * static_cast<double>(i + 1);
+        },
+        /*min_parallel=*/2);
+  };
+  SetSearchJobs(1);
+  std::vector<double> reference(n, 0.0);
+  fill(reference);
+  for (int jobs : {2, 3, 8}) {
+    SetSearchJobs(jobs);
+    std::vector<double> out(n, 0.0);
+    fill(out);
+    EXPECT_EQ(out, reference) << "jobs " << jobs;
+  }
+  SetSearchJobs(1);
+}
+
+TEST(ParallelFor, RunsSeriallyBelowMinParallel) {
+  SetSearchJobs(8);
+  const auto caller = std::this_thread::get_id();
+  ParallelFor(
+      3, [&](size_t) { EXPECT_EQ(std::this_thread::get_id(), caller); },
+      /*min_parallel=*/4);
+  SetSearchJobs(1);
+}
+
+TEST(ParallelFor, NestedLoopRunsInlineOnTheWorkerThread) {
+  SetSearchJobs(4);
+  std::atomic<bool> inline_ok{true};
+  ParallelFor(
+      8,
+      [&](size_t) {
+        const auto outer_thread = std::this_thread::get_id();
+        // The inner loop must not re-enter the pool (deadlock risk) and so
+        // runs every index on the thread that called it.
+        ParallelFor(
+            4,
+            [&](size_t) {
+              if (std::this_thread::get_id() != outer_thread)
+                inline_ok = false;
+            },
+            /*min_parallel=*/1);
+      },
+      /*min_parallel=*/1);
+  EXPECT_TRUE(inline_ok.load());
+  SetSearchJobs(1);
 }
 
 }  // namespace

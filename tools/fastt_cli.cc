@@ -17,7 +17,9 @@
 //       utilization/bubble breakdown, top critical ops/transfers and link
 //       traffic of the final schedule.
 //
-// Every command also accepts a global `--metrics <out.json>` flag that dumps
+// Every command also accepts `--jobs N` (or FASTT_JOBS=N) to parallelize the
+// strategy search across N threads — the computed strategy is bit-identical
+// to --jobs 1 — and a global `--metrics <out.json>` flag that dumps
 // the process metrics registry (counters, timers, gauges — plus the round-
 // by-round workflow event log for run/analyze) on exit.
 #include <cstdio>
@@ -36,6 +38,7 @@
 #include "sim/trace.h"
 #include "util/strings.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 using namespace fastt;
 
@@ -49,6 +52,7 @@ struct Args {
   std::string json_path;     // --json: machine-readable analysis output
   int gpus = 4;
   int servers = 1;
+  int jobs = 0;  // --jobs: search threads; 0 = keep FASTT_JOBS / default
   int64_t batch = 0;  // 0 = model default
   Scaling scaling = Scaling::kStrong;
 };
@@ -68,6 +72,8 @@ Args Parse(int argc, char** argv) {
       args.servers = std::atoi(next());
     } else if (a == "--batch") {
       args.batch = std::atoll(next());
+    } else if (a == "--jobs") {
+      args.jobs = std::atoi(next());
     } else if (a == "--metrics") {
       args.metrics_path = next();
     } else if (a == "--json") {
@@ -293,7 +299,8 @@ int Usage() {
                "  fastt trace <model> <trace.json> [--gpus N]\n"
                "  fastt analyze <model> [--gpus N] [--servers S] "
                "[--batch B] [--json F]\n"
-               "options: every command accepts --metrics <out.json>\n");
+               "options: every command accepts --jobs N (parallel search;\n"
+               "         same strategy as --jobs 1) and --metrics <out.json>\n");
   return 2;
 }
 
@@ -301,6 +308,7 @@ int Usage() {
 
 int main(int argc, char** argv) {
   const Args args = Parse(argc, argv);
+  if (args.jobs > 0) SetSearchJobs(args.jobs);
   try {
     if (args.command == "models") {
       const int rc = CmdModels();
