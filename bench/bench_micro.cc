@@ -3,13 +3,24 @@
 // probing, the graph rewrite, the discrete-event executor, and rank
 // computation. These back DESIGN.md's claim that FastT's complexity is
 // linear in ops x devices.
+//
+// When FASTT_BENCH_JSON names a path, per-iteration real times are also
+// written there as a fastt-bench/1 document (one report per benchmark, one
+// sample per repetition — run with --benchmark_repetitions=N to give
+// `fastt bench-diff` enough samples to hard-fail).
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <vector>
 
 #include "core/data_parallel.h"
 #include "core/os_dpos.h"
 #include "core/rank.h"
 #include "graph/rewrite.h"
 #include "models/model_zoo.h"
+#include "obs/bench_history.h"
 #include "sim/profiler.h"
 
 namespace fastt {
@@ -28,8 +39,9 @@ Prepared PrepareModel(const std::string& name, int gpus) {
   Prepared p{Graph{}, Cluster::SingleServer(gpus), {}, {}, {}};
   auto dp = BuildDataParallel(spec.build, spec.name, spec.strong_batch,
                               gpus, Scaling::kStrong);
-  p.graph = std::move(dp.graph);
+  // Placement must be derived before the graph is moved out of `dp`.
   p.placement = CanonicalDataParallelPlacement(dp);
+  p.graph = std::move(dp.graph);
   for (int i = 0; i < 2; ++i) {
     SimOptions so;
     so.seed = 50 + static_cast<uint64_t>(i);
@@ -92,7 +104,57 @@ BENCHMARK_CAPTURE(BM_Simulate, bert, "bert_large")->Arg(2);
 BENCHMARK(BM_SplitOperation)->Arg(2)->Arg(4)->Arg(8);
 BENCHMARK(BM_RankU);
 
+// Console output as usual, plus per-iteration real times captured for the
+// optional FASTT_BENCH_JSON report. Aggregate rows (mean/median/stddev) are
+// skipped — bench-diff recomputes its own stats from the samples.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      samples_[run.benchmark_name()].push_back(run.GetAdjustedRealTime());
+    }
+  }
+
+  const std::map<std::string, std::vector<double>>& samples() const {
+    return samples_;
+  }
+
+ private:
+  std::map<std::string, std::vector<double>> samples_;
+};
+
+void MaybeWriteBenchJson(const CapturingReporter& reporter) {
+  const char* path = std::getenv("FASTT_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return;
+  BenchHistoryDoc doc;
+  doc.run["benchmark"] = "bench_micro";
+  for (const auto& [name, samples] : reporter.samples()) {
+    BenchReport report;
+    report.benchmark = "bench_micro";
+    report.params = {{"name", name}};
+    BenchMetricSeries series;
+    series.name = "real_time_ns";
+    series.unit = "ns";
+    series.lower_is_better = true;
+    series.samples = samples;
+    report.metrics.push_back(std::move(series));
+    doc.reports.push_back(std::move(report));
+  }
+  WriteBenchHistoryDoc(doc, path);
+  std::printf("wrote benchmark JSON to %s\n", path);
+}
+
 }  // namespace
 }  // namespace fastt
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  fastt::CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  fastt::MaybeWriteBenchJson(reporter);
+  return 0;
+}

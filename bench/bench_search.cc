@@ -21,6 +21,7 @@
 #include "core/data_parallel.h"
 #include "core/os_dpos.h"
 #include "core/strategy_io.h"
+#include "obs/bench_history.h"
 #include "sim/exec_sim.h"
 #include "sim/incremental_sim.h"
 #include "sim/profiler.h"
@@ -64,6 +65,7 @@ SearchInput Prepare(const std::string& model, int gpus, int64_t batch) {
 
 struct SearchTiming {
   double best_s = 0.0;
+  std::vector<double> samples;  // one wall-clock per repeat
   int probes = 0;
   std::string strategy;  // serialized, for the byte-identity check
 };
@@ -75,6 +77,7 @@ SearchTiming TimeSearch(const SearchInput& in, int jobs, int repeat) {
     const double t0 = Now();
     const OsDposResult os = OsDpos(in.graph, in.cluster, in.comp, in.comm);
     const double elapsed = Now() - t0;
+    t.samples.push_back(elapsed);
     if (r == 0 || elapsed < t.best_s) t.best_s = elapsed;
     t.probes = os.probes;
     t.strategy = SerializeStrategy(os.schedule.strategy);
@@ -84,8 +87,10 @@ SearchTiming TimeSearch(const SearchInput& in, int jobs, int repeat) {
 }
 
 struct ResimTiming {
-  double incremental_s = 0.0;
+  double incremental_s = 0.0;  // best over repeats
   double full_s = 0.0;
+  std::vector<double> incremental_samples;
+  std::vector<double> full_samples;
   int edits = 0;
 };
 
@@ -100,8 +105,11 @@ struct ResimTiming {
 // critical-path refinement move of a local search — whose cone is tiny.
 enum class EditMode { kRandom, kTail, kLatest };
 
-// Single-op re-placements, re-simulated both ways.
-ResimTiming TimeResim(const SearchInput& in, int edits, EditMode mode) {
+// Single-op re-placements, re-simulated both ways, `repeat` times each (a
+// fresh IncrementalSim per repeat; the baseline re-simulates from scratch
+// per edit by construction).
+ResimTiming TimeResim(const SearchInput& in, int edits, EditMode mode,
+                      int repeat) {
   SimOptions so;
   so.track_memory = false;
   ResimTiming t;
@@ -148,24 +156,42 @@ ResimTiming TimeResim(const SearchInput& in, int edits, EditMode mode) {
     moves.push_back({op, dev});
   }
 
-  double t0 = Now();
-  for (const auto& [op, dev] : moves) inc.Replace(op, dev);
-  t.incremental_s = Now() - t0;
-
-  t0 = Now();
-  double checksum = 0.0;
-  for (const auto& [op, dev] : moves) {
-    placement[static_cast<size_t>(op)] = dev;
-    checksum += Simulate(in.graph, placement, in.cluster, so).makespan;
+  double final_inc_makespan = 0.0;
+  for (int r = 0; r < repeat; ++r) {
+    // Repeats after the first pay the IncrementalSim seed again, outside
+    // the timed region, so every repeat measures the same edit sequence.
+    IncrementalSim fresh(in.graph, in.placement, in.cluster, so);
+    IncrementalSim& sim = r == 0 ? inc : fresh;
+    const double t0 = Now();
+    for (const auto& [op, dev] : moves) sim.Replace(op, dev);
+    const double elapsed = Now() - t0;
+    t.incremental_samples.push_back(elapsed);
+    if (r == 0 || elapsed < t.incremental_s) t.incremental_s = elapsed;
+    final_inc_makespan = sim.result().makespan;
   }
-  t.full_s = Now() - t0;
+
+  double checksum = 0.0;
+  for (int r = 0; r < repeat; ++r) {
+    std::vector<DeviceId> scratch_placement = in.placement;
+    checksum = 0.0;
+    const double t0 = Now();
+    for (const auto& [op, dev] : moves) {
+      scratch_placement[static_cast<size_t>(op)] = dev;
+      checksum +=
+          Simulate(in.graph, scratch_placement, in.cluster, so).makespan;
+    }
+    const double elapsed = Now() - t0;
+    t.full_samples.push_back(elapsed);
+    if (r == 0 || elapsed < t.full_s) t.full_s = elapsed;
+    placement = std::move(scratch_placement);
+  }
 
   // The two paths must agree on the final timeline (the property tests do
   // the exhaustive version of this; here it guards the numbers we report).
   const SimResult full = Simulate(in.graph, placement, in.cluster, so);
-  if (inc.result().makespan != full.makespan || checksum <= 0.0) {
+  if (final_inc_makespan != full.makespan || checksum <= 0.0) {
     std::fprintf(stderr, "incremental/full divergence: %.17g vs %.17g\n",
-                 inc.result().makespan, full.makespan);
+                 final_inc_makespan, full.makespan);
     std::exit(1);
   }
   return t;
@@ -224,13 +250,13 @@ int Run(int argc, char** argv) {
   const double search_speedup =
       parallel.best_s > 0.0 ? serial.best_s / parallel.best_s : 0.0;
 
-  const ResimTiming resim = TimeResim(in, edits, EditMode::kRandom);
+  const ResimTiming resim = TimeResim(in, edits, EditMode::kRandom, repeat);
   const double resim_speedup =
       resim.incremental_s > 0.0 ? resim.full_s / resim.incremental_s : 0.0;
-  const ResimTiming tail = TimeResim(in, edits, EditMode::kTail);
+  const ResimTiming tail = TimeResim(in, edits, EditMode::kTail, repeat);
   const double tail_speedup =
       tail.incremental_s > 0.0 ? tail.full_s / tail.incremental_s : 0.0;
-  const ResimTiming latest = TimeResim(in, edits, EditMode::kLatest);
+  const ResimTiming latest = TimeResim(in, edits, EditMode::kLatest, repeat);
   const double latest_speedup =
       latest.incremental_s > 0.0 ? latest.full_s / latest.incremental_s : 0.0;
 
@@ -258,62 +284,49 @@ int Run(int argc, char** argv) {
 
   if (const char* path = std::getenv("FASTT_BENCH_JSON");
       path != nullptr && *path != '\0') {
-    JsonWriter w;
-    w.BeginObject();
-    w.Key("benchmark");
-    w.String("bench_search");
-    w.Key("model");
-    w.String(model);
-    w.Key("gpus");
-    w.Int(gpus);
-    w.Key("jobs");
-    w.Int(jobs);
-    w.Key("jobs_effective");
-    w.Int(jobs_eff);
-    w.Key("host_cores");
-    w.Int(host_cores);
-    w.Key("live_ops");
-    w.Int(in.graph.num_live_ops());
-    w.Key("osdpos_probes");
-    w.Int(serial.probes);
-    w.Key("osdpos_serial_s");
-    w.Number(serial.best_s);
-    w.Key("osdpos_parallel_s");
-    w.Number(parallel.best_s);
-    w.Key("osdpos_speedup");
-    w.Number(search_speedup);
-    w.Key("strategies_identical");
-    w.Bool(identical);
-    w.Key("resim_edits");
-    w.Int(resim.edits);
-    w.Key("resim_full_s");
-    w.Number(resim.full_s);
-    w.Key("resim_incremental_s");
-    w.Number(resim.incremental_s);
-    w.Key("resim_speedup");
-    w.Number(resim_speedup);
-    w.Key("resim_tail_full_s");
-    w.Number(tail.full_s);
-    w.Key("resim_tail_incremental_s");
-    w.Number(tail.incremental_s);
-    w.Key("resim_tail_speedup");
-    w.Number(tail_speedup);
-    w.Key("resim_latest_full_s");
-    w.Number(latest.full_s);
-    w.Key("resim_latest_incremental_s");
-    w.Number(latest.incremental_s);
-    w.Key("resim_latest_speedup");
-    w.Number(latest_speedup);
-    w.Key("metrics");
-    w.Raw(MetricsRegistry::Global().ToJson());
-    w.EndObject();
-    std::ofstream out(path);
-    if (!out) {
-      std::fprintf(stderr, "cannot write %s\n", path);
-    } else {
-      out << w.str() << "\n";
-      std::printf("wrote benchmark JSON to %s\n", path);
-    }
+    BenchHistoryDoc doc;
+    // Machine- and run-dependent facts go in the run metadata; params hold
+    // only the configuration cell, so reports from different machines still
+    // match up under bench-diff.
+    doc.run = {
+        {"benchmark", "bench_search"},
+        {"host_cores", StrFormat("%d", host_cores)},
+        {"jobs_effective", StrFormat("%d", jobs_eff)},
+        {"live_ops", StrFormat("%d", in.graph.num_live_ops())},
+        {"osdpos_probes", StrFormat("%d", serial.probes)},
+        {"strategies_identical", identical ? "yes" : "no"},
+    };
+    BenchReport report;
+    report.benchmark = "bench_search";
+    report.params = {
+        {"model", model},
+        {"gpus", StrFormat("%d", gpus)},
+        {"jobs", StrFormat("%d", jobs)},
+        {"edits", StrFormat("%d", edits)},
+    };
+    auto seconds = [](const std::string& name,
+                      const std::vector<double>& samples) {
+      BenchMetricSeries series;
+      series.name = name;
+      series.unit = "s";
+      series.lower_is_better = true;
+      series.samples = samples;
+      return series;
+    };
+    report.metrics = {
+        seconds("osdpos_serial_s", serial.samples),
+        seconds("osdpos_parallel_s", parallel.samples),
+        seconds("resim_full_s", resim.full_samples),
+        seconds("resim_incremental_s", resim.incremental_samples),
+        seconds("resim_tail_full_s", tail.full_samples),
+        seconds("resim_tail_incremental_s", tail.incremental_samples),
+        seconds("resim_latest_full_s", latest.full_samples),
+        seconds("resim_latest_incremental_s", latest.incremental_samples),
+    };
+    doc.reports.push_back(std::move(report));
+    doc.process_metrics_json = MetricsRegistry::Global().ToJson();
+    WriteBenchHistoryDoc(doc, path);
+    std::printf("wrote benchmark JSON to %s\n", path);
   }
 
   return identical ? 0 : 1;

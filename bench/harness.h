@@ -12,6 +12,7 @@
 
 #include "core/strategy_calculator.h"
 #include "models/model_zoo.h"
+#include "obs/bench_history.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "util/strings.h"
@@ -80,43 +81,38 @@ inline Cell MeasureCell(const ModelSpec& spec, const Cluster& cluster,
 }
 
 // If FASTT_BENCH_JSON names a path, writes every measured cell plus the
-// process metrics registry there as one JSON document. Call at the end of a
-// benchmark's main().
+// process metrics registry there as one fastt-bench/1 document (see
+// obs/bench_history.h) — diffable with `fastt bench-diff`. Call at the end
+// of a benchmark's main().
 inline void MaybeWriteBenchJson(const std::string& bench_name) {
   const char* path = std::getenv("FASTT_BENCH_JSON");
   if (path == nullptr || *path == '\0') return;
-  JsonWriter w;
-  w.BeginObject();
-  w.Key("benchmark");
-  w.String(bench_name);
-  w.Key("cells");
-  w.BeginArray();
+  BenchHistoryDoc doc;
+  doc.run["benchmark"] = bench_name;
   for (const CellRecord& r : CellRecords()) {
-    w.BeginObject();
-    w.Key("model");
-    w.String(r.model);
-    w.Key("cluster");
-    w.String(r.cluster);
-    w.Key("batch");
-    w.Int(r.batch);
-    w.Key("scaling");
-    w.String(r.scaling == Scaling::kStrong ? "strong" : "weak");
-    w.Key("dp_samples_per_s");
-    w.Number(r.cell.dp);
-    w.Key("fastt_samples_per_s");
-    w.Number(r.cell.fastt);
-    w.EndObject();
+    BenchReport report;
+    report.benchmark = bench_name;
+    report.params = {
+        {"model", r.model},
+        {"cluster", r.cluster},
+        {"batch", StrFormat("%lld", (long long)r.batch)},
+        {"scaling", r.scaling == Scaling::kStrong ? "strong" : "weak"},
+    };
+    BenchMetricSeries dp;
+    dp.name = "dp_samples_per_s";
+    dp.unit = "samples/s";
+    dp.lower_is_better = false;
+    dp.samples = {r.cell.dp};
+    BenchMetricSeries ft;
+    ft.name = "fastt_samples_per_s";
+    ft.unit = "samples/s";
+    ft.lower_is_better = false;
+    ft.samples = {r.cell.fastt};
+    report.metrics = {std::move(dp), std::move(ft)};
+    doc.reports.push_back(std::move(report));
   }
-  w.EndArray();
-  w.Key("metrics");
-  w.Raw(MetricsRegistry::Global().ToJson());
-  w.EndObject();
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", path);
-    return;
-  }
-  out << w.str() << "\n";
+  doc.process_metrics_json = MetricsRegistry::Global().ToJson();
+  WriteBenchHistoryDoc(doc, path);
   std::printf("wrote benchmark JSON to %s\n", path);
 }
 

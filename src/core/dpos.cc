@@ -12,6 +12,7 @@
 #include "core/rank.h"
 #include "core/timeline.h"
 #include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -52,6 +53,7 @@ DposResult Dpos(const Graph& g, const Cluster& cluster,
                 const CompCostModel& comp, const CommCostModel& comm,
                 const DposOptions& options) {
   FASTT_SCOPED_TIMER("dpos/total");
+  FASTT_TRACE_SPAN("dpos/total");
   MetricsRegistry::Global().AddCounter("dpos/invocations");
   const int32_t n_dev = cluster.num_devices();
   FASTT_CHECK(n_dev >= 1);
@@ -83,8 +85,11 @@ DposResult Dpos(const Graph& g, const Cluster& cluster,
   constexpr size_t kMinParallelScoreDevices = 16;
 
   DposResult result;
-  result.rank = ComputeRankU(g, comp_t, comm_t);
-  result.critical_path = CriticalPathByRank(g, result.rank);
+  {
+    FASTT_TRACE_SPAN("dpos/rank");
+    result.rank = ComputeRankU(g, comp_t, comm_t);
+    result.critical_path = CriticalPathByRank(g, result.rank);
+  }
   result.start_time.assign(slots, 0.0);
   result.finish_time.assign(slots, 0.0);
   result.strategy.placement.assign(slots, kInvalidDevice);
@@ -105,6 +110,7 @@ DposResult Dpos(const Graph& g, const Cluster& cluster,
   std::unordered_set<OpId> on_cp(result.critical_path.begin(),
                                  result.critical_path.end());
   if (options.use_critical_path_device) {
+    FASTT_TRACE_SPAN("dpos/cp_device");
     struct CpCandidate {
       double avg = kInf;
       size_t count = 0;
@@ -283,10 +289,12 @@ DposResult Dpos(const Graph& g, const Cluster& cluster,
   const char* trace = std::getenv("FASTT_DPOS_TRACE");
   std::vector<double> scores(static_cast<size_t>(n_dev), kInf);
 
+  FASTT_TRACE_SPAN("dpos/list_schedule");
   size_t placed = 0;
   while (!queue.empty()) {
     const OpId op = queue.top().op;
     queue.pop();
+    FASTT_TRACE_COUNTER("dpos/ready_queue", queue.size());
     const Operation& o = g.op(op);
 
     DeviceId chosen = kInvalidDevice;

@@ -5,6 +5,7 @@
 
 #include "graph/rewrite.h"
 #include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "util/thread_pool.h"
 
 namespace fastt {
@@ -25,6 +26,7 @@ OsDposResult OsDpos(const Graph& g, const Cluster& cluster,
                     const CompCostModel& comp, const CommCostModel& comm,
                     const OsDposOptions& options) {
   FASTT_SCOPED_TIMER("os_dpos/total");
+  FASTT_TRACE_SPAN("osdpos/total");
   MetricsRegistry::Global().AddCounter("os_dpos/invocations");
   OsDposResult result;
   result.graph = g;
@@ -54,6 +56,7 @@ OsDposResult OsDpos(const Graph& g, const Cluster& cluster,
     if (probed >= options.max_probed_ops) break;
     if (result.graph.op(op).dead) continue;  // consumed by an earlier commit
     ++probed;
+    FASTT_TRACE_SPAN("osdpos/probe_op");
 
     // Probe every (dimension, count) rewrite of this op. The trial list is
     // built serially (dims outer, counts inner — the serial probe order),
@@ -77,6 +80,7 @@ OsDposResult OsDpos(const Graph& g, const Cluster& cluster,
       }
     }
     ParallelFor(trials.size(), [&](size_t i) {
+      FASTT_TRACE_SPAN("osdpos/trial");
       Trial& t = trials[i];
       Graph trial = result.graph;
       SplitOperation(trial, op, t.dim, t.n);

@@ -1,5 +1,8 @@
 #include "cost/cost_table.h"
 
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
 namespace fastt {
 
 CompCostTable::CompCostTable(const Graph& g, const CompCostModel& model,
@@ -7,20 +10,29 @@ CompCostTable::CompCostTable(const Graph& g, const CompCostModel& model,
     : num_devices_(num_devices),
       num_slots_(g.num_slots()),
       model_version_(model.version()) {
+  FASTT_TRACE_SPAN("cost/comp_table");
   const size_t slots = static_cast<size_t>(num_slots_);
   const size_t devs = static_cast<size_t>(num_devices_);
   times_.assign(slots * devs, 0.0);
   max_time_.assign(slots, 0.0);
+  int64_t unknown = 0;  // explore-at-zero entries: no profile, no basis
   for (OpId id = 0; id < num_slots_; ++id) {
     const Operation& op = g.op(id);
     if (op.dead) continue;
     double best = 0.0;
     for (DeviceId d = 0; d < num_devices_; ++d) {
       const double t = model.EstimateOrExplore(op, d);
+      if (t == 0.0) ++unknown;
       times_[static_cast<size_t>(id) * devs + static_cast<size_t>(d)] = t;
       best = t > best ? t : best;
     }
     max_time_[static_cast<size_t>(id)] = best;
+  }
+  MetricsRegistry::Global().AddCounter("cost/comp_table_builds");
+  if (unknown > 0) {
+    MetricsRegistry::Global().AddCounter("cost/comp_table_unknown_entries",
+                                         unknown);
+    FASTT_TRACE_INSTANT("cost/comp_table_unknown", unknown);
   }
 }
 
@@ -30,9 +42,11 @@ bool CompCostTable::Fresh(const Graph& g, const CompCostModel& model) const {
 
 CommCostTable::CommCostTable(const CommCostModel& model, int32_t num_devices)
     : num_devices_(num_devices), model_version_(model.version()) {
+  FASTT_TRACE_SPAN("cost/comm_table");
   pairs_.assign(static_cast<size_t>(num_devices_) *
                     static_cast<size_t>(num_devices_),
                 Pair{});
+  int64_t unknown = 0;  // pairs with no regression yet (treated as free)
   for (DeviceId src = 0; src < num_devices_; ++src) {
     for (DeviceId dst = 0; dst < num_devices_; ++dst) {
       if (src == dst) continue;
@@ -44,8 +58,16 @@ CommCostTable::CommCostTable(const CommCostModel& model, int32_t num_devices)
         p.slope = fit->second;
         p.known = true;
         known_pairs_.push_back(p);
+      } else {
+        ++unknown;
       }
     }
+  }
+  MetricsRegistry::Global().AddCounter("cost/comm_table_builds");
+  if (unknown > 0) {
+    MetricsRegistry::Global().AddCounter("cost/comm_table_unknown_pairs",
+                                         unknown);
+    FASTT_TRACE_INSTANT("cost/comm_table_unknown", unknown);
   }
 }
 

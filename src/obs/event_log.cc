@@ -8,12 +8,33 @@ EventLog::Builder::Builder(EventLog& log, const std::string& type)
     : log_(log) {
   writer_.BeginObject();
   writer_.Key("event").String(type);
-  writer_.Key("seq").Int(static_cast<int64_t>(log.lines_.size()));
+  writer_.Key("seq").Int(log.next_seq_.fetch_add(1));
 }
 
 EventLog::Builder::~Builder() {
   writer_.EndObject();
-  log_.lines_.push_back(writer_.str());
+  log_.Append(writer_.str());
+}
+
+void EventLog::Append(std::string line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lines_.push_back(std::move(line));
+}
+
+size_t EventLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_.size();
+}
+
+std::string EventLog::line(size_t i) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_[i];
+}
+
+void EventLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lines_.clear();
+  next_seq_.store(0);
 }
 
 EventLog::Builder& EventLog::Builder::Str(const std::string& key,
@@ -41,6 +62,7 @@ EventLog::Builder& EventLog::Builder::Bool(const std::string& key,
 }
 
 std::string EventLog::ToJsonl() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   for (const std::string& line : lines_) {
     out += line;

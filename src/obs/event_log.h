@@ -14,14 +14,21 @@
 // appended when the builder goes out of scope.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/json.h"
 
 namespace fastt {
 
+// Thread-safe: concurrent Emit()s are fine. Each builder takes a unique
+// "seq" at construction and appends atomically at destruction, so every
+// line is well-formed and no line is lost — though lines may land in the
+// log slightly out of seq order when emitters race.
 class EventLog {
  public:
   class Builder {
@@ -41,22 +48,43 @@ class EventLog {
     JsonWriter writer_;
   };
 
+  EventLog() = default;
+  // Movable so results that carry their log by value stay movable. Moving
+  // is not thread-safe: don't move a log that other threads still emit to.
+  EventLog(EventLog&& other) noexcept { *this = std::move(other); }
+  EventLog& operator=(EventLog&& other) noexcept {
+    if (this != &other) {
+      std::scoped_lock lock(mu_, other.mu_);
+      lines_ = std::move(other.lines_);
+      next_seq_.store(other.next_seq_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+      other.lines_.clear();
+      other.next_seq_.store(0, std::memory_order_relaxed);
+    }
+    return *this;
+  }
+
   // Starts a new event of the given type.
   Builder Emit(const std::string& type) { return Builder(*this, type); }
 
-  size_t size() const { return lines_.size(); }
-  // The i-th event as a JSON object string (no trailing newline).
-  const std::string& line(size_t i) const { return lines_[i]; }
+  size_t size() const;
+  // The i-th event as a JSON object string (no trailing newline). Returns
+  // by value: the underlying vector may reallocate under a racing Emit.
+  std::string line(size_t i) const;
 
   // All events, newline-separated (JSONL).
   std::string ToJsonl() const;
   // Writes ToJsonl() to `path`. Returns false on I/O failure.
   bool WriteJsonl(const std::string& path) const;
 
-  void Clear() { lines_.clear(); }
+  void Clear();
 
  private:
   friend class Builder;
+  void Append(std::string line);
+
+  mutable std::mutex mu_;
+  std::atomic<int64_t> next_seq_{0};
   std::vector<std::string> lines_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdlib>
 
 #include "util/check.h"
 #include "util/strings.h"
@@ -32,7 +33,7 @@ std::string JsonQuote(const std::string& s) {
 }
 
 std::string JsonNumber(double v) {
-  if (!std::isfinite(v)) return "0";
+  if (!std::isfinite(v)) return "null";
   // %.9g round-trips the magnitudes we deal in (seconds, bytes, counts)
   // without printing 17-digit noise for every value.
   std::string s = StrFormat("%.9g", v);
@@ -127,14 +128,21 @@ JsonWriter& JsonWriter::Raw(const std::string& json) {
 
 namespace {
 
-// Recursive-descent validator. Tracks position for error messages.
+// Recursive-descent parser. Validates always; additionally builds a
+// JsonValue DOM when the caller passes a sink (Parse). Tracks position for
+// error messages.
 class Parser {
  public:
   explicit Parser(const std::string& text) : text_(text) {}
 
-  bool Validate(std::string* error) {
+  bool Validate(std::string* error) { return Run(nullptr, error); }
+
+  bool Parse(JsonValue* out, std::string* error) { return Run(out, error); }
+
+ private:
+  bool Run(JsonValue* out, std::string* error) {
     SkipWs();
-    if (!Value()) {
+    if (!Value(out)) {
       if (error) *error = StrFormat("%s at offset %zu", error_.c_str(), pos_);
       return false;
     }
@@ -146,7 +154,6 @@ class Parser {
     return true;
   }
 
- private:
   void SkipWs() {
     while (pos_ < text_.size() &&
            (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
@@ -165,20 +172,42 @@ class Parser {
     return true;
   }
 
-  bool Value() {
+  // Every production takes an optional sink; nullptr means validate-only.
+  bool Value(JsonValue* out) {
     if (depth_ > 256) return Fail("nesting too deep");
     switch (Peek()) {
-      case '{': return Object();
-      case '[': return Array();
-      case '"': return ParseString();
-      case 't': return Literal("true");
-      case 'f': return Literal("false");
-      case 'n': return Literal("null");
-      default: return ParseNumber();
+      case '{':
+        if (out) out->kind = JsonValue::Kind::kObject;
+        return Object(out);
+      case '[':
+        if (out) out->kind = JsonValue::Kind::kArray;
+        return Array(out);
+      case '"': {
+        std::string s;
+        if (!ParseString(out ? &s : nullptr)) return false;
+        if (out) {
+          out->kind = JsonValue::Kind::kString;
+          out->str_v = std::move(s);
+        }
+        return true;
+      }
+      case 't':
+        if (!Literal("true")) return false;
+        if (out) { out->kind = JsonValue::Kind::kBool; out->bool_v = true; }
+        return true;
+      case 'f':
+        if (!Literal("false")) return false;
+        if (out) { out->kind = JsonValue::Kind::kBool; out->bool_v = false; }
+        return true;
+      case 'n':
+        if (!Literal("null")) return false;
+        if (out) out->kind = JsonValue::Kind::kNull;
+        return true;
+      default: return ParseNumber(out);
     }
   }
 
-  bool Object() {
+  bool Object(JsonValue* out) {
     ++pos_;  // '{'
     ++depth_;
     SkipWs();
@@ -186,12 +215,14 @@ class Parser {
     while (true) {
       SkipWs();
       if (Peek() != '"') return Fail("expected object key");
-      if (!ParseString()) return false;
+      std::string key;
+      if (!ParseString(out ? &key : nullptr)) return false;
       SkipWs();
       if (Peek() != ':') return Fail("expected ':'");
       ++pos_;
       SkipWs();
-      if (!Value()) return false;
+      JsonValue* slot = out ? &out->fields[key] : nullptr;
+      if (!Value(slot)) return false;
       SkipWs();
       if (Peek() == ',') { ++pos_; continue; }
       if (Peek() == '}') { ++pos_; --depth_; return true; }
@@ -199,14 +230,19 @@ class Parser {
     }
   }
 
-  bool Array() {
+  bool Array(JsonValue* out) {
     ++pos_;  // '['
     ++depth_;
     SkipWs();
     if (Peek() == ']') { ++pos_; --depth_; return true; }
     while (true) {
       SkipWs();
-      if (!Value()) return false;
+      JsonValue* slot = nullptr;
+      if (out) {
+        out->items.emplace_back();
+        slot = &out->items.back();
+      }
+      if (!Value(slot)) return false;
       SkipWs();
       if (Peek() == ',') { ++pos_; continue; }
       if (Peek() == ']') { ++pos_; --depth_; return true; }
@@ -214,7 +250,25 @@ class Parser {
     }
   }
 
-  bool ParseString() {
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      *out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      *out += static_cast<char>(0xC0 | (cp >> 6));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      *out += static_cast<char>(0xE0 | (cp >> 12));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      *out += static_cast<char>(0xF0 | (cp >> 18));
+      *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool ParseString(std::string* out) {
     ++pos_;  // opening quote
     while (pos_ < text_.size()) {
       const char c = text_[pos_];
@@ -225,22 +279,38 @@ class Parser {
         ++pos_;
         const char e = Peek();
         if (e == 'u') {
+          uint32_t cp = 0;
           for (int i = 0; i < 4; ++i) {
             ++pos_;
-            if (!std::isxdigit(static_cast<unsigned char>(Peek())))
+            const char h = Peek();
+            if (!std::isxdigit(static_cast<unsigned char>(h)))
               return Fail("bad \\u escape");
+            cp = cp * 16 + (std::isdigit(static_cast<unsigned char>(h))
+                                ? h - '0'
+                                : (std::tolower(h) - 'a') + 10);
           }
-        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
-                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          // Surrogate pairs are passed through as-is (replacement char for
+          // an unpaired half); the exporters never emit them.
+          if (out) AppendUtf8(cp >= 0xD800 && cp < 0xE000 ? 0xFFFD : cp, out);
+        } else if (e == '"' || e == '\\' || e == '/') {
+          if (out) *out += e;
+        } else if (e == 'b') { if (out) *out += '\b';
+        } else if (e == 'f') { if (out) *out += '\f';
+        } else if (e == 'n') { if (out) *out += '\n';
+        } else if (e == 'r') { if (out) *out += '\r';
+        } else if (e == 't') { if (out) *out += '\t';
+        } else {
           return Fail("bad escape");
         }
+      } else if (out) {
+        *out += c;
       }
       ++pos_;
     }
     return Fail("unterminated string");
   }
 
-  bool ParseNumber() {
+  bool ParseNumber(JsonValue* out) {
     const size_t start = pos_;
     if (Peek() == '-') ++pos_;
     if (!std::isdigit(static_cast<unsigned char>(Peek())))
@@ -263,6 +333,11 @@ class Parser {
         return Fail("bad exponent");
       while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
     }
+    if (out) {
+      out->kind = JsonValue::Kind::kNumber;
+      out->num_v = std::strtod(text_.substr(start, pos_ - start).c_str(),
+                               nullptr);
+    }
     return pos_ > start;
   }
 
@@ -274,8 +349,27 @@ class Parser {
 
 }  // namespace
 
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  auto it = fields.find(key);
+  return it == fields.end() ? nullptr : &it->second;
+}
+
+double JsonValue::NumberOr(double fallback) const {
+  return kind == Kind::kNumber ? num_v : fallback;
+}
+
+std::string JsonValue::StringOr(const std::string& fallback) const {
+  return kind == Kind::kString ? str_v : fallback;
+}
+
 bool JsonValidate(const std::string& text, std::string* error) {
   return Parser(text).Validate(error);
+}
+
+bool JsonParse(const std::string& text, JsonValue* out, std::string* error) {
+  *out = JsonValue{};
+  return Parser(text).Parse(out, error);
 }
 
 bool JsonlValidate(const std::string& text, std::string* error) {

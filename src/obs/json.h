@@ -1,21 +1,25 @@
 // Minimal JSON support for the observability layer: a streaming writer used
-// by every exporter (metrics, event log, schedule analysis, bench reports)
-// and a validating parser used by tests and tools to assert that what we
-// emit actually is JSON. Dependency-light by design — no third-party JSON
-// library is available in the build image, and the subsystem only needs
-// write + validate, never a DOM.
+// by every exporter (metrics, event log, schedule analysis, bench reports),
+// a validating parser used by tests and tools to assert that what we emit
+// actually is JSON, and a small DOM (JsonValue/JsonParse) for the consumers
+// that must read reports back (bench-diff). Dependency-light by design — no
+// third-party JSON library is available in the build image.
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
 namespace fastt {
 
 // Escapes `s` for inclusion in a JSON string and wraps it in quotes.
 std::string JsonQuote(const std::string& s);
 
-// Formats a double as a JSON number (finite values only; non-finite values
-// render as 0 with no trailing garbage, since JSON has no Inf/NaN).
+// Formats a double as a JSON number. JSON has no Inf/NaN, so non-finite
+// values render as `null` (an empty timer's mean, a 0/0 ratio) rather than
+// corrupting the document.
 std::string JsonNumber(double v);
 
 // Streaming writer for nested objects/arrays. Keeps a small state stack so
@@ -62,5 +66,36 @@ bool JsonValidate(const std::string& text, std::string* error = nullptr);
 
 // Validates a JSONL document: every non-empty line must be well-formed JSON.
 bool JsonlValidate(const std::string& text, std::string* error = nullptr);
+
+// Parsed JSON value. Numbers are held as double; `null` is a distinct kind
+// so readers can tell "absent/non-finite" from 0.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_v = false;
+  double num_v = 0.0;
+  std::string str_v;
+  std::vector<JsonValue> items;                 // kArray
+  std::map<std::string, JsonValue> fields;      // kObject (key-sorted)
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  // Object lookup; returns nullptr when this is not an object or the key is
+  // absent, so chained probes read naturally.
+  const JsonValue* Find(const std::string& key) const;
+  // Typed accessors with fallbacks for optional fields.
+  double NumberOr(double fallback) const;
+  std::string StringOr(const std::string& fallback) const;
+};
+
+// Parses `text` into a DOM. Returns false (with a reason in `error`) on any
+// document JsonValidate would reject.
+bool JsonParse(const std::string& text, JsonValue* out,
+               std::string* error = nullptr);
 
 }  // namespace fastt

@@ -4,6 +4,8 @@
 
 #include "obs/event_log.h"
 #include "obs/json.h"
+#include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace fastt {
 
@@ -98,6 +100,21 @@ std::string MetricsToJson(const MetricsRegistry& registry,
     doc.insert(doc.size() - 1, tail);
   }
   return doc;
+}
+
+void PublishSearchPoolMetrics(MetricsRegistry& registry) {
+  const PoolStats stats = SearchPoolStats();
+  registry.SetGauge("pool/jobs", stats.jobs);
+  registry.SetGauge("pool/batches", static_cast<double>(stats.batches));
+  registry.SetGauge("pool/tasks", static_cast<double>(stats.tasks));
+  const double wait_s = static_cast<double>(stats.queue_wait_ns) * 1e-9;
+  registry.SetGauge("pool/queue_wait_total_s", wait_s);
+  registry.SetGauge("pool/queue_wait_mean_s",
+                    stats.tasks > 0 ? wait_s / double(stats.tasks) : 0.0);
+  for (size_t i = 0; i < stats.worker_tasks.size(); ++i) {
+    registry.SetGauge(StrFormat("pool/worker%zu/tasks", i),
+                      static_cast<double>(stats.worker_tasks[i]));
+  }
 }
 
 bool WriteMetricsJson(const std::string& path, const MetricsRegistry& registry,

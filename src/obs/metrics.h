@@ -97,6 +97,13 @@ std::string MetricsToJson(const MetricsRegistry& registry,
 bool WriteMetricsJson(const std::string& path, const MetricsRegistry& registry,
                       const EventLog* events = nullptr);
 
+// Copies the search thread-pool's occupancy counters (SearchPoolStats) into
+// `registry` as gauges: pool/jobs, pool/batches, pool/tasks,
+// pool/queue_wait_total_s, pool/queue_wait_mean_s and pool/worker<i>/tasks.
+// Gauges, not counters, so republishing before each export never
+// double-counts. Call right before exporting.
+void PublishSearchPoolMetrics(MetricsRegistry& registry);
+
 }  // namespace fastt
 
 #define FASTT_TIMER_CONCAT2(a, b) a##b

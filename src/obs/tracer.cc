@@ -1,0 +1,138 @@
+#include "obs/tracer.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace fastt {
+namespace {
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // leaked: outlives thread-locals
+  return *tracer;
+}
+
+void Tracer::Enable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  epoch_ns_ = SteadyNowNs();
+  for (auto& buf : buffers_) buf->head.store(0, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_release); }
+
+void Tracer::SetRingCapacity(size_t events) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = std::max<size_t>(events, 8);
+  for (auto& buf : buffers_) {
+    buf->ring.assign(capacity_, Event{});
+    buf->head.store(0, std::memory_order_relaxed);
+  }
+}
+
+Tracer::ThreadBuffer* Tracer::CurrentBuffer() {
+  // One slot per (tracer, thread). The raw pointer stays valid for the
+  // thread's lifetime because buffers_ holds unique_ptrs and is never
+  // shrunk.
+  thread_local ThreadBuffer* cached = nullptr;
+  thread_local Tracer* cached_owner = nullptr;
+  if (cached != nullptr && cached_owner == this) return cached;
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>(capacity_));
+  buffers_.back()->tid = static_cast<int>(buffers_.size());
+  cached = buffers_.back().get();
+  cached_owner = this;
+  return cached;
+}
+
+double Tracer::NowSinceEpoch() const {
+  return static_cast<double>(SteadyNowNs() - epoch_ns_) * 1e-9;
+}
+
+void Tracer::Emit(Kind kind, const char* name, double value) {
+  if (!enabled()) return;
+  ThreadBuffer* buf = CurrentBuffer();
+  const uint64_t head = buf->head.load(std::memory_order_relaxed);
+  Event& slot = buf->ring[head % buf->ring.size()];
+  slot.name = name;
+  slot.t_s = NowSinceEpoch();
+  slot.value = value;
+  slot.kind = kind;
+  buf->head.store(head + 1, std::memory_order_release);
+}
+
+void Tracer::SetCurrentThreadName(const std::string& name) {
+  ThreadBuffer* buf = CurrentBuffer();
+  std::lock_guard<std::mutex> lock(mu_);
+  buf->name = name;
+}
+
+TraceDump Tracer::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceDump dump;
+  dump.drained_at_s = NowSinceEpoch();
+  for (auto& buf : buffers_) {
+    const uint64_t head = buf->head.load(std::memory_order_acquire);
+    const size_t cap = buf->ring.size();
+    const uint64_t count = std::min<uint64_t>(head, cap);
+    if (head > cap) dump.dropped_events += head - cap;
+    if (head > 0 || !buf->name.empty()) {
+      dump.threads.push_back({buf->tid, buf->name});
+    }
+
+    // Oldest surviving event first.
+    const uint64_t first = head - count;
+    // Pair begins/ends with a LIFO stack; spans on one thread nest
+    // properly, so a matching end always closes the innermost open begin.
+    std::vector<std::pair<const char*, double>> open;  // (name, start)
+    for (uint64_t i = first; i < head; ++i) {
+      const Event& ev = buf->ring[i % cap];
+      switch (ev.kind) {
+        case kBegin:
+          open.emplace_back(ev.name, ev.t_s);
+          break;
+        case kEnd:
+          if (!open.empty() && open.back().first == ev.name) {
+            dump.spans.push_back(
+                {ev.name, buf->tid, open.back().second,
+                 std::max(0.0, ev.t_s - open.back().second)});
+            open.pop_back();
+          } else {
+            // Begin was overwritten by wraparound (or Enable() landed
+            // mid-span): no start time, drop the end.
+            ++dump.dropped_spans;
+          }
+          break;
+        case kInstant:
+          dump.points.push_back({ev.name, buf->tid, ev.t_s, ev.value, false});
+          break;
+        case kCounter:
+          dump.points.push_back({ev.name, buf->tid, ev.t_s, ev.value, true});
+          break;
+      }
+    }
+    dump.dropped_spans += open.size();  // begins never closed
+    buf->head.store(0, std::memory_order_relaxed);
+  }
+  std::sort(dump.spans.begin(), dump.spans.end(),
+            [](const TraceSpan& a, const TraceSpan& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.start_s != b.start_s) return a.start_s < b.start_s;
+              return a.dur_s > b.dur_s;  // parent before child at same start
+            });
+  std::sort(dump.points.begin(), dump.points.end(),
+            [](const TracePoint& a, const TracePoint& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.t_s < b.t_s;
+            });
+  return dump;
+}
+
+}  // namespace fastt

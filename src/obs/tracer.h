@@ -1,0 +1,187 @@
+// In-process flight recorder for the host-side strategy search.
+//
+// The metrics registry answers "how much, in total"; the tracer answers
+// "when, on which thread" — where the search's own wall-clock goes: DPOS
+// runs and their phases, OS-DPOS split trials on pool workers, incremental
+// re-simulation cone replays, cost-table builds, worker occupancy and queue
+// wait. Recording is a per-thread ring buffer of fixed capacity (oldest
+// events overwritten; a drain reports how many were lost), written without
+// locks: each buffer has exactly one writer — its owning thread — and a
+// release-store on the head index publishes slots to the drainer. Events
+// carry a `const char*` name (string literals only: no allocation, no
+// copying on the hot path) and a timestamp relative to the epoch set by
+// Enable().
+//
+// Cost when disabled: every macro boils down to one relaxed atomic load and
+// a branch — unmeasurable next to the work being traced — and defining
+// FASTT_NO_TRACING compiles the macros out entirely. Cost when enabled: a
+// clock read plus one ring slot write per event.
+//
+// Draining (Tracer::Drain) pairs begin/end events into completed spans and
+// requires quiescence: no instrumented code may be emitting concurrently.
+// In practice every drain site runs after the traced search returned and
+// the pool workers are idle (idle workers emit nothing). Ends whose begins
+// were overwritten by ring wraparound, and begins never closed, are dropped
+// and counted rather than emitted, so a drain is always well-formed.
+//
+// This header is dependency-free (library fastt_tracer) so the thread pool
+// in fastt_util can be instrumented without a util <-> obs cycle; Chrome
+// JSON export and summarization live in obs/trace_export.h.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fastt {
+
+// One completed (paired) span, relative to the trace epoch.
+struct TraceSpan {
+  const char* name = nullptr;
+  int tid = 0;
+  double start_s = 0.0;
+  double dur_s = 0.0;
+  double end_s() const { return start_s + dur_s; }
+};
+
+// One instant or counter-sample event.
+struct TracePoint {
+  const char* name = nullptr;
+  int tid = 0;
+  double t_s = 0.0;
+  double value = 0.0;
+  bool is_counter = false;  // false: instant marker; true: counter sample
+};
+
+struct TraceThreadInfo {
+  int tid = 0;
+  std::string name;
+};
+
+// Everything a drain recovered from the ring buffers.
+struct TraceDump {
+  std::vector<TraceThreadInfo> threads;  // only threads that recorded events
+  std::vector<TraceSpan> spans;          // per thread, in start order
+  std::vector<TracePoint> points;
+  uint64_t dropped_events = 0;  // overwritten by ring wraparound
+  uint64_t dropped_spans = 0;   // unpairable begins/ends
+  double drained_at_s = 0.0;    // drain time relative to the epoch
+};
+
+class Tracer {
+ public:
+  // Process-wide instance used by the FASTT_TRACE_* macros.
+  static Tracer& Global();
+
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Starts (or restarts) recording: resets every registered ring buffer and
+  // re-bases the epoch clock at "now". Requires quiescence.
+  void Enable();
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Ring capacity, in events, applied to every buffer (existing buffers are
+  // reset). Requires quiescence; intended for tests and the CLI.
+  void SetRingCapacity(size_t events);
+
+  // Names the calling thread's row in the drained timeline ("worker 3").
+  void SetCurrentThreadName(const std::string& name);
+
+  // Hot-path emitters. `name` must outlive the tracer (string literal).
+  void BeginSpan(const char* name) { Emit(kBegin, name, 0.0); }
+  void EndSpan(const char* name) { Emit(kEnd, name, 0.0); }
+  void Instant(const char* name, double value) { Emit(kInstant, name, value); }
+  void Counter(const char* name, double value) { Emit(kCounter, name, value); }
+
+  // Collects every buffer's events, pairs spans, and resets the buffers so
+  // a subsequent drain starts empty. Requires quiescence.
+  TraceDump Drain();
+
+ private:
+  enum Kind : uint8_t { kBegin, kEnd, kInstant, kCounter };
+
+  struct Event {
+    const char* name = nullptr;
+    double t_s = 0.0;
+    double value = 0.0;
+    Kind kind = kBegin;
+  };
+
+  // Single-writer ring. The owning thread writes ring[head % capacity] then
+  // release-stores head+1; the drainer acquire-loads head and reads only
+  // published slots.
+  struct ThreadBuffer {
+    explicit ThreadBuffer(size_t capacity) : ring(capacity) {}
+    int tid = 0;
+    std::string name;
+    std::vector<Event> ring;
+    std::atomic<uint64_t> head{0};
+  };
+
+  void Emit(Kind kind, const char* name, double value);
+  ThreadBuffer* CurrentBuffer();
+  double NowSinceEpoch() const;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;  // guards buffers_, capacity_, epoch_
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  size_t capacity_ = 1 << 16;
+  int64_t epoch_ns_ = 0;  // steady_clock nanoseconds at Enable()
+};
+
+// RAII span. Captures the enabled flag at entry so a span opened while
+// tracing is on always closes (Disable mid-span leaves at worst one
+// unpaired end, which the drain drops).
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name) {
+    Tracer& t = Tracer::Global();
+    if (t.enabled()) {
+      name_ = name;
+      t.BeginSpan(name);
+    }
+  }
+  ~TraceScope() {
+    if (name_ != nullptr) Tracer::Global().EndSpan(name_);
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+};
+
+}  // namespace fastt
+
+#define FASTT_TRACE_CONCAT2(a, b) a##b
+#define FASTT_TRACE_CONCAT(a, b) FASTT_TRACE_CONCAT2(a, b)
+
+#ifndef FASTT_NO_TRACING
+// Times the enclosing scope as a span named `name` (string literal).
+#define FASTT_TRACE_SPAN(name)                              \
+  ::fastt::TraceScope FASTT_TRACE_CONCAT(fastt_trace_scope_, \
+                                         __LINE__)(name)
+// One instant marker / counter sample with a numeric value.
+#define FASTT_TRACE_INSTANT(name, value)                             \
+  do {                                                               \
+    if (::fastt::Tracer::Global().enabled())                         \
+      ::fastt::Tracer::Global().Instant((name),                      \
+                                        static_cast<double>(value)); \
+  } while (0)
+#define FASTT_TRACE_COUNTER(name, value)                             \
+  do {                                                               \
+    if (::fastt::Tracer::Global().enabled())                         \
+      ::fastt::Tracer::Global().Counter((name),                      \
+                                        static_cast<double>(value)); \
+  } while (0)
+#else
+#define FASTT_TRACE_SPAN(name) ((void)0)
+#define FASTT_TRACE_INSTANT(name, value) ((void)0)
+#define FASTT_TRACE_COUNTER(name, value) ((void)0)
+#endif

@@ -6,6 +6,7 @@
 
 #include "graph/rewrite.h"
 #include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "sim/device.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -62,6 +63,7 @@ IncrementalSim::IncrementalSim(const Graph& g,
   FASTT_CHECK_MSG(!options_.track_memory && !options_.record_memory_timeline,
                   "IncrementalSim replays timing only; construct with "
                   "track_memory = false");
+  FASTT_TRACE_SPAN("incsim/seed");
   base_ = Simulate(g_, placement_, cluster_, options_);
   const size_t slots = static_cast<size_t>(g_.num_slots());
   dirty_.assign(slots, 0);
@@ -244,6 +246,7 @@ void IncrementalSim::MarkEmissionDirty(OpId op) {
 
 void IncrementalSim::Drain() {
   FASTT_SCOPED_TIMER("inc_sim/drain");
+  FASTT_TRACE_SPAN("incsim/drain");
   while (!work_.empty()) {
     const WorkItem w = work_.top();
     work_.pop();
@@ -270,6 +273,7 @@ const SimResult& IncrementalSim::Replace(OpId op, DeviceId device) {
   FASTT_CHECK(device >= 0 && device < cluster_.num_devices());
   const DeviceId old = placement_[static_cast<size_t>(op)];
   if (old == device) return base_;
+  FASTT_TRACE_SPAN("incsim/replace");
   MetricsRegistry::Global().AddCounter("inc_sim/replacements");
 
   // The old device dispatches differently from where the op used to start.
@@ -316,6 +320,7 @@ const SimResult& IncrementalSim::NotifySplit(
   const std::vector<OpId> added = AddedOps(split);
   FASTT_CHECK_MSG(devices.size() == added.size(),
                   "NotifySplit: one device per added op");
+  FASTT_TRACE_SPAN("incsim/split");
   MetricsRegistry::Global().AddCounter("inc_sim/splits");
 
   // The graph grew: extend every slot-indexed structure.
@@ -404,6 +409,7 @@ const SimResult& IncrementalSim::NotifySplit(
 
 void IncrementalSim::Replay() {
   FASTT_SCOPED_TIMER("inc_sim/replay");
+  FASTT_TRACE_SPAN("incsim/replay");
   const auto live = g_.LiveOps();
   const size_t n_dev = static_cast<size_t>(cluster_.num_devices());
   const DispatchMode dispatch = options_.enforce_order
@@ -436,6 +442,7 @@ void IncrementalSim::Replay() {
   }
   MetricsRegistry::Global().AddCounter("inc_sim/dirty_ops",
                                        static_cast<int64_t>(dirty_live));
+  FASTT_TRACE_COUNTER("incsim/cone_ops", dirty_live);
   MetricsRegistry::Global().AddCounter(
       "inc_sim/clean_ops", static_cast<int64_t>(live.size() - dirty_live));
 

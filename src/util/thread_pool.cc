@@ -1,20 +1,30 @@
 #include "util/thread_pool.h"
 
-#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
+
+#include "obs/tracer.h"
+#include "util/strings.h"
 
 namespace fastt {
 namespace {
 
 thread_local bool t_in_worker = false;
 
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
-ThreadPool::ThreadPool(int num_threads) {
-  workers_.reserve(static_cast<size_t>(num_threads > 0 ? num_threads : 0));
+ThreadPool::ThreadPool(int num_threads)
+    : worker_tasks_(static_cast<size_t>(num_threads > 0 ? num_threads : 0)) {
+  workers_.reserve(worker_tasks_.size());
   for (int i = 0; i < num_threads; ++i)
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -26,10 +36,12 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int worker_index) {
   t_in_worker = true;
+  Tracer::Global().SetCurrentThreadName(
+      StrFormat("search worker %d", worker_index));
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
@@ -37,11 +49,32 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    const int64_t waited = NowNs() - task.enqueue_ns;
+    queue_wait_ns_.fetch_add(static_cast<uint64_t>(waited > 0 ? waited : 0),
+                             std::memory_order_relaxed);
+    tasks_run_.fetch_add(1, std::memory_order_relaxed);
+    worker_tasks_[static_cast<size_t>(worker_index)].fetch_add(
+        1, std::memory_order_relaxed);
+    {
+      FASTT_TRACE_SPAN("pool/task");
+      task.fn();
+    }
   }
 }
 
 bool ThreadPool::InWorker() { return t_in_worker; }
+
+PoolStats ThreadPool::Stats() const {
+  PoolStats stats;
+  stats.jobs = num_threads() + 1;
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.tasks = tasks_run_.load(std::memory_order_relaxed);
+  stats.queue_wait_ns = queue_wait_ns_.load(std::memory_order_relaxed);
+  stats.worker_tasks.reserve(worker_tasks_.size());
+  for (const auto& w : worker_tasks_)
+    stats.worker_tasks.push_back(w.load(std::memory_order_relaxed));
+  return stats;
+}
 
 void ThreadPool::Run(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
@@ -50,6 +83,8 @@ void ThreadPool::Run(size_t n, const std::function<void(size_t)>& fn) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  FASTT_TRACE_SPAN("pool/run");
+  batches_.fetch_add(1, std::memory_order_relaxed);
   // Static contiguous partition: chunk c covers [c*n/k, (c+1)*n/k). The
   // partition depends only on (n, chunks), never on thread timing, so every
   // index runs exactly once for any worker count.
@@ -82,9 +117,10 @@ void ThreadPool::Run(size_t n, const std::function<void(size_t)>& fn) {
     }
   };
   {
+    const int64_t enqueue_ns = NowNs();
     std::lock_guard<std::mutex> lock(mu_);
     for (size_t t = 0; t < std::min(threads, batch->chunks); ++t)
-      tasks_.push([batch, run_chunks] { run_chunks(batch); });
+      tasks_.push({[batch, run_chunks] { run_chunks(batch); }, enqueue_ns});
   }
   cv_.notify_all();
   run_chunks(batch);  // the calling thread helps
@@ -98,6 +134,7 @@ struct SearchPoolState {
   std::mutex mu;
   int jobs = 0;  // 0 = uninitialized
   std::unique_ptr<ThreadPool> pool;
+  PoolStats retired;  // counters from pools replaced by SetSearchJobs
 };
 
 SearchPoolState& PoolState() {
@@ -113,6 +150,16 @@ int InitialJobs() {
   return 1;
 }
 
+void MergeStats(const PoolStats& from, PoolStats* into) {
+  into->batches += from.batches;
+  into->tasks += from.tasks;
+  into->queue_wait_ns += from.queue_wait_ns;
+  if (into->worker_tasks.size() < from.worker_tasks.size())
+    into->worker_tasks.resize(from.worker_tasks.size(), 0);
+  for (size_t i = 0; i < from.worker_tasks.size(); ++i)
+    into->worker_tasks[i] += from.worker_tasks[i];
+}
+
 }  // namespace
 
 void SetSearchJobs(int jobs) {
@@ -121,6 +168,7 @@ void SetSearchJobs(int jobs) {
   std::lock_guard<std::mutex> lock(state.mu);
   if (state.jobs == jobs) return;
   state.jobs = jobs;
+  if (state.pool) MergeStats(state.pool->Stats(), &state.retired);
   state.pool.reset();  // join old workers before spawning new ones
   if (jobs > 1) state.pool = std::make_unique<ThreadPool>(jobs - 1);
 }
@@ -134,6 +182,15 @@ int SearchJobs() {
       state.pool = std::make_unique<ThreadPool>(state.jobs - 1);
   }
   return state.jobs;
+}
+
+PoolStats SearchPoolStats() {
+  SearchPoolState& state = PoolState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  PoolStats stats = state.retired;
+  if (state.pool) MergeStats(state.pool->Stats(), &stats);
+  stats.jobs = state.jobs == 0 ? 1 : state.jobs;
+  return stats;
 }
 
 void ParallelFor(size_t n, const std::function<void(size_t)>& fn,

@@ -13,8 +13,10 @@
 // thread — same results, no pool deadlock.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -22,6 +24,17 @@
 #include <vector>
 
 namespace fastt {
+
+// Occupancy counters kept by the pool itself (the pool lives below the
+// observability layer, so fastt_obs copies these into the metrics registry
+// rather than the pool pushing them).
+struct PoolStats {
+  int jobs = 1;                 // search width (workers + caller)
+  uint64_t batches = 0;         // Run() calls that dispatched to workers
+  uint64_t tasks = 0;           // tasks executed on worker threads
+  uint64_t queue_wait_ns = 0;   // total enqueue -> dequeue latency
+  std::vector<uint64_t> worker_tasks;  // tasks per worker
+};
 
 class ThreadPool {
  public:
@@ -42,14 +55,28 @@ class ThreadPool {
   // serialize nested parallelism.
   static bool InWorker();
 
+  // Snapshot of the occupancy counters (jobs is filled by the caller that
+  // owns the pool). Safe to call while Run is active; counts are relaxed.
+  PoolStats Stats() const;
+
  private:
-  void WorkerLoop();
+  struct Task {
+    std::function<void()> fn;
+    int64_t enqueue_ns = 0;
+  };
+
+  void WorkerLoop(int worker_index);
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable cv_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<Task> tasks_;
   bool stop_ = false;
+
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> tasks_run_{0};
+  std::atomic<uint64_t> queue_wait_ns_{0};
+  std::vector<std::atomic<uint64_t>> worker_tasks_;  // sized at construction
 };
 
 // ---- Process-wide search concurrency ---------------------------------------
@@ -71,5 +98,10 @@ int SearchJobs();
 // per-index slots; reduce serially afterwards for determinism.
 void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
                  size_t min_parallel = 2);
+
+// Cumulative occupancy of the shared search pool: the live pool's counters
+// plus those of pools retired by SetSearchJobs. jobs reflects the current
+// setting. Exposed via --metrics by obs::PublishSearchPoolMetrics.
+PoolStats SearchPoolStats();
 
 }  // namespace fastt

@@ -3,6 +3,7 @@
 // round-by-round history.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <thread>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "obs/schedule_analysis.h"
 #include "sim/trace.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace fastt {
 namespace {
@@ -41,8 +43,51 @@ TEST(Json, QuoteEscapes) {
 
 TEST(Json, NumberHandlesNonFinite) {
   EXPECT_EQ(JsonNumber(1.5), "1.5");
-  EXPECT_EQ(JsonNumber(std::nan("")), "0");
-  EXPECT_EQ(JsonNumber(1.0 / 0.0), "0");
+  // NaN/Inf have no JSON spelling; emitting null keeps documents parseable
+  // by strict consumers instead of smuggling in a fake zero.
+  EXPECT_EQ(JsonNumber(std::nan("")), "null");
+  EXPECT_EQ(JsonNumber(1.0 / 0.0), "null");
+  EXPECT_EQ(JsonNumber(-1.0 / 0.0), "null");
+}
+
+TEST(Json, NonFiniteGaugeStillValidatesAsJson) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("nan_gauge").Number(std::nan(""));
+  w.Key("ok").Number(2.0);
+  w.EndObject();
+  EXPECT_TRUE(JsonValidate(w.str())) << w.str();
+  JsonValue root;
+  ASSERT_TRUE(JsonParse(w.str(), &root));
+  ASSERT_NE(root.Find("nan_gauge"), nullptr);
+  EXPECT_TRUE(root.Find("nan_gauge")->is_null());
+  EXPECT_EQ(root.Find("ok")->NumberOr(0.0), 2.0);
+}
+
+TEST(Json, ParseBuildsDom) {
+  const std::string doc =
+      "{\"s\": \"a\\u0041\\n\", \"n\": -1.5e2, \"b\": true, \"nul\": null,"
+      " \"arr\": [1, \"two\", {\"k\": 3}], \"obj\": {\"x\": 1}}";
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(JsonParse(doc, &root, &error)) << error;
+  ASSERT_TRUE(root.is_object());
+  EXPECT_EQ(root.Find("s")->StringOr(""), "aA\n");
+  EXPECT_EQ(root.Find("n")->NumberOr(0.0), -150.0);
+  EXPECT_TRUE(root.Find("b")->bool_v);
+  EXPECT_TRUE(root.Find("nul")->is_null());
+  const JsonValue* arr = root.Find("arr");
+  ASSERT_TRUE(arr != nullptr && arr->is_array());
+  ASSERT_EQ(arr->items.size(), 3u);
+  EXPECT_EQ(arr->items[0].NumberOr(0.0), 1.0);
+  EXPECT_EQ(arr->items[1].StringOr(""), "two");
+  EXPECT_EQ(arr->items[2].Find("k")->NumberOr(0.0), 3.0);
+  EXPECT_EQ(root.Find("obj")->Find("x")->NumberOr(0.0), 1.0);
+  EXPECT_EQ(root.Find("missing"), nullptr);
+
+  EXPECT_FALSE(JsonParse("{\"trailing\": 1,}", &root, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(JsonParse("[1, 2", &root));
 }
 
 TEST(Json, WriterProducesValidNestedDocument) {
@@ -142,6 +187,40 @@ TEST(Metrics, JsonExportIsValid) {
   EXPECT_NE(doc.find("\"events\""), std::string::npos);
 }
 
+TEST(Metrics, PublishSearchPoolMetricsExportsGauges) {
+  SetSearchJobs(2);
+  std::atomic<int> ran{0};
+  for (int batch = 0; batch < 8; ++batch) {
+    ParallelFor(64, [&](size_t) { ran.fetch_add(1); });
+  }
+  SetSearchJobs(1);  // retires the pool; stats must survive the retirement
+  EXPECT_EQ(ran.load(), 8 * 64);
+
+  const PoolStats stats = SearchPoolStats();
+  EXPECT_GE(stats.batches, 8u);
+  // `tasks` counts worker-side executions only (the caller steals chunks
+  // too), so the exact count is timing-dependent — but the per-worker
+  // breakdown must always reconcile with the total.
+  uint64_t per_worker = 0;
+  for (const uint64_t n : stats.worker_tasks) per_worker += n;
+  EXPECT_EQ(per_worker, stats.tasks);
+
+  MetricsRegistry r;
+  PublishSearchPoolMetrics(r);
+  const std::string json = r.ToJson();
+  EXPECT_TRUE(JsonValidate(json));
+  EXPECT_NE(json.find("\"pool/tasks\""), std::string::npos);
+  EXPECT_NE(json.find("\"pool/batches\""), std::string::npos);
+  EXPECT_NE(json.find("\"pool/queue_wait_total_s\""), std::string::npos);
+  // Re-publishing overwrites the gauges rather than double-counting.
+  PublishSearchPoolMetrics(r);
+  JsonValue root;
+  ASSERT_TRUE(JsonParse(r.ToJson(), &root));
+  const JsonValue* gauges = root.Find("gauges");
+  ASSERT_TRUE(gauges != nullptr && gauges->is_object());
+  EXPECT_GE(gauges->Find("pool/batches")->NumberOr(0.0), 8.0);
+}
+
 // ---- EventLog -------------------------------------------------------------
 
 TEST(EventLog, EmitsValidJsonlWithSeqAndType) {
@@ -159,6 +238,38 @@ TEST(EventLog, EmitsValidJsonlWithSeqAndType) {
   EXPECT_NE(log.line(1).find("\"committed\":true"), std::string::npos);
   log.Clear();
   EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(EventLog, ConcurrentEmittersLoseNothing) {
+  EventLog log;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.Emit("spam").Int("thread", t).Int("i", i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  ASSERT_EQ(log.size(), static_cast<size_t>(kThreads * kPerThread));
+  EXPECT_TRUE(JsonlValidate(log.ToJsonl()));
+  // Every seq in [0, N) appears exactly once, even if lines landed out of
+  // seq order under the race.
+  std::vector<bool> seen(kThreads * kPerThread, false);
+  for (size_t i = 0; i < log.size(); ++i) {
+    const std::string line = log.line(i);
+    JsonValue obj;
+    ASSERT_TRUE(JsonParse(line, &obj)) << line;
+    const JsonValue* seq = obj.Find("seq");
+    ASSERT_NE(seq, nullptr) << line;
+    const auto s = static_cast<size_t>(seq->NumberOr(-1.0));
+    ASSERT_LT(s, seen.size());
+    EXPECT_FALSE(seen[s]) << "duplicate seq " << s;
+    seen[s] = true;
+  }
 }
 
 // ---- Schedule analysis ----------------------------------------------------

@@ -16,25 +16,43 @@
 //       Run FastT and report the realized critical path, per-device
 //       utilization/bubble breakdown, top critical ops/transfers and link
 //       traffic of the final schedule.
+//   fastt search-profile <model> [trace.json] [--gpus N] [--jobs N]
+//       Run the OS-DPOS search under the flight recorder and report where
+//       its wall-clock went: a phase/self-time table, worker occupancy and
+//       queue-wait stats, optionally the raw Chrome trace of the search.
+//   fastt bench-diff <old.json> <new.json> [--threshold T] [--min-repeats R]
+//       Compare two fastt-bench/1 reports (FASTT_BENCH_JSON output).
+//       Exits nonzero on a hard regression — the CI gate.
 //
 // Every command also accepts `--jobs N` (or FASTT_JOBS=N) to parallelize the
 // strategy search across N threads — the computed strategy is bit-identical
-// to --jobs 1 — and a global `--metrics <out.json>` flag that dumps
+// to --jobs 1 — a global `--metrics <out.json>` flag that dumps
 // the process metrics registry (counters, timers, gauges — plus the round-
-// by-round workflow event log for run/analyze) on exit.
+// by-round workflow event log for run/analyze) on exit, and
+// `--trace-search <out.json>` (or FASTT_TRACE_SEARCH=path) to record the
+// strategy search itself as a Chrome trace.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
 
 #include "baselines/allreduce_dp.h"
+#include "core/data_parallel.h"
 #include "core/model_parallel.h"
+#include "core/os_dpos.h"
 #include "core/pipeline.h"
 #include "core/strategy_calculator.h"
 #include "graph/serialize.h"
 #include "models/model_zoo.h"
+#include "obs/bench_history.h"
 #include "obs/metrics.h"
 #include "obs/schedule_analysis.h"
+#include "obs/trace_export.h"
+#include "obs/tracer.h"
+#include "sim/exec_sim.h"
+#include "sim/profiler.h"
 #include "sim/trace.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -50,11 +68,13 @@ struct Args {
   std::string path;
   std::string metrics_path;  // --metrics: dump the metrics registry here
   std::string json_path;     // --json: machine-readable analysis output
+  std::string trace_search_path;  // --trace-search: search Chrome trace
   int gpus = 4;
   int servers = 1;
   int jobs = 0;  // --jobs: search threads; 0 = keep FASTT_JOBS / default
   int64_t batch = 0;  // 0 = model default
   Scaling scaling = Scaling::kStrong;
+  BenchDiffOptions diff;  // bench-diff: --threshold / --min-repeats / ...
 };
 
 Args Parse(int argc, char** argv) {
@@ -78,6 +98,14 @@ Args Parse(int argc, char** argv) {
       args.metrics_path = next();
     } else if (a == "--json") {
       args.json_path = next();
+    } else if (a == "--trace-search") {
+      args.trace_search_path = next();
+    } else if (a == "--threshold") {
+      args.diff.threshold = std::atof(next());
+    } else if (a == "--hard-factor") {
+      args.diff.hard_factor = std::atof(next());
+    } else if (a == "--min-repeats") {
+      args.diff.min_repeats = std::atoi(next());
     } else if (a == "--weak") {
       args.scaling = Scaling::kWeak;
     } else if (positional == 0) {
@@ -101,6 +129,7 @@ Cluster MakeCluster(const Args& args) {
 // event log of whatever the command just ran.
 void MaybeWriteMetrics(const Args& args, const EventLog* events) {
   if (args.metrics_path.empty()) return;
+  PublishSearchPoolMetrics(MetricsRegistry::Global());
   if (WriteMetricsJson(args.metrics_path, MetricsRegistry::Global(), events))
     std::printf("wrote metrics to %s\n", args.metrics_path.c_str());
   else
@@ -287,6 +316,112 @@ int CmdTrace(const Args& args) {
   return 0;
 }
 
+int CmdSearchProfile(const Args& args) {
+  const ModelSpec& spec = FindModel(args.model);
+  const int64_t batch = args.batch > 0 ? args.batch : spec.strong_batch;
+  const Cluster cluster = MakeCluster(args);
+
+  // Same setup as bench_search: a data-parallel bootstrap placement is
+  // simulated once and profiled, so OS-DPOS runs against realistic cost
+  // models — the search being profiled is the one `fastt run` would do each
+  // pre-training round.
+  auto dp = BuildDataParallel(spec.build, spec.name, batch,
+                              cluster.num_devices(), args.scaling);
+  const std::vector<DeviceId> placement = CanonicalDataParallelPlacement(dp);
+  const Graph graph = std::move(dp.graph);
+  SimOptions so;
+  so.noise_cv = 0.03;
+  so.seed = 11;
+  const RunProfile profile =
+      ExtractProfile(graph, Simulate(graph, placement, cluster, so));
+  CompCostModel comp;
+  CommCostModel comm;
+  comp.AddProfile(profile);
+  comm.AddProfile(profile);
+
+  std::printf("search-profile: %s, batch %lld, %s, %d jobs\n",
+              spec.name.c_str(), (long long)batch, cluster.ToString().c_str(),
+              SearchJobs());
+
+  Tracer& tracer = Tracer::Global();
+  tracer.SetCurrentThreadName("search main");
+  tracer.Enable();
+  const auto t0 = std::chrono::steady_clock::now();
+  int probes = 0;
+  size_t splits = 0;
+  double makespan = 0.0;
+  {
+    FASTT_TRACE_SPAN("search/total");
+    const OsDposResult os = OsDpos(graph, cluster, comp, comm);
+    probes = os.probes;
+    splits = os.splits.size();
+    makespan = os.schedule.ft_exit;
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  tracer.Disable();
+  const TraceDump dump = tracer.Drain();
+  const TraceSummary summary = SummarizeTrace(dump);
+
+  std::printf("OS-DPOS: %d split probes, %zu splits committed, predicted "
+              "makespan %.3f ms\n\n",
+              probes, splits, makespan * 1e3);
+  std::fputs(RenderTraceSummary(summary).c_str(), stdout);
+
+  double traced_s = 0.0;
+  for (const TracePhase& p : summary.phases)
+    if (p.name == "search/total") traced_s = p.total_s;
+  std::printf("span tree covers %.1f%% of the measured %.4f s search "
+              "wall-clock\n",
+              wall_s > 0.0 ? 100.0 * traced_s / wall_s : 0.0, wall_s);
+
+  const PoolStats pool = SearchPoolStats();
+  if (pool.tasks > 0) {
+    const double wait_s = static_cast<double>(pool.queue_wait_ns) * 1e-9;
+    std::printf("pool: %d jobs, %llu batches, %llu worker tasks, queue wait "
+                "%.3f ms total (%.1f us/task)\n",
+                pool.jobs, (unsigned long long)pool.batches,
+                (unsigned long long)pool.tasks, wait_s * 1e3,
+                pool.tasks > 0 ? wait_s * 1e6 / double(pool.tasks) : 0.0);
+  }
+
+  const std::string out_path =
+      !args.path.empty() ? args.path : args.trace_search_path;
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << TraceToChromeJson(dump) << "\n";
+    std::printf("wrote search trace to %s — load in chrome://tracing or "
+                "Perfetto\n",
+                out_path.c_str());
+  }
+  MaybeWriteMetrics(args, nullptr);
+  return 0;
+}
+
+int CmdBenchDiff(const Args& args) {
+  BenchHistoryDoc old_doc;
+  BenchHistoryDoc new_doc;
+  std::string error;
+  if (!ReadBenchHistoryDoc(args.model, &old_doc, &error)) {
+    std::fprintf(stderr, "bench-diff: %s: %s\n", args.model.c_str(),
+                 error.c_str());
+    return 2;
+  }
+  if (!ReadBenchHistoryDoc(args.path, &new_doc, &error)) {
+    std::fprintf(stderr, "bench-diff: %s: %s\n", args.path.c_str(),
+                 error.c_str());
+    return 2;
+  }
+  const BenchDiffResult result = DiffBenchReports(old_doc, new_doc, args.diff);
+  std::fputs(RenderBenchDiff(result, args.diff).c_str(), stdout);
+  return result.hard_regressions > 0 ? 1 : 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -299,39 +434,83 @@ int Usage() {
                "  fastt trace <model> <trace.json> [--gpus N]\n"
                "  fastt analyze <model> [--gpus N] [--servers S] "
                "[--batch B] [--json F]\n"
+               "  fastt search-profile <model> [trace.json] [--gpus N] "
+               "[--jobs N]\n"
+               "  fastt bench-diff <old.json> <new.json> [--threshold T] "
+               "[--hard-factor F] [--min-repeats R]\n"
                "options: every command accepts --jobs N (parallel search;\n"
-               "         same strategy as --jobs 1) and --metrics <out.json>\n");
+               "         same strategy as --jobs 1), --metrics <out.json>\n"
+               "         and --trace-search <out.json> (Chrome trace of the\n"
+               "         search; also via FASTT_TRACE_SEARCH=path)\n");
   return 2;
+}
+
+int Dispatch(const Args& args) {
+  if (args.command == "models") {
+    const int rc = CmdModels();
+    MaybeWriteMetrics(args, nullptr);
+    return rc;
+  }
+  if (args.command == "run" && !args.model.empty()) return CmdRun(args);
+  if (args.command == "analyze" && !args.model.empty())
+    return CmdAnalyze(args);
+  if (args.command == "compare" && !args.model.empty()) {
+    const int rc = CmdCompare(args);
+    MaybeWriteMetrics(args, nullptr);
+    return rc;
+  }
+  if (args.command == "export" && !args.path.empty()) {
+    const int rc = CmdExport(args);
+    MaybeWriteMetrics(args, nullptr);
+    return rc;
+  }
+  if (args.command == "trace" && !args.path.empty()) return CmdTrace(args);
+  if (args.command == "search-profile" && !args.model.empty())
+    return CmdSearchProfile(args);
+  if (args.command == "bench-diff" && !args.model.empty() &&
+      !args.path.empty())
+    return CmdBenchDiff(args);
+  return Usage();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Args args = Parse(argc, argv);
+  Args args = Parse(argc, argv);
   if (args.jobs > 0) SetSearchJobs(args.jobs);
+  if (args.trace_search_path.empty()) {
+    if (const char* env = std::getenv("FASTT_TRACE_SEARCH");
+        env != nullptr && *env != '\0')
+      args.trace_search_path = env;
+  }
+  // search-profile owns the tracer itself (it enables, drains and writes);
+  // for every other command --trace-search records the whole run's search
+  // activity and the epilogue below writes it out.
+  const bool trace_here =
+      !args.trace_search_path.empty() && args.command != "search-profile";
+  if (trace_here) {
+    Tracer::Global().SetCurrentThreadName("search main");
+    Tracer::Global().Enable();
+  }
+  int rc = 0;
   try {
-    if (args.command == "models") {
-      const int rc = CmdModels();
-      MaybeWriteMetrics(args, nullptr);
-      return rc;
-    }
-    if (args.command == "run" && !args.model.empty()) return CmdRun(args);
-    if (args.command == "analyze" && !args.model.empty())
-      return CmdAnalyze(args);
-    if (args.command == "compare" && !args.model.empty()) {
-      const int rc = CmdCompare(args);
-      MaybeWriteMetrics(args, nullptr);
-      return rc;
-    }
-    if (args.command == "export" && !args.path.empty()) {
-      const int rc = CmdExport(args);
-      MaybeWriteMetrics(args, nullptr);
-      return rc;
-    }
-    if (args.command == "trace" && !args.path.empty()) return CmdTrace(args);
+    rc = Dispatch(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  return Usage();
+  if (trace_here) {
+    Tracer::Global().Disable();
+    const TraceDump dump = Tracer::Global().Drain();
+    std::ofstream out(args.trace_search_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n",
+                   args.trace_search_path.c_str());
+      return rc != 0 ? rc : 1;
+    }
+    out << TraceToChromeJson(dump) << "\n";
+    std::printf("wrote search trace to %s (%zu spans)\n",
+                args.trace_search_path.c_str(), dump.spans.size());
+  }
+  return rc;
 }
