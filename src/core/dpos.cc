@@ -289,6 +289,33 @@ DposResult Dpos(const Graph& g, const Cluster& cluster,
   const char* trace = std::getenv("FASTT_DPOS_TRACE");
   std::vector<double> scores(static_cast<size_t>(n_dev), kInf);
 
+  // Full candidate table for one op, as the scheduler would have seen it at
+  // decision time. Evaluation-only (ready_time / EarliestSlot / device_score
+  // never mutate the channel or timeline state), so recording after the
+  // decision but before schedule_on reproduces the decision's inputs exactly.
+  auto record_decision = [&](OpId op, DeviceId chosen, PlacementReason reason) {
+    PlacementDecision dec;
+    dec.op = op;
+    dec.op_name = g.op(op).name;
+    dec.chosen = chosen;
+    dec.reason = reason;
+    dec.candidates.reserve(static_cast<size_t>(n_dev));
+    for (DeviceId d = 0; d < n_dev; ++d) {
+      CandidateScore c;
+      c.device = d;
+      const double w = comp_t.Time(op, d);
+      c.est_s = ready_time(op, d);
+      c.eft_s = timeline[static_cast<size_t>(d)].EarliestSlot(c.est_s, w) + w;
+      c.score_s = device_score(op, d);
+      c.memory_rejected = planned_mem[static_cast<size_t>(d)] +
+                              mem_need[static_cast<size_t>(op)] >
+                          mem_budget[static_cast<size_t>(d)];
+      if (d == chosen) dec.chosen_eft_s = c.eft_s;
+      dec.candidates.push_back(c);
+    }
+    result.provenance.push_back(std::move(dec));
+  };
+
   FASTT_TRACE_SPAN("dpos/list_schedule");
   size_t placed = 0;
   while (!queue.empty()) {
@@ -298,16 +325,19 @@ DposResult Dpos(const Graph& g, const Cluster& cluster,
     const Operation& o = g.op(op);
 
     DeviceId chosen = kInvalidDevice;
+    PlacementReason reason = PlacementReason::kBestEft;
+    bool charge_mem = true;
     const auto colocate = o.colocate_with;
     auto cp_it = cp_device.find(op);
     if (colocate != kInvalidOp &&
         result.strategy.placement[static_cast<size_t>(colocate)] !=
             kInvalidDevice) {
       chosen = result.strategy.placement[static_cast<size_t>(colocate)];
-      planned_mem[static_cast<size_t>(chosen)] +=
-          mem_need[static_cast<size_t>(op)];
+      reason = PlacementReason::kColocated;
     } else if (cp_it != cp_device.end()) {
       chosen = cp_it->second;  // memory already reserved in phase 1
+      reason = PlacementReason::kCriticalPathDevice;
+      charge_mem = false;
     } else {
       // Min-(EFT + communication affinity) over memory-feasible devices:
       // score every candidate (in parallel when wide enough), then reduce
@@ -338,6 +368,7 @@ DposResult Dpos(const Graph& g, const Cluster& cluster,
         // Nothing fits: overflow onto the device with the most headroom so a
         // complete (if infeasible) schedule is still produced for diagnosis.
         result.memory_overflow = true;
+        reason = PlacementReason::kMemoryOverflow;
         int64_t best_free = std::numeric_limits<int64_t>::min();
         for (DeviceId d = 0; d < n_dev; ++d) {
           const int64_t free = mem_budget[static_cast<size_t>(d)] -
@@ -348,9 +379,12 @@ DposResult Dpos(const Graph& g, const Cluster& cluster,
           }
         }
       }
+    }
+
+    if (options.record_provenance) record_decision(op, chosen, reason);
+    if (charge_mem)
       planned_mem[static_cast<size_t>(chosen)] +=
           mem_need[static_cast<size_t>(op)];
-    }
 
     schedule_on(op, chosen);
     ++placed;

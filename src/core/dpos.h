@@ -16,6 +16,7 @@
 #include "cost/comm_cost.h"
 #include "cost/comp_cost.h"
 #include "graph/graph.h"
+#include "obs/provenance.h"
 #include "sim/cluster.h"
 
 namespace fastt {
@@ -38,6 +39,10 @@ struct DposOptions {
   // the rest is headroom for transfer staging and transient gradients the
   // MemNeed estimate does not capture.
   double memory_headroom = 0.92;
+  // Record, per placed op, the full candidate table and the reason the
+  // chosen device won (DposResult::provenance). Disabled cost: one branch
+  // per placement decision, like the FASTT_TRACE_* gates.
+  bool record_provenance = false;
 };
 
 struct DposResult {
@@ -49,6 +54,9 @@ struct DposResult {
   std::vector<double> finish_time;  // FT per slot
   // True when some op could not fit on any device (the simulator will OOM).
   bool memory_overflow = false;
+  // One decision record per placed op, in placement order; populated only
+  // when DposOptions::record_provenance is set.
+  std::vector<PlacementDecision> provenance;
 };
 
 DposResult Dpos(const Graph& g, const Cluster& cluster,

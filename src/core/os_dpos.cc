@@ -92,12 +92,31 @@ OsDposResult OsDpos(const Graph& g, const Cluster& cluster,
     });
     result.probes += static_cast<int>(trials.size());
 
+    // Snapshot the trial table before the winner loop below moves the
+    // winning trial's graph/schedule out from under it; the winner's
+    // `committed` bit is patched once it is known.
+    size_t first_record = result.trials.size();
+    if (options.dpos.record_provenance) {
+      for (const Trial& t : trials) {
+        SplitTrialRecord rec;
+        rec.op_name = result.graph.op(op).name;
+        rec.dim = SplitDimName(t.dim);
+        rec.num_splits = t.n;
+        rec.viable = t.viable;
+        rec.predicted_s = t.viable ? t.sched.ft_exit : 0.0;
+        rec.baseline_s = ft_old;
+        result.trials.push_back(std::move(rec));
+      }
+    }
+
     double best_ft = ft_old;
     Graph best_graph;
     DposResult best_schedule;
     SplitDecision best_decision;
     bool improved = false;
-    for (Trial& t : trials) {
+    size_t best_index = trials.size();
+    for (size_t ti = 0; ti < trials.size(); ++ti) {
+      Trial& t = trials[ti];
       if (!t.viable) continue;
       if (t.sched.ft_exit < best_ft) {
         best_ft = t.sched.ft_exit;
@@ -105,8 +124,11 @@ OsDposResult OsDpos(const Graph& g, const Cluster& cluster,
         best_schedule = std::move(t.sched);
         best_decision = SplitDecision{result.graph.op(op).name, t.dim, t.n};
         improved = true;
+        best_index = ti;
       }
     }
+    if (options.dpos.record_provenance && improved)
+      result.trials[first_record + best_index].committed = true;
 
     if (improved) {
       ft_old = best_ft;

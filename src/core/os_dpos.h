@@ -29,6 +29,10 @@ struct OsDposResult {
   DposResult schedule; // final DPOS result on that graph
   std::vector<SplitDecision> splits;
   int probes = 0;      // DPOS invocations spent probing splits
+  // Every (dim, count) trial probed, in probe order, with its predicted
+  // makespan and whether it won; populated only when
+  // OsDposOptions::dpos.record_provenance is set.
+  std::vector<SplitTrialRecord> trials;
 };
 
 OsDposResult OsDpos(const Graph& g, const Cluster& cluster,

@@ -21,13 +21,14 @@ double SecondsSince(Clock::time_point start) {
 
 // Runs `iters` profiled steps of (graph, placement, order) on the simulated
 // testbed, feeding the cost models; returns the mean iteration time and adds
-// the simulated wall time to *wall.
+// the simulated wall time to *wall. `last` receives the final step's
+// SimResult (the realized run the calibration audit joins against).
 double ProfileSteps(const Graph& g, const std::vector<DeviceId>& placement,
                     const std::vector<int64_t>& priorities,
                     DispatchMode dispatch, const Cluster& cluster, int iters,
                     double noise_cv, uint64_t seed, CompCostModel& comp,
                     CommCostModel& comm, double* wall,
-                    bool* oom = nullptr) {
+                    bool* oom = nullptr, SimResult* last = nullptr) {
   double total = 0.0;
   for (int i = 0; i < iters; ++i) {
     SimOptions options;
@@ -35,12 +36,13 @@ double ProfileSteps(const Graph& g, const std::vector<DeviceId>& placement,
     options.priorities = priorities;
     options.noise_cv = noise_cv;
     options.seed = seed + static_cast<uint64_t>(i) * 7919;
-    const SimResult sim = Simulate(g, placement, cluster, options);
+    SimResult sim = Simulate(g, placement, cluster, options);
     const RunProfile profile = ExtractProfile(g, sim);
     comp.AddProfile(profile);
     comm.AddProfile(profile);
     total += sim.makespan;
     if (oom && sim.oom) *oom = true;
+    if (last) *last = std::move(sim);
   }
   if (wall) *wall += total;
   return total / iters;
@@ -137,6 +139,33 @@ int CountReplacedOps(const Graph& a, const std::vector<DeviceId>& pa,
 double SamplesPerSecond(const CalculatorResult& result) {
   return static_cast<double>(result.global_batch) /
          (result.iteration_s + kSessionOverheadS);
+}
+
+std::string ExplainOps(const CalculatorResult& result,
+                       const std::string& needle) {
+  std::string out;
+  int matched = 0;
+  for (const PlacementDecision& dec : result.provenance) {
+    if (dec.op_name.find(needle) == std::string::npos) continue;
+    ++matched;
+    const size_t slot = static_cast<size_t>(dec.op);
+    const double predicted = slot < result.predicted_op_s.size()
+                                 ? result.predicted_op_s[slot]
+                                 : -1.0;
+    double realized = -1.0;
+    if (slot < result.final_sim.op_records.size() &&
+        result.final_sim.op_records[slot].device != kInvalidDevice)
+      realized = result.final_sim.op_records[slot].duration();
+    out += RenderPlacementDecision(dec, predicted, realized);
+  }
+  const std::string trials = RenderSplitTrials(result.split_trials, needle);
+  if (!trials.empty()) out += "split trials:\n" + trials;
+  if (matched == 0 && trials.empty()) {
+    out += result.provenance.empty()
+               ? "no provenance recorded (run with record_provenance)\n"
+               : StrFormat("no recorded op matches \"%s\"\n", needle.c_str());
+  }
+  return out;
 }
 
 CalculatorResult RunDataParallelBaseline(const ModelBuildFn& build,
@@ -239,6 +268,7 @@ CalculatorResult RunFastT(const ModelBuildFn& build,
     const auto algo_start = Clock::now();
     OsDposOptions os = options.os_dpos;
     os.dpos.use_critical_path_device = options.use_critical_path_device;
+    os.dpos.record_provenance = options.record_provenance;
     OsDposResult candidate;
     if (options.enable_split) {
       candidate = OsDpos(base, cluster, result.comp, result.comm, os);
@@ -258,15 +288,29 @@ CalculatorResult RunFastT(const ModelBuildFn& build,
                                       ? DispatchMode::kPriority
                                       : DispatchMode::kRandom;
 
-    // Activate (checkpoint/restart) and measure via profiled steps.
+    // Activate (checkpoint/restart) and measure via profiled steps. The comm
+    // model is snapshotted first: the calibration audit must price this
+    // round's transfers with the model the scheduler consulted, not the one
+    // the profiled steps are about to update.
     result.strategy_time_s += options.restart_overhead_s;
     ++result.activations;
     bool candidate_oom = false;
+    const CommCostModel comm_before = result.comm;
+    SimResult round_sim;
     const double measured = ProfileSteps(
         candidate.graph, candidate.schedule.strategy.placement, priorities,
         dispatch, cluster, options.profile_iterations, options.noise_cv,
         options.seed + static_cast<uint64_t>(round + 1) * 31337, result.comp,
-        result.comm, &result.strategy_time_s, &candidate_oom);
+        result.comm, &result.strategy_time_s, &candidate_oom, &round_sim);
+
+    // The candidate schedule's per-slot predicted durations — what the
+    // calibration audit and `fastt explain` compare against realized times.
+    std::vector<double> predicted_op(
+        static_cast<size_t>(candidate.graph.num_slots()), 0.0);
+    for (OpId id : candidate.graph.LiveOps())
+      predicted_op[static_cast<size_t>(id)] =
+          candidate.schedule.finish_time[static_cast<size_t>(id)] -
+          candidate.schedule.start_time[static_cast<size_t>(id)];
 
     RoundSummary summary;
     summary.round = result.rounds;
@@ -291,11 +335,43 @@ CalculatorResult RunFastT(const ModelBuildFn& build,
       current_dispatch = dispatch;
       current_measured = measured;
       current_strategy = candidate.schedule.strategy;
+      result.provenance = std::move(candidate.schedule.provenance);
+      result.split_trials = std::move(candidate.trials);
+      result.predicted_op_s = predicted_op;
     } else {
       // Slower than what we had: roll back (another restart).
       ++result.rollbacks;
       result.strategy_time_s += options.restart_overhead_s;
     }
+
+    // Calibration audit: join the candidate's predictions against the last
+    // profiled step, then fold the stability observation (paper's stopping
+    // rule, unchanged) into the same record.
+    CalibrationRound cal =
+        ComputeCalibration(candidate.graph, predicted_op,
+                           candidate.schedule.strategy.placement, comm_before,
+                           round_sim);
+    cal.round = summary.round;
+    cal.committed = summary.committed;
+    cal.oom = candidate_oom;
+    cal.predicted_makespan_s = summary.predicted_s;
+    cal.measured_makespan_s = summary.measured_s;
+    cal.makespan_rel_err = summary.rel_error;
+    cal.postmortem.rolled_back = !summary.committed;
+    cal.postmortem.oom = candidate_oom;
+
+    // Pre-training ends when the cost models are stable (paper's rule).
+    stability.Observe(result.comp, cluster.num_devices(),
+                      CostKeys(current_graph));
+    const StabilityStats& stab = stability.last_stats();
+    cal.stability = stab;
+    summary.comp_err_p50 = cal.comp.p50;
+    summary.comp_err_p90 = cal.comp.p90;
+    summary.comp_err_max = cal.comp.max;
+    summary.comm_err_p50 = cal.comm.p50;
+    summary.comm_err_p90 = cal.comm.p90;
+    summary.stability_max_change = stab.max_change;
+    summary.stability_margin = stab.margin;
 
     result.events.Emit("round")
         .Int("round", summary.round)
@@ -310,14 +386,38 @@ CalculatorResult RunFastT(const ModelBuildFn& build,
                 options.restart_overhead_s *
                     (summary.committed ? 1.0 : 2.0))
         .Bool("committed", summary.committed)
+        .Number("comp_err_p50", cal.comp.p50)
+        .Number("comp_err_p90", cal.comp.p90)
+        .Number("comm_err_p50", cal.comm.p50)
+        .Number("comm_err_p90", cal.comm.p90)
         .Str("decision", summary.committed       ? "commit"
                          : summary.oom           ? "rollback_oom"
                                                  : "rollback_slower");
+    result.events.Emit("stability")
+        .Int("round", summary.round)
+        .Int("entries", stab.entries)
+        .Number("max_change", stab.max_change)
+        .Number("mean_change", stab.mean_change)
+        .Number("stddev_change", stab.stddev_change)
+        .Number("tolerance", stab.tolerance)
+        .Number("margin", stab.margin)
+        .Bool("new_entries", stab.new_entries)
+        .Int("stable_rounds", stab.stable_rounds);
+    if (!summary.committed && !cal.postmortem.top_mispredicted.empty()) {
+      const OpResidual& worst = cal.postmortem.top_mispredicted.front();
+      result.events.Emit("rollback_postmortem")
+          .Int("round", summary.round)
+          .Str("cause", candidate_oom ? "oom" : "slower")
+          .Str("worst_op", worst.name)
+          .Number("worst_predicted_s", worst.predicted_s)
+          .Number("worst_realized_s", worst.realized_s)
+          .Number("worst_rel_err", worst.rel_err)
+          .Int("mispredicted_ops_reported",
+               static_cast<int64_t>(cal.postmortem.top_mispredicted.size()));
+    }
     result.round_history.push_back(summary);
+    result.calibration.push_back(std::move(cal));
 
-    // Pre-training ends when the cost models are stable (paper's rule).
-    stability.Observe(result.comp, cluster.num_devices(),
-                      CostKeys(current_graph));
     if (stability.IsStable()) {
       result.events.Emit("stable").Int("round", result.rounds);
       break;

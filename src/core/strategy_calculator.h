@@ -14,6 +14,7 @@
 #include "core/data_parallel.h"
 #include "core/os_dpos.h"
 #include "cost/stability.h"
+#include "obs/calibration.h"
 #include "obs/event_log.h"
 #include "sim/exec_sim.h"
 
@@ -40,6 +41,10 @@ struct CalculatorOptions {
   uint64_t seed = 7;
   // Measurement iterations for the final reported per-iteration time.
   int measure_iterations = 5;
+  // Keep placement-decision provenance (candidate tables, split trials) of
+  // the committed strategy — what `fastt explain` renders. Forwarded to
+  // DposOptions::record_provenance for every search the workflow runs.
+  bool record_provenance = false;
 };
 
 // One pre-training round of the workflow: what the scheduler predicted, what
@@ -58,6 +63,15 @@ struct RoundSummary {
   int ops_replaced = 0;       // placements changed vs. the incumbent
   int splits = 0;             // split decisions in the candidate
   double algorithm_s = 0.0;   // host CPU inside DPOS/OS-DPOS this round
+  // Calibration digest of the round (full detail, including per-op residual
+  // tables and rollback post-mortems, in CalculatorResult::calibration).
+  double comp_err_p50 = 0.0;  // |rel err| percentiles of per-op comp costs
+  double comp_err_p90 = 0.0;
+  double comp_err_max = 0.0;
+  double comm_err_p50 = 0.0;  // |rel err| percentiles of per-transfer costs
+  double comm_err_p90 = 0.0;
+  double stability_max_change = 0.0;  // StabilityDetector window statistics
+  double stability_margin = 0.0;      // tolerance - max_change
 };
 
 struct CalculatorResult {
@@ -81,6 +95,16 @@ struct CalculatorResult {
   int64_t global_batch = 0;
   // Round-by-round trajectory of the pre-training loop (RunFastT only).
   std::vector<RoundSummary> round_history;
+  // Per-round calibration audit: predicted-vs-realized residuals, error
+  // histograms, comm-regression drift, rollback post-mortems (RunFastT only).
+  std::vector<CalibrationRound> calibration;
+  // Provenance of the committed strategy (CalculatorOptions::record_provenance
+  // only): per-op candidate tables, OS-DPOS split trials, and the committed
+  // schedule's predicted per-slot durations (predicted-vs-realized in
+  // `fastt explain`; indexed by slot id of `graph`).
+  std::vector<PlacementDecision> provenance;
+  std::vector<SplitTrialRecord> split_trials;
+  std::vector<double> predicted_op_s;
   // Structured JSONL narration of the whole workflow (probe, bootstrap,
   // rounds, rollbacks, stability stop, final measurement).
   EventLog events;
@@ -107,5 +131,13 @@ inline constexpr double kSessionOverheadS = 0.004;
 
 // samples/s given a result (applies the session overhead).
 double SamplesPerSecond(const CalculatorResult& result);
+
+// Renders every recorded placement decision whose op name contains `needle`
+// (split sub-ops of `needle` included — they share the parent's name prefix),
+// with predicted-vs-realized durations from the final simulation, followed by
+// the matching OS-DPOS split trials. Requires a result produced with
+// CalculatorOptions::record_provenance; empty needle matches everything.
+std::string ExplainOps(const CalculatorResult& result,
+                       const std::string& needle);
 
 }  // namespace fastt

@@ -45,6 +45,25 @@ std::optional<std::pair<double, double>> CommCostModel::InterceptSlope(
   return std::make_pair(it->second.intercept(), it->second.slope());
 }
 
+std::optional<CommCostModel::PairFit> CommCostModel::Fit(DeviceId src,
+                                                         DeviceId dst) const {
+  auto it = models_.find({src, dst});
+  if (it == models_.end()) return std::nullopt;
+  PairFit fit;
+  fit.intercept = it->second.intercept();
+  fit.slope = it->second.slope();
+  fit.r2 = it->second.r_squared();
+  fit.samples = it->second.count();
+  return fit;
+}
+
+std::vector<std::pair<DeviceId, DeviceId>> CommCostModel::KnownPairs() const {
+  std::vector<std::pair<DeviceId, DeviceId>> pairs;
+  pairs.reserve(models_.size());
+  for (const auto& [pair, model] : models_) pairs.push_back(pair);
+  return pairs;
+}
+
 std::string CommCostModel::Serialize() const {
   std::string out;
   for (const auto& [pair, model] : models_) {

@@ -8,6 +8,7 @@
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "cost/linreg.h"
 #include "sim/device.h"
@@ -42,6 +43,18 @@ class CommCostModel {
   // Fitted parameters for inspection/tests.
   std::optional<std::pair<double, double>> InterceptSlope(DeviceId src,
                                                           DeviceId dst) const;
+
+  // Full fit diagnostics of one pair's regression — what the calibration
+  // report tracks round over round (parameter drift, fit quality).
+  struct PairFit {
+    double intercept = 0.0;
+    double slope = 0.0;
+    double r2 = 0.0;     // fit against the pair's own profiled samples
+    size_t samples = 0;  // transfers the regression has absorbed
+  };
+  std::optional<PairFit> Fit(DeviceId src, DeviceId dst) const;
+  // Every fitted ordered pair, in (src, dst) order.
+  std::vector<std::pair<DeviceId, DeviceId>> KnownPairs() const;
 
   // Text (de)serialization: one "src<TAB>dst<TAB>intercept<TAB>slope" line
   // per pair (checkpoint parity with CompCostModel; the fitted line, not

@@ -10,6 +10,19 @@ void LinearRegression::Add(double x, double y) {
   sum_y_ += y;
   sum_xx_ += x * x;
   sum_xy_ += x * y;
+  sum_yy_ += y * y;
+}
+
+double LinearRegression::r_squared() const {
+  if (n_ < 2) return 1.0;
+  const double n = static_cast<double>(n_);
+  const double sxx = sum_xx_ - sum_x_ * sum_x_ / n;
+  const double syy = sum_yy_ - sum_y_ * sum_y_ / n;
+  if (syy <= 1e-30 * (1.0 + sum_yy_)) return 1.0;  // nothing to explain
+  if (sxx <= 1e-12 * (1.0 + sum_xx_)) return 0.0;  // constant-x degenerate
+  const double sxy = sum_xy_ - sum_x_ * sum_y_ / n;
+  const double r2 = (sxy * sxy) / (sxx * syy);
+  return r2 > 1.0 ? 1.0 : (r2 < 0.0 ? 0.0 : r2);
 }
 
 double LinearRegression::slope() const {

@@ -20,10 +20,16 @@ class LinearRegression {
   double intercept() const;
   double slope() const;
   double Predict(double x) const;
+  // Coefficient of determination of the fit against its own samples:
+  // squared correlation of x and y. 1 when the responses have no variance
+  // left to explain (0 or 1 samples, or all y equal); 0 when x is constant
+  // but y is not (the fit degenerates to the mean).
+  double r_squared() const;
 
  private:
   size_t n_ = 0;
   double sum_x_ = 0.0, sum_y_ = 0.0, sum_xx_ = 0.0, sum_xy_ = 0.0;
+  double sum_yy_ = 0.0;
 };
 
 }  // namespace fastt

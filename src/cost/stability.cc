@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <limits>
+#include <vector>
 
+#include "util/stats.h"
 #include "util/strings.h"
 
 namespace fastt {
@@ -10,8 +12,8 @@ namespace fastt {
 double StabilityDetector::Observe(const CompCostModel& model,
                                   int32_t num_devices,
                                   const std::vector<std::string>& keys) {
-  double max_change = 0.0;
   bool new_entry = false;
+  std::vector<double> changes;
   std::unordered_map<std::string, double> current;
   for (const std::string& key : keys) {
     for (DeviceId d = 0; d < num_devices; ++d) {
@@ -23,22 +25,35 @@ double StabilityDetector::Observe(const CompCostModel& model,
       if (it == last_.end()) {
         new_entry = true;
       } else if (it->second > 0.0) {
-        max_change =
-            std::max(max_change, std::fabs(*value - it->second) / it->second);
+        changes.push_back(std::fabs(*value - it->second) / it->second);
       }
     }
   }
   last_ = std::move(current);
+
+  StabilityStats stats;
+  stats.entries = static_cast<int>(changes.size());
+  stats.mean_change = Mean(changes);
+  stats.stddev_change = Stddev(changes);
+  stats.tolerance = tolerance_;
+  stats.patience = patience_;
+  stats.new_entries = new_entry;
   if (new_entry) {
     stable_rounds_ = 0;
-    return std::numeric_limits<double>::infinity();
-  }
-  if (max_change <= tolerance_) {
-    ++stable_rounds_;
+    stats.max_change = std::numeric_limits<double>::infinity();
+    stats.margin = -std::numeric_limits<double>::infinity();
   } else {
-    stable_rounds_ = 0;
+    stats.max_change = changes.empty() ? 0.0 : Max(changes);
+    stats.margin = tolerance_ - stats.max_change;
+    if (stats.max_change <= tolerance_) {
+      ++stable_rounds_;
+    } else {
+      stable_rounds_ = 0;
+    }
   }
-  return max_change;
+  stats.stable_rounds = stable_rounds_;
+  last_stats_ = stats;
+  return stats.max_change;
 }
 
 }  // namespace fastt

@@ -1,6 +1,7 @@
 #include "obs/json.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdlib>
 
@@ -320,13 +321,16 @@ class Parser {
     } else {
       while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
     }
+    bool integral = true;
     if (Peek() == '.') {
+      integral = false;
       ++pos_;
       if (!std::isdigit(static_cast<unsigned char>(Peek())))
         return Fail("bad fraction");
       while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
     }
     if (Peek() == 'e' || Peek() == 'E') {
+      integral = false;
       ++pos_;
       if (Peek() == '+' || Peek() == '-') ++pos_;
       if (!std::isdigit(static_cast<unsigned char>(Peek())))
@@ -334,9 +338,21 @@ class Parser {
       while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
     }
     if (out) {
+      const std::string token = text_.substr(start, pos_ - start);
       out->kind = JsonValue::Kind::kNumber;
-      out->num_v = std::strtod(text_.substr(start, pos_ - start).c_str(),
-                               nullptr);
+      out->num_v = std::strtod(token.c_str(), nullptr);
+      if (integral) {
+        // Keep the exact int64 alongside the double: strtod alone silently
+        // rounds integers beyond 2^53, breaking write/parse round-trips of
+        // JsonWriter::Int. Out-of-range integers stay double-only.
+        errno = 0;
+        char* end = nullptr;
+        const long long v = std::strtoll(token.c_str(), &end, 10);
+        if (errno != ERANGE && end != nullptr && *end == '\0') {
+          out->is_int = true;
+          out->int_v = static_cast<int64_t>(v);
+        }
+      }
     }
     return pos_ > start;
   }
@@ -357,6 +373,11 @@ const JsonValue* JsonValue::Find(const std::string& key) const {
 
 double JsonValue::NumberOr(double fallback) const {
   return kind == Kind::kNumber ? num_v : fallback;
+}
+
+int64_t JsonValue::IntOr(int64_t fallback) const {
+  if (kind != Kind::kNumber) return fallback;
+  return is_int ? int_v : static_cast<int64_t>(num_v);
 }
 
 std::string JsonValue::StringOr(const std::string& fallback) const {

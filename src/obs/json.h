@@ -67,14 +67,21 @@ bool JsonValidate(const std::string& text, std::string* error = nullptr);
 // Validates a JSONL document: every non-empty line must be well-formed JSON.
 bool JsonlValidate(const std::string& text, std::string* error = nullptr);
 
-// Parsed JSON value. Numbers are held as double; `null` is a distinct kind
-// so readers can tell "absent/non-finite" from 0.
+// Parsed JSON value. Numbers are held as double; integer tokens that fit
+// int64 additionally keep their exact value (is_int/int_v), because a double
+// only covers integers up to 2^53 and JsonWriter::Int emits full int64 — a
+// byte counter above 9 PB would otherwise come back changed. `null` is a
+// distinct kind so readers can tell "absent/non-finite" from 0.
 struct JsonValue {
   enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
 
   Kind kind = Kind::kNull;
   bool bool_v = false;
   double num_v = 0.0;
+  // Exact integer payload when the source token was integral (no fraction or
+  // exponent) and within int64 range.
+  bool is_int = false;
+  int64_t int_v = 0;
   std::string str_v;
   std::vector<JsonValue> items;                 // kArray
   std::map<std::string, JsonValue> fields;      // kObject (key-sorted)
@@ -90,6 +97,9 @@ struct JsonValue {
   const JsonValue* Find(const std::string& key) const;
   // Typed accessors with fallbacks for optional fields.
   double NumberOr(double fallback) const;
+  // Exact for integer tokens; otherwise truncates the double (fallback when
+  // not a number at all).
+  int64_t IntOr(int64_t fallback) const;
   std::string StringOr(const std::string& fallback) const;
 };
 

@@ -1,0 +1,133 @@
+#include "obs/provenance.h"
+
+#include <cmath>
+#include <limits>
+
+#include "obs/json.h"
+#include "util/strings.h"
+
+namespace fastt {
+namespace {
+
+// Millisecond rendering that tolerates the +inf scores of memory-rejected
+// candidates (they print as "-", matching the table idiom).
+std::string Ms(double seconds) {
+  if (!std::isfinite(seconds)) return "-";
+  return StrFormat("%.4f ms", seconds * 1e3);
+}
+
+}  // namespace
+
+const char* PlacementReasonName(PlacementReason reason) {
+  switch (reason) {
+    case PlacementReason::kBestEft: return "best_eft";
+    case PlacementReason::kCriticalPathDevice: return "critical_path_device";
+    case PlacementReason::kColocated: return "colocated";
+    case PlacementReason::kMemoryOverflow: return "memory_overflow";
+  }
+  return "unknown";
+}
+
+std::string RenderPlacementDecision(const PlacementDecision& decision,
+                                    double predicted_s, double realized_s) {
+  std::string out =
+      StrFormat("op %s (slot %d)\n", decision.op_name.c_str(), decision.op);
+  out += StrFormat("  chosen: gpu%d  reason=%s  eft=%s\n", decision.chosen,
+                   PlacementReasonName(decision.reason),
+                   Ms(decision.chosen_eft_s).c_str());
+  if (!decision.candidates.empty()) out += "  candidates:\n";
+  for (const CandidateScore& c : decision.candidates) {
+    if (c.memory_rejected) {
+      out += StrFormat("    gpu%-3d memory-rejected\n", c.device);
+      continue;
+    }
+    std::string delta;
+    if (c.device == decision.chosen) {
+      delta = "<- chosen";
+    } else {
+      delta = StrFormat("eft delta %+.4f ms vs chosen",
+                        (c.eft_s - decision.chosen_eft_s) * 1e3);
+    }
+    out += StrFormat("    gpu%-3d est %-12s eft %-12s score %-12s %s\n",
+                     c.device, Ms(c.est_s).c_str(), Ms(c.eft_s).c_str(),
+                     Ms(c.score_s).c_str(), delta.c_str());
+  }
+  if (predicted_s >= 0.0 && realized_s >= 0.0) {
+    const double rel =
+        realized_s > 0.0 ? (predicted_s - realized_s) / realized_s : 0.0;
+    out += StrFormat("  predicted %s, realized %s (%+.1f%% error)\n",
+                     Ms(predicted_s).c_str(), Ms(realized_s).c_str(),
+                     100.0 * rel);
+  } else if (predicted_s >= 0.0) {
+    out += StrFormat("  predicted %s (not realized)\n", Ms(predicted_s).c_str());
+  }
+  return out;
+}
+
+std::string RenderSplitTrials(const std::vector<SplitTrialRecord>& trials,
+                              const std::string& op_name) {
+  std::string out;
+  for (const SplitTrialRecord& t : trials) {
+    if (!op_name.empty() && t.op_name.find(op_name) == std::string::npos)
+      continue;
+    if (!t.viable) {
+      out += StrFormat("  split trial %s %s x%d: memory-rejected\n",
+                       t.op_name.c_str(), t.dim.c_str(), t.num_splits);
+      continue;
+    }
+    out += StrFormat(
+        "  split trial %s %s x%d: predicted %s vs incumbent %s (%+.1f%%)%s\n",
+        t.op_name.c_str(), t.dim.c_str(), t.num_splits,
+        Ms(t.predicted_s).c_str(), Ms(t.baseline_s).c_str(),
+        t.baseline_s > 0.0
+            ? 100.0 * (t.predicted_s - t.baseline_s) / t.baseline_s
+            : 0.0,
+        t.committed ? "  <- split_trial_winner" : "");
+  }
+  return out;
+}
+
+std::string ProvenanceToJson(const std::vector<PlacementDecision>& decisions,
+                             const std::vector<SplitTrialRecord>& trials) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("decisions").BeginArray();
+  for (const PlacementDecision& d : decisions) {
+    w.BeginObject();
+    w.Key("op").Int(d.op);
+    w.Key("name").String(d.op_name);
+    w.Key("chosen").Int(d.chosen);
+    w.Key("reason").String(PlacementReasonName(d.reason));
+    w.Key("eft_s").Number(d.chosen_eft_s);
+    w.Key("candidates").BeginArray();
+    for (const CandidateScore& c : d.candidates) {
+      w.BeginObject();
+      w.Key("device").Int(c.device);
+      w.Key("est_s").Number(c.est_s);
+      w.Key("eft_s").Number(c.eft_s);
+      w.Key("score_s").Number(c.score_s);  // +inf -> null (memory-rejected)
+      w.Key("memory_rejected").Bool(c.memory_rejected);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("split_trials").BeginArray();
+  for (const SplitTrialRecord& t : trials) {
+    w.BeginObject();
+    w.Key("op").String(t.op_name);
+    w.Key("dim").String(t.dim);
+    w.Key("num_splits").Int(t.num_splits);
+    w.Key("viable").Bool(t.viable);
+    w.Key("predicted_s").Number(t.predicted_s);
+    w.Key("baseline_s").Number(t.baseline_s);
+    w.Key("committed").Bool(t.committed);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace fastt

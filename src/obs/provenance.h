@@ -1,0 +1,82 @@
+// Placement decision provenance — why an op landed on its device.
+//
+// DPOS makes tens of thousands of placement decisions per search, each one a
+// reduction over per-device scores that is normally discarded the moment the
+// winner is committed. When recording is on (DposOptions::record_provenance),
+// every decision keeps its full candidate table — per device: the earliest
+// data-ready time (EST), the insertion-based earliest finish time (EFT), the
+// score DPOS actually minimized (EFT + communication affinity) and whether
+// the device was memory-rejected — plus a reason code naming which policy
+// picked the winner. OS-DPOS likewise records every split trial it probed
+// (dimension, split count, viability, predicted makespan, whether it won).
+//
+// Capture is gated like the tracer: disabled cost is a single branch per
+// placement decision, so the hooks stay in the production search paths
+// unconditionally. The records are plain data (op names as strings, device
+// ids as int32), so this header stays free of graph/scheduler dependencies
+// and serializes through the existing JSON layer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fastt {
+
+// Which DPOS policy chose the device.
+enum class PlacementReason : uint8_t {
+  kBestEft,             // min-(EFT + comm affinity) over feasible devices
+  kCriticalPathDevice,  // phase-1 critical-path device reservation
+  kColocated,           // pinned to an already-placed op's device
+  kMemoryOverflow,      // nothing fit; overflowed to the max-headroom device
+};
+const char* PlacementReasonName(PlacementReason reason);
+
+// One scored candidate device of one placement decision.
+struct CandidateScore {
+  int32_t device = -1;
+  double est_s = 0.0;    // earliest data-ready time on this device
+  double eft_s = 0.0;    // insertion-based earliest finish time
+  double score_s = 0.0;  // EFT + comm-affinity term (what DPOS minimizes);
+                         // +inf (serialized as null) when memory-rejected
+  bool memory_rejected = false;
+};
+
+// Everything DPOS knew when it placed one op.
+struct PlacementDecision {
+  int32_t op = -1;  // slot id in the scheduled graph
+  std::string op_name;
+  int32_t chosen = -1;
+  PlacementReason reason = PlacementReason::kBestEft;
+  double chosen_eft_s = 0.0;
+  // Every device, ascending id, including the chosen one.
+  std::vector<CandidateScore> candidates;
+};
+
+// One OS-DPOS split trial: a candidate rewrite of a critical-path op that
+// was rescheduled with DPOS and compared against the incumbent makespan.
+struct SplitTrialRecord {
+  std::string op_name;  // the probed critical-path op
+  std::string dim;      // "batch" / "channel"
+  int num_splits = 0;
+  bool viable = false;       // schedulable within device memory
+  double predicted_s = 0.0;  // FT(o_exit) of the trial schedule (0 if not)
+  double baseline_s = 0.0;   // incumbent FT(o_exit) the trial competed with
+  bool committed = false;    // won its probe round and was committed
+};
+
+// Human-readable trace of one decision. `predicted_s`/`realized_s` are the
+// op's scheduler-predicted and simulator-realized durations (< 0 = unknown);
+// non-chosen candidates print their EFT delta vs. the chosen device.
+std::string RenderPlacementDecision(const PlacementDecision& decision,
+                                    double predicted_s, double realized_s);
+
+// One line per split trial of `op_name` (all trials when empty).
+std::string RenderSplitTrials(const std::vector<SplitTrialRecord>& trials,
+                              const std::string& op_name);
+
+// JSON document: {"decisions": [...], "split_trials": [...]}.
+std::string ProvenanceToJson(const std::vector<PlacementDecision>& decisions,
+                             const std::vector<SplitTrialRecord>& trials);
+
+}  // namespace fastt

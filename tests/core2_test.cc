@@ -320,5 +320,99 @@ TEST(StrategyCalculator, PrioritiesCoverAllLiveOps) {
   EXPECT_EQ(seen.size(), static_cast<size_t>(ft.graph.num_live_ops()));
 }
 
+// A chain model whose parameters exceed one device's usable memory (~9 GB on
+// a 16 GB V100) but fit split across two: four 4 GB weight variables feeding
+// matmuls. Used to force a candidate OOM deterministically.
+void BuildHeavyChain(Graph& g, const std::string& prefix, int64_t batch) {
+  const int64_t gb = int64_t{1} << 30;
+  OpId prev = kInvalidOp;
+  for (int i = 0; i < 4; ++i) {
+    Operation w;
+    w.name = prefix + StrFormat("w%d", i);
+    w.type = OpType::kVariable;
+    w.param_bytes = 4 * gb;
+    w.output_shape = TensorShape{1024};
+    const OpId wid = g.AddOp(std::move(w));
+    Operation m;
+    m.name = prefix + StrFormat("mm%d", i);
+    m.type = OpType::kMatMul;
+    m.flops = 1e9;
+    m.batch = batch;
+    m.output_shape = TensorShape{batch * 256};
+    const OpId mid = g.AddOp(std::move(m));
+    g.AddEdge(wid, mid);
+    if (prev != kInvalidOp) g.AddEdge(prev, mid, batch * 1024);
+    prev = mid;
+  }
+}
+
+TEST(StrategyCalculator, OomCandidateRollsBackAndRecordsReason) {
+  const Cluster c = Cluster::SingleServer(2);
+  CalculatorOptions options;
+  // Let the scheduler believe every device has unbounded memory: DPOS then
+  // piles the whole 24 GB chain onto one 16 GB GPU, and the profiled run of
+  // that candidate OOMs — which the workflow must always roll back.
+  options.os_dpos.dpos.memory_headroom = 1000.0;
+  options.enable_split = false;
+  options.noise_cv = 0.0;
+  options.max_rounds = 2;
+  options.profile_iterations = 2;
+  options.measure_iterations = 2;
+  const auto ft = RunFastT(BuildHeavyChain, "heavy_chain", 32,
+                           Scaling::kStrong, c, options);
+  EXPECT_TRUE(ft.started_model_parallel);
+  EXPECT_GE(ft.rollbacks, 1);
+  ASSERT_EQ(ft.calibration.size(), ft.round_history.size());
+  // With memory feasibility disabled the search eventually produces a
+  // packing that runs out of memory; the workflow must roll it back and the
+  // round history + calibration audit must say why.
+  size_t oom_round = ft.round_history.size();
+  for (size_t i = 0; i < ft.round_history.size(); ++i)
+    if (ft.round_history[i].oom) { oom_round = i; break; }
+  ASSERT_LT(oom_round, ft.round_history.size()) << "no candidate ever OOMed";
+  EXPECT_FALSE(ft.round_history[oom_round].committed);
+  EXPECT_TRUE(ft.calibration[oom_round].postmortem.rolled_back);
+  EXPECT_TRUE(ft.calibration[oom_round].postmortem.oom);
+  // The final strategy is a feasible incumbent, not the OOM candidate.
+  EXPECT_FALSE(ft.final_sim.oom);
+  const std::string events = ft.events.ToJsonl();
+  EXPECT_NE(events.find("rollback_oom"), std::string::npos);
+  EXPECT_NE(events.find("rollback_postmortem"), std::string::npos);
+  EXPECT_NE(events.find("\"cause\":\"oom\""), std::string::npos);
+}
+
+TEST(StrategyCalculator, SlowerCandidateRollbackRecordsReason) {
+  const ModelSpec& spec = FindModel("lenet");
+  const Cluster c = Cluster::SingleServer(2);
+  // Profiling noise makes some rounds measure slower than the incumbent;
+  // scan a few seeds so the test does not depend on one noise draw.
+  bool found = false;
+  for (uint64_t seed = 7; seed < 17 && !found; ++seed) {
+    CalculatorOptions options;
+    options.seed = seed;
+    options.max_rounds = 4;
+    const auto ft = RunFastT(spec.build, spec.name, spec.strong_batch,
+                             Scaling::kStrong, c, options);
+    ASSERT_EQ(ft.calibration.size(), ft.round_history.size());
+    for (size_t i = 0; i < ft.round_history.size(); ++i) {
+      const RoundSummary& r = ft.round_history[i];
+      if (r.committed || r.oom) continue;
+      found = true;
+      // Rolled back because the candidate measured slower, and the history
+      // says so.
+      EXPECT_GT(r.measured_s, r.best_before_s);
+      const CalibrationRound& cal = ft.calibration[i];
+      EXPECT_TRUE(cal.postmortem.rolled_back);
+      EXPECT_FALSE(cal.postmortem.oom);
+      EXPECT_FALSE(cal.postmortem.top_mispredicted.empty());
+      const std::string events = ft.events.ToJsonl();
+      EXPECT_NE(events.find("rollback_slower"), std::string::npos);
+      EXPECT_NE(events.find("\"cause\":\"slower\""), std::string::npos);
+      break;
+    }
+  }
+  EXPECT_TRUE(found) << "no slower-candidate rollback in 10 seeds";
+}
+
 }  // namespace
 }  // namespace fastt

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "cost/comm_cost.h"
 #include "cost/comp_cost.h"
 #include "cost/cost_table.h"
@@ -197,6 +199,97 @@ TEST(Stability, LargeChangeResetsCounter) {
   const double change = detector.Observe(m, 1, {"op"});
   EXPECT_GT(change, 0.05);
   EXPECT_FALSE(detector.IsStable());
+}
+
+TEST(Stability, WindowStatisticsExposed) {
+  CompCostModel m;
+  m.AddSample("a", 0, 0.010);
+  m.AddSample("b", 0, 0.020);
+  StabilityDetector detector(0.05, 2);
+  EXPECT_DOUBLE_EQ(detector.tolerance(), 0.05);
+  EXPECT_EQ(detector.patience(), 2);
+
+  // Before any observation the stats are the defaults.
+  EXPECT_TRUE(detector.last_stats().new_entries);
+  EXPECT_TRUE(std::isinf(detector.last_stats().max_change));
+
+  // First observation: everything is new, the clock is reset.
+  detector.Observe(m, 1, {"a", "b"});
+  const StabilityStats first = detector.last_stats();
+  EXPECT_TRUE(first.new_entries);
+  EXPECT_EQ(first.entries, 0);
+  EXPECT_TRUE(std::isinf(first.max_change));
+  EXPECT_TRUE(std::isinf(first.margin));
+  EXPECT_LT(first.margin, 0.0);
+  EXPECT_EQ(first.stable_rounds, 0);
+
+  // "a" mean moves 0.010 -> 0.0105 (+5%), "b" stays: max 0.05, mean 0.025.
+  m.AddSample("a", 0, 0.011);
+  detector.Observe(m, 1, {"a", "b"});
+  const StabilityStats second = detector.last_stats();
+  EXPECT_FALSE(second.new_entries);
+  EXPECT_EQ(second.entries, 2);
+  EXPECT_NEAR(second.max_change, 0.05, 1e-12);
+  EXPECT_NEAR(second.mean_change, 0.025, 1e-12);
+  EXPECT_NEAR(second.stddev_change, 0.05 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(second.margin, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(second.tolerance, 0.05);
+  EXPECT_EQ(second.stable_rounds, 1);
+  EXPECT_FALSE(detector.IsStable());
+
+  // No further movement: stable after `patience` quiet rounds.
+  detector.Observe(m, 1, {"a", "b"});
+  const StabilityStats third = detector.last_stats();
+  EXPECT_DOUBLE_EQ(third.max_change, 0.0);
+  EXPECT_NEAR(third.margin, 0.05, 1e-12);
+  EXPECT_EQ(third.stable_rounds, 2);
+  EXPECT_TRUE(detector.IsStable());
+}
+
+TEST(LinearRegression, RSquaredPerfectAndNoisy) {
+  LinearRegression exact;
+  for (double x : {1.0, 2.0, 5.0, 9.0}) exact.Add(x, 3.0 + 2.0 * x);
+  EXPECT_NEAR(exact.r_squared(), 1.0, 1e-12);
+
+  LinearRegression noisy;
+  noisy.Add(1.0, 5.1);
+  noisy.Add(2.0, 6.8);
+  noisy.Add(3.0, 9.3);
+  noisy.Add(4.0, 10.6);
+  EXPECT_GT(noisy.r_squared(), 0.9);
+  EXPECT_LT(noisy.r_squared(), 1.0);
+
+  // Degenerate cases: <2 points and constant y are "perfectly explained";
+  // constant x with varying y explains nothing.
+  LinearRegression empty;
+  EXPECT_DOUBLE_EQ(empty.r_squared(), 1.0);
+  LinearRegression constant_y;
+  constant_y.Add(1.0, 4.0);
+  constant_y.Add(2.0, 4.0);
+  EXPECT_DOUBLE_EQ(constant_y.r_squared(), 1.0);
+  LinearRegression constant_x;
+  constant_x.Add(5.0, 1.0);
+  constant_x.Add(5.0, 9.0);
+  EXPECT_DOUBLE_EQ(constant_x.r_squared(), 0.0);
+}
+
+TEST(CommCost, FitExposesRegressionDiagnostics) {
+  CommCostModel m;
+  EXPECT_FALSE(m.Fit(0, 1).has_value());
+  EXPECT_TRUE(m.KnownPairs().empty());
+  // Exact line: 10 us latency + 1 GB/s.
+  for (int64_t bytes : {int64_t{1} << 20, int64_t{1} << 24, int64_t{1} << 26})
+    m.AddSample(0, 1, bytes, 1e-5 + static_cast<double>(bytes) / 1e9);
+  const auto fit = m.Fit(0, 1);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->intercept, 1e-5, 1e-9);
+  EXPECT_NEAR(fit->slope, 1e-9, 1e-15);
+  EXPECT_NEAR(fit->r2, 1.0, 1e-9);
+  EXPECT_EQ(fit->samples, 3u);
+  const auto pairs = m.KnownPairs();
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].first, 0);
+  EXPECT_EQ(pairs[0].second, 1);
 }
 
 // A tiny graph whose ops have distinct cost keys.

@@ -5,6 +5,9 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
 #include <thread>
 #include <vector>
 
@@ -107,6 +110,64 @@ TEST(Json, WriterProducesValidNestedDocument) {
             "{\"makespan\":0.012,\"name\":\"a\\\"b\","
             "\"devices\":[{\"id\":0,\"oom\":false},7]}");
   EXPECT_TRUE(JsonValidate(w.str()));
+}
+
+TEST(Json, Int64RoundTripBeyondDoublePrecision) {
+  // Doubles only cover integers up to 2^53; the DOM must carry larger int64
+  // values through a write -> parse round trip unchanged.
+  const int64_t interesting[] = {
+      0,
+      -1,
+      (int64_t{1} << 53) - 1,
+      (int64_t{1} << 53) + 1,  // first value a double cannot represent
+      std::numeric_limits<int64_t>::max(),
+      std::numeric_limits<int64_t>::min(),
+  };
+  for (const int64_t v : interesting) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("v").Int(v);
+    w.EndObject();
+    JsonValue root;
+    std::string error;
+    ASSERT_TRUE(JsonParse(w.str(), &root, &error)) << error;
+    const JsonValue* f = root.Find("v");
+    ASSERT_NE(f, nullptr);
+    EXPECT_TRUE(f->is_int) << v;
+    EXPECT_EQ(f->IntOr(0), v) << v;
+  }
+  // Property: random int64 values survive the round trip exactly.
+  std::mt19937_64 rng(20260805);
+  for (int i = 0; i < 500; ++i) {
+    const int64_t v = static_cast<int64_t>(rng());
+    JsonWriter w;
+    w.BeginArray();
+    w.Int(v);
+    w.EndArray();
+    JsonValue root;
+    ASSERT_TRUE(JsonParse(w.str(), &root));
+    ASSERT_EQ(root.items.size(), 1u);
+    EXPECT_EQ(root.items[0].IntOr(0), v);
+  }
+}
+
+TEST(Json, NonIntegralNumbersStayDoubleOnly) {
+  JsonValue root;
+  ASSERT_TRUE(JsonParse("[1.5, 1e3, 42, -0.0, 99999999999999999999999]",
+                        &root));
+  ASSERT_EQ(root.items.size(), 5u);
+  EXPECT_FALSE(root.items[0].is_int);
+  EXPECT_DOUBLE_EQ(root.items[0].NumberOr(0.0), 1.5);
+  EXPECT_EQ(root.items[0].IntOr(-7), 1);  // truncated double
+  EXPECT_FALSE(root.items[1].is_int);     // exponent form
+  EXPECT_DOUBLE_EQ(root.items[1].NumberOr(0.0), 1000.0);
+  EXPECT_TRUE(root.items[2].is_int);
+  EXPECT_EQ(root.items[2].IntOr(0), 42);
+  EXPECT_FALSE(root.items[3].is_int);  // "-0.0" is not integral
+  EXPECT_EQ(root.items[3].IntOr(-7), 0);
+  // Out of int64 range: parses, but only as an (approximate) double.
+  EXPECT_FALSE(root.items[4].is_int);
+  EXPECT_GT(root.items[4].NumberOr(0.0), 9e22);
 }
 
 TEST(Json, ValidateAcceptsAndRejects) {

@@ -14,8 +14,17 @@
 //       arrows for tensor transfers and per-device memory counter tracks).
 //   fastt analyze <model> [--gpus N] [--servers S] [--batch B] [--json F]
 //       Run FastT and report the realized critical path, per-device
-//       utilization/bubble breakdown, top critical ops/transfers and link
-//       traffic of the final schedule.
+//       utilization/bubble breakdown, top critical ops/transfers, link
+//       traffic and the per-round cost-model calibration summary.
+//   fastt explain <model> --op <name> [--gpus N] [--batch B]
+//       Run FastT with provenance recording and show, for every committed
+//       op whose name contains <name>, the candidate devices DPOS scored,
+//       the chosen device with its reason code, the split trials probed and
+//       predicted-vs-realized execution time.
+//   fastt calibrate <model> [--gpus N] [--batch B] [--json F]
+//       Run FastT and report how wrong the cost models were each
+//       pre-training round: per-op/per-transfer residual histograms,
+//       comm-regression drift and rollback post-mortems.
 //   fastt search-profile <model> [trace.json] [--gpus N] [--jobs N]
 //       Run the OS-DPOS search under the flight recorder and report where
 //       its wall-clock went: a phase/self-time table, worker occupancy and
@@ -47,7 +56,9 @@
 #include "graph/serialize.h"
 #include "models/model_zoo.h"
 #include "obs/bench_history.h"
+#include "obs/calibration.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "obs/schedule_analysis.h"
 #include "obs/trace_export.h"
 #include "obs/tracer.h"
@@ -66,6 +77,7 @@ struct Args {
   std::string command;
   std::string model;
   std::string path;
+  std::string op;            // --op: op-name filter for `fastt explain`
   std::string metrics_path;  // --metrics: dump the metrics registry here
   std::string json_path;     // --json: machine-readable analysis output
   std::string trace_search_path;  // --trace-search: search Chrome trace
@@ -94,6 +106,8 @@ Args Parse(int argc, char** argv) {
       args.batch = std::atoll(next());
     } else if (a == "--jobs") {
       args.jobs = std::atoi(next());
+    } else if (a == "--op") {
+      args.op = next();
     } else if (a == "--metrics") {
       args.metrics_path = next();
     } else if (a == "--json") {
@@ -213,6 +227,11 @@ int CmdAnalyze(const Args& args) {
   const ScheduleAnalysis analysis =
       AnalyzeSchedule(ft.graph, ft.final_sim, cluster);
   std::fputs(RenderScheduleAnalysis(ft.graph, analysis).c_str(), stdout);
+  if (!ft.calibration.empty()) {
+    std::printf("\ncost-model calibration by round (see `fastt calibrate` "
+                "for the full audit):\n");
+    std::fputs(RenderCalibrationSummary(ft.calibration).c_str(), stdout);
+  }
   if (!args.json_path.empty()) {
     std::ofstream out(args.json_path);
     if (!out) {
@@ -403,6 +422,57 @@ int CmdSearchProfile(const Args& args) {
   return 0;
 }
 
+int CmdExplain(const Args& args) {
+  const ModelSpec& spec = FindModel(args.model);
+  const int64_t batch = args.batch > 0 ? args.batch : spec.strong_batch;
+  const Cluster cluster = MakeCluster(args);
+  std::printf("placement provenance: %s, batch %lld, %s\n", spec.name.c_str(),
+              (long long)batch, cluster.ToString().c_str());
+  CalculatorOptions options;
+  options.record_provenance = true;
+  const auto ft = RunFastT(spec.build, spec.name, batch, args.scaling,
+                           cluster, options);
+  std::printf("committed strategy: %zu placement decisions, %zu split trials "
+              "recorded\n\n",
+              ft.provenance.size(), ft.split_trials.size());
+  std::fputs(ExplainOps(ft, args.op).c_str(), stdout);
+  if (!args.json_path.empty()) {
+    std::ofstream out(args.json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", args.json_path.c_str());
+      return 1;
+    }
+    out << ProvenanceToJson(ft.provenance, ft.split_trials) << "\n";
+    std::printf("\nwrote provenance JSON to %s\n", args.json_path.c_str());
+  }
+  MaybeWriteMetrics(args, &ft.events);
+  return 0;
+}
+
+int CmdCalibrate(const Args& args) {
+  const ModelSpec& spec = FindModel(args.model);
+  const int64_t batch = args.batch > 0 ? args.batch : spec.strong_batch;
+  const Cluster cluster = MakeCluster(args);
+  std::printf("cost-model calibration: %s, batch %lld, %s\n\n",
+              spec.name.c_str(), (long long)batch,
+              cluster.ToString().c_str());
+  CalculatorOptions options;
+  const auto ft = RunFastT(spec.build, spec.name, batch, args.scaling,
+                           cluster, options);
+  std::fputs(RenderCalibrationReport(ft.calibration).c_str(), stdout);
+  if (!args.json_path.empty()) {
+    std::ofstream out(args.json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", args.json_path.c_str());
+      return 1;
+    }
+    out << CalibrationToJson(spec.name, ft.calibration) << "\n";
+    std::printf("\nwrote calibration JSON to %s\n", args.json_path.c_str());
+  }
+  MaybeWriteMetrics(args, &ft.events);
+  return 0;
+}
+
 int CmdBenchDiff(const Args& args) {
   BenchHistoryDoc old_doc;
   BenchHistoryDoc new_doc;
@@ -422,22 +492,39 @@ int CmdBenchDiff(const Args& args) {
   return result.hard_regressions > 0 ? 1 : 0;
 }
 
+// One usage line per command, keyed by name, so misuse of a known command
+// prints that command's synopsis instead of the full banner.
+struct CommandSpec {
+  const char* name;
+  const char* usage;
+};
+
+constexpr CommandSpec kCommands[] = {
+    {"models", "fastt models"},
+    {"run", "fastt run <model> [--gpus N] [--servers S] [--batch B] [--weak]"},
+    {"compare", "fastt compare <model> [--gpus N] [--servers S] [--batch B]"},
+    {"export", "fastt export <model> <graph.txt> [--batch B]"},
+    {"trace", "fastt trace <model> <trace.json> [--gpus N]"},
+    {"analyze",
+     "fastt analyze <model> [--gpus N] [--servers S] [--batch B] [--json F]"},
+    {"explain",
+     "fastt explain <model> --op <name> [--gpus N] [--servers S] [--batch B] "
+     "[--json F]"},
+    {"calibrate",
+     "fastt calibrate <model> [--gpus N] [--servers S] [--batch B] "
+     "[--json F]"},
+    {"search-profile",
+     "fastt search-profile <model> [trace.json] [--gpus N] [--jobs N]"},
+    {"bench-diff",
+     "fastt bench-diff <old.json> <new.json> [--threshold T] [--hard-factor "
+     "F] [--min-repeats R]"},
+};
+
 int Usage() {
+  std::fprintf(stderr, "usage:\n");
+  for (const CommandSpec& c : kCommands)
+    std::fprintf(stderr, "  %s\n", c.usage);
   std::fprintf(stderr,
-               "usage:\n"
-               "  fastt models\n"
-               "  fastt run <model> [--gpus N] [--servers S] [--batch B] "
-               "[--weak]\n"
-               "  fastt compare <model> [--gpus N] [--servers S] "
-               "[--batch B]\n"
-               "  fastt export <model> <graph.txt> [--batch B]\n"
-               "  fastt trace <model> <trace.json> [--gpus N]\n"
-               "  fastt analyze <model> [--gpus N] [--servers S] "
-               "[--batch B] [--json F]\n"
-               "  fastt search-profile <model> [trace.json] [--gpus N] "
-               "[--jobs N]\n"
-               "  fastt bench-diff <old.json> <new.json> [--threshold T] "
-               "[--hard-factor F] [--min-repeats R]\n"
                "options: every command accepts --jobs N (parallel search;\n"
                "         same strategy as --jobs 1), --metrics <out.json>\n"
                "         and --trace-search <out.json> (Chrome trace of the\n"
@@ -445,31 +532,61 @@ int Usage() {
   return 2;
 }
 
+// Misused known command: print its synopsis only.
+int CommandUsage(const std::string& command) {
+  for (const CommandSpec& c : kCommands) {
+    if (command == c.name) {
+      std::fprintf(stderr, "usage: %s\n", c.usage);
+      return 2;
+    }
+  }
+  return Usage();
+}
+
 int Dispatch(const Args& args) {
+  if (args.command.empty()) return Usage();
   if (args.command == "models") {
     const int rc = CmdModels();
     MaybeWriteMetrics(args, nullptr);
     return rc;
   }
-  if (args.command == "run" && !args.model.empty()) return CmdRun(args);
-  if (args.command == "analyze" && !args.model.empty())
-    return CmdAnalyze(args);
-  if (args.command == "compare" && !args.model.empty()) {
+  if (args.command == "run")
+    return args.model.empty() ? CommandUsage(args.command) : CmdRun(args);
+  if (args.command == "analyze")
+    return args.model.empty() ? CommandUsage(args.command) : CmdAnalyze(args);
+  if (args.command == "explain")
+    return args.model.empty() ? CommandUsage(args.command) : CmdExplain(args);
+  if (args.command == "calibrate")
+    return args.model.empty() ? CommandUsage(args.command)
+                              : CmdCalibrate(args);
+  if (args.command == "compare") {
+    if (args.model.empty()) return CommandUsage(args.command);
     const int rc = CmdCompare(args);
     MaybeWriteMetrics(args, nullptr);
     return rc;
   }
-  if (args.command == "export" && !args.path.empty()) {
+  if (args.command == "export") {
+    if (args.model.empty() || args.path.empty())
+      return CommandUsage(args.command);
     const int rc = CmdExport(args);
     MaybeWriteMetrics(args, nullptr);
     return rc;
   }
-  if (args.command == "trace" && !args.path.empty()) return CmdTrace(args);
-  if (args.command == "search-profile" && !args.model.empty())
-    return CmdSearchProfile(args);
-  if (args.command == "bench-diff" && !args.model.empty() &&
-      !args.path.empty())
+  if (args.command == "trace") {
+    if (args.model.empty() || args.path.empty())
+      return CommandUsage(args.command);
+    return CmdTrace(args);
+  }
+  if (args.command == "search-profile")
+    return args.model.empty() ? CommandUsage(args.command)
+                              : CmdSearchProfile(args);
+  if (args.command == "bench-diff") {
+    if (args.model.empty() || args.path.empty())
+      return CommandUsage(args.command);
     return CmdBenchDiff(args);
+  }
+  std::fprintf(stderr, "fastt: unknown command \"%s\"\n",
+               args.command.c_str());
   return Usage();
 }
 
