@@ -33,22 +33,6 @@ struct ReadyOp {
 
 }  // namespace
 
-int64_t MemNeed(const Graph& g, OpId id) {
-  const Operation& op = g.op(id);
-  int64_t need = op.resident_bytes();
-  if (!op.is_backward) {
-    // A forward activation consumed by the backward pass stays alive until
-    // then; that retained set (plus parameters) dominates training peaks.
-    for (OpId s : g.Succs(id)) {
-      if (g.op(s).is_backward) {
-        need += op.output_bytes();
-        break;
-      }
-    }
-  }
-  return need;
-}
-
 DposResult Dpos(const Graph& g, const Cluster& cluster,
                 const CompCostModel& comp, const CommCostModel& comm,
                 const DposOptions& options) {
@@ -410,12 +394,23 @@ DposResult Dpos(const Graph& g, const Cluster& cluster,
     MetricsRegistry::Global().AddCounter("dpos/memory_overflows");
 
   // ---- Execution order & objective ------------------------------------------
+  // Sort by scheduled start time, ties broken topologically. Unknown costs
+  // are priced 0, so whole chains can share one start time; a raw-id
+  // tie-break then lets a consumer precede its producer (rewrites append
+  // split/concat nodes at high slot ids), and the resulting priorities would
+  // contradict the data deps (verifier rule order.deps).
+  std::vector<int64_t> topo_pos(static_cast<size_t>(g.num_slots()), 0);
+  {
+    const std::vector<OpId> topo = g.TopoOrder();
+    for (size_t i = 0; i < topo.size(); ++i)
+      topo_pos[static_cast<size_t>(topo[i])] = static_cast<int64_t>(i);
+  }
   std::vector<OpId> order = g.LiveOps();
   std::sort(order.begin(), order.end(), [&](OpId a, OpId b) {
     const double sa = result.start_time[static_cast<size_t>(a)];
     const double sb = result.start_time[static_cast<size_t>(b)];
     if (sa != sb) return sa < sb;
-    return a < b;
+    return topo_pos[static_cast<size_t>(a)] < topo_pos[static_cast<size_t>(b)];
   });
   result.strategy.execution_order = std::move(order);
   for (OpId id : g.LiveOps())

@@ -16,6 +16,7 @@
 #include "cost/comm_cost.h"
 #include "cost/comp_cost.h"
 #include "graph/graph.h"
+#include "graph/memory.h"
 #include "obs/provenance.h"
 #include "sim/cluster.h"
 
@@ -62,13 +63,6 @@ struct DposResult {
 DposResult Dpos(const Graph& g, const Cluster& cluster,
                 const CompCostModel& comp, const CommCostModel& comm,
                 const DposOptions& options = {});
-
-// Per-op device-memory demand used for placement feasibility: resident
-// parameters/optimizer slots, plus the op's output activation when that
-// activation is retained until the backward pass (i.e. some gradient op
-// consumes it). Retained activations dominate training peak memory; tensors
-// consumed only within the forward pass die quickly and are not charged.
-int64_t MemNeed(const Graph& g, OpId id);
 
 // The critical path realized by a concrete schedule: backtrack from the op
 // with the largest finish time through the binding predecessor constraint.

@@ -66,8 +66,8 @@ OsDposResult OsDpos(const Graph& g, const Cluster& cluster,
     // full graph copy + rewrite + Dpos, which is exactly the coarse-grained
     // work that amortizes thread hand-off.
     struct Trial {
-      SplitDim dim;
-      int n;
+      SplitDim dim = SplitDim::kNone;
+      int n = 0;
       bool viable = false;
       Graph graph;
       DposResult sched;
@@ -76,7 +76,10 @@ OsDposResult OsDpos(const Graph& g, const Cluster& cluster,
     for (SplitDim dim : ParallelizableDims(result.graph.op(op).type)) {
       for (int n : counts) {
         if (!CanSplit(result.graph, op, dim, n)) continue;
-        trials.push_back(Trial{dim, n});
+        Trial t;
+        t.dim = dim;
+        t.n = n;
+        trials.push_back(std::move(t));
       }
     }
     ParallelFor(trials.size(), [&](size_t i) {

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <vector>
 
+#include "analysis/verifier.h"
 #include "core/model_parallel.h"
 #include "obs/metrics.h"
 #include "sim/profiler.h"
@@ -279,6 +280,55 @@ CalculatorResult RunFastT(const ModelBuildFn& build,
     }
     result.algorithm_time_s += SecondsSince(algo_start);
 
+    // Gatekeeper: verify the candidate before spending a restart on it. A
+    // structurally invalid strategy (cyclic rewrite, unplaced op, order that
+    // contradicts the deps, ...) would crash or deadlock a real session; the
+    // verifier turns that into a named, zero-cost rejection.
+    RoundSummary summary;
+    summary.round = result.rounds;
+    if (options.verify_rounds) {
+      VerifierOptions verify_options;
+      verify_options.cheap_only = !options.verify_full;
+      verify_options.memory_headroom = os.dpos.memory_headroom;
+      const VerifyResult verdict =
+          VerifyStrategy(candidate.graph, candidate.schedule.strategy, cluster,
+                         &result.comm, verify_options);
+      summary.verify_errors = verdict.errors;
+      summary.verify_warnings = verdict.warnings;
+      MetricsRegistry::Global().AddCounter("verifier/round_checks");
+      result.events.Emit("verify")
+          .Int("round", summary.round)
+          .Bool("ok", verdict.ok())
+          .Int("errors", verdict.errors)
+          .Int("warnings", verdict.warnings)
+          .Int("rules_checked", verdict.rules_checked)
+          .Str("first_error_rule", verdict.first_error_rule());
+      if (!verdict.ok()) {
+        summary.verify_reject_rule = verdict.first_error_rule();
+        summary.best_before_s = current_measured;
+        summary.splits = static_cast<int>(candidate.splits.size());
+        summary.algorithm_s = result.algorithm_time_s - round_algo_before;
+        ++result.rollbacks;
+        MetricsRegistry::Global().AddCounter("verifier/round_rejects");
+        result.events.Emit("verify_reject")
+            .Int("round", summary.round)
+            .Str("rule", summary.verify_reject_rule)
+            .Str("message", verdict.diagnostics.empty()
+                                ? ""
+                                : verdict.diagnostics.front().message);
+        result.round_history.push_back(summary);
+        // The incumbent keeps training; the cost models saw no new profile,
+        // so fold the round into the stability window and move on.
+        stability.Observe(result.comp, cluster.num_devices(),
+                          CostKeys(current_graph));
+        if (stability.IsStable()) {
+          result.events.Emit("stable").Int("round", result.rounds);
+          break;
+        }
+        continue;
+      }
+    }
+
     const std::vector<int64_t> priorities =
         options.enable_order_enforcement
             ? PrioritiesFromOrder(candidate.schedule.strategy.execution_order,
@@ -312,8 +362,6 @@ CalculatorResult RunFastT(const ModelBuildFn& build,
           candidate.schedule.finish_time[static_cast<size_t>(id)] -
           candidate.schedule.start_time[static_cast<size_t>(id)];
 
-    RoundSummary summary;
-    summary.round = result.rounds;
     summary.predicted_s = candidate.schedule.ft_exit;
     summary.measured_s = measured;
     summary.best_before_s = current_measured;

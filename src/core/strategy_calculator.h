@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "core/data_parallel.h"
 #include "core/os_dpos.h"
@@ -45,6 +46,15 @@ struct CalculatorOptions {
   // the committed strategy — what `fastt explain` renders. Forwarded to
   // DposOptions::record_provenance for every search the workflow runs.
   bool record_provenance = false;
+  // Verify every round's candidate strategy (analysis/verifier.h) before
+  // spending an activation on it. The cheap O(V+E) structural rules always
+  // run; a candidate with an error-severity finding is rejected outright —
+  // a rollback named by its rule id, with no restart or profiling spent.
+  bool verify_rounds = true;
+  // Also run the [full] rules (per-device peak memory under the declared
+  // order, comm-model coverage) each round. Off by default: the memory walk
+  // is O(V + E) too but touches every edge twice more per round.
+  bool verify_full = false;
 };
 
 // One pre-training round of the workflow: what the scheduler predicted, what
@@ -72,6 +82,12 @@ struct RoundSummary {
   double comm_err_p90 = 0.0;
   double stability_max_change = 0.0;  // StabilityDetector window statistics
   double stability_margin = 0.0;      // tolerance - max_change
+  // Verifier verdict on the candidate (CalculatorOptions::verify_rounds).
+  // A non-empty reject rule means the candidate never ran: measured_s,
+  // rel_error and the calibration digest stay 0 for that round.
+  int verify_errors = 0;
+  int verify_warnings = 0;
+  std::string verify_reject_rule;  // first error rule id, "" when clean
 };
 
 struct CalculatorResult {

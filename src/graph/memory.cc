@@ -1,0 +1,21 @@
+#include "graph/memory.h"
+
+namespace fastt {
+
+int64_t MemNeed(const Graph& g, OpId id) {
+  const Operation& op = g.op(id);
+  int64_t need = op.resident_bytes();
+  if (!op.is_backward) {
+    // A forward activation consumed by the backward pass stays alive until
+    // then; that retained set (plus parameters) dominates training peaks.
+    for (OpId s : g.Succs(id)) {
+      if (g.op(s).is_backward) {
+        need += op.output_bytes();
+        break;
+      }
+    }
+  }
+  return need;
+}
+
+}  // namespace fastt

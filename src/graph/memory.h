@@ -1,0 +1,20 @@
+// Placement memory accounting shared by the scheduler (DPOS device
+// feasibility), the greedy model-parallel bootstrap and the strategy
+// verifier. Lives in fastt_graph — it reads nothing but the graph — so the
+// analysis layer can price memory without depending on fastt_core.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace fastt {
+
+// Per-op device-memory demand used for placement feasibility: resident
+// parameters/optimizer slots, plus the op's output activation when that
+// activation is retained until the backward pass (i.e. some gradient op
+// consumes it). Retained activations dominate training peak memory; tensors
+// consumed only within the forward pass die quickly and are not charged.
+int64_t MemNeed(const Graph& g, OpId id);
+
+}  // namespace fastt

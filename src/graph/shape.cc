@@ -68,7 +68,12 @@ std::string TensorShape::ToString() const {
   std::vector<std::string> parts;
   parts.reserve(dims_.size());
   for (int64_t d : dims_) parts.push_back(StrFormat("%lld", (long long)d));
-  return "[" + Join(parts, ",") + "]";
+  // Built via append rather than operator+ chains: GCC 12's -Wrestrict
+  // false-fires on `"[" + std::string&& + "]"` at -O3 (PR105329).
+  std::string out = "[";
+  out += Join(parts, ",");
+  out += "]";
+  return out;
 }
 
 }  // namespace fastt

@@ -17,22 +17,22 @@ EventLog::Builder::~Builder() {
 }
 
 void EventLog::Append(std::string line) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   lines_.push_back(std::move(line));
 }
 
 size_t EventLog::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return lines_.size();
 }
 
 std::string EventLog::line(size_t i) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return lines_[i];
 }
 
 void EventLog::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   lines_.clear();
   next_seq_.store(0);
 }
@@ -62,7 +62,7 @@ EventLog::Builder& EventLog::Builder::Bool(const std::string& key,
 }
 
 std::string EventLog::ToJsonl() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   for (const std::string& line : lines_) {
     out += line;

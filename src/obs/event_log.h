@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "obs/json.h"
+#include "util/sync.h"
 
 namespace fastt {
 
@@ -52,7 +53,11 @@ class EventLog {
   // Movable so results that carry their log by value stay movable. Moving
   // is not thread-safe: don't move a log that other threads still emit to.
   EventLog(EventLog&& other) noexcept { *this = std::move(other); }
-  EventLog& operator=(EventLog&& other) noexcept {
+  // std::scoped_lock acquires both mutexes inside a system header, which the
+  // thread-safety analysis cannot see — and moving is documented as not
+  // thread-safe anyway, so the analysis is waived here.
+  EventLog& operator=(EventLog&& other) noexcept
+      FASTT_NO_THREAD_SAFETY_ANALYSIS {
     if (this != &other) {
       std::scoped_lock lock(mu_, other.mu_);
       lines_ = std::move(other.lines_);
@@ -83,9 +88,9 @@ class EventLog {
   friend class Builder;
   void Append(std::string line);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::atomic<int64_t> next_seq_{0};
-  std::vector<std::string> lines_;
+  std::vector<std::string> lines_ FASTT_GUARDED_BY(mu_);
 };
 
 }  // namespace fastt

@@ -15,55 +15,55 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 void MetricsRegistry::AddCounter(const std::string& name, int64_t delta) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   counters_[name] += delta;
 }
 
 int64_t MetricsRegistry::counter(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
 void MetricsRegistry::SetGauge(const std::string& name, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   gauges_[name] = value;
 }
 
 double MetricsRegistry::gauge(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = gauges_.find(name);
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
 void MetricsRegistry::RecordTimer(const std::string& name, double seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Timer& t = timers_[name];
   ++t.count;
   t.total_s += seconds;
 }
 
 double MetricsRegistry::timer_total_s(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = timers_.find(name);
   return it == timers_.end() ? 0.0 : it->second.total_s;
 }
 
 int64_t MetricsRegistry::timer_count(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = timers_.find(name);
   return it == timers_.end() ? 0 : it->second.count;
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   counters_.clear();
   gauges_.clear();
   timers_.clear();
 }
 
 std::string MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   JsonWriter w;
   w.BeginObject();
   w.Key("counters").BeginObject();

@@ -18,8 +18,9 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
+
+#include "util/sync.h"
 
 namespace fastt {
 
@@ -60,11 +61,11 @@ class MetricsRegistry {
     int64_t count = 0;
     double total_s = 0.0;
   };
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // std::map: deterministic export order and node stability under insert.
-  std::map<std::string, int64_t> counters_;
-  std::map<std::string, double> gauges_;
-  std::map<std::string, Timer> timers_;
+  std::map<std::string, int64_t> counters_ FASTT_GUARDED_BY(mu_);
+  std::map<std::string, double> gauges_ FASTT_GUARDED_BY(mu_);
+  std::map<std::string, Timer> timers_ FASTT_GUARDED_BY(mu_);
 };
 
 // RAII timer: accumulates the scope's wall time under `name` on destruction.

@@ -20,8 +20,8 @@ Tracer& Tracer::Global() {
 }
 
 void Tracer::Enable() {
-  std::lock_guard<std::mutex> lock(mu_);
-  epoch_ns_ = SteadyNowNs();
+  MutexLock lock(mu_);
+  epoch_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
   for (auto& buf : buffers_) buf->head.store(0, std::memory_order_relaxed);
   enabled_.store(true, std::memory_order_release);
 }
@@ -29,7 +29,7 @@ void Tracer::Enable() {
 void Tracer::Disable() { enabled_.store(false, std::memory_order_release); }
 
 void Tracer::SetRingCapacity(size_t events) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   capacity_ = std::max<size_t>(events, 8);
   for (auto& buf : buffers_) {
     buf->ring.assign(capacity_, Event{});
@@ -44,7 +44,7 @@ Tracer::ThreadBuffer* Tracer::CurrentBuffer() {
   thread_local ThreadBuffer* cached = nullptr;
   thread_local Tracer* cached_owner = nullptr;
   if (cached != nullptr && cached_owner == this) return cached;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   buffers_.push_back(std::make_unique<ThreadBuffer>(capacity_));
   buffers_.back()->tid = static_cast<int>(buffers_.size());
   cached = buffers_.back().get();
@@ -53,7 +53,9 @@ Tracer::ThreadBuffer* Tracer::CurrentBuffer() {
 }
 
 double Tracer::NowSinceEpoch() const {
-  return static_cast<double>(SteadyNowNs() - epoch_ns_) * 1e-9;
+  return static_cast<double>(SteadyNowNs() -
+                             epoch_ns_.load(std::memory_order_relaxed)) *
+         1e-9;
 }
 
 void Tracer::Emit(Kind kind, const char* name, double value) {
@@ -70,12 +72,12 @@ void Tracer::Emit(Kind kind, const char* name, double value) {
 
 void Tracer::SetCurrentThreadName(const std::string& name) {
   ThreadBuffer* buf = CurrentBuffer();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   buf->name = name;
 }
 
 TraceDump Tracer::Drain() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   TraceDump dump;
   dump.drained_at_s = NowSinceEpoch();
   for (auto& buf : buffers_) {

@@ -32,9 +32,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace fastt {
 
@@ -129,10 +130,16 @@ class Tracer {
   double NowSinceEpoch() const;
 
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;  // guards buffers_, capacity_, epoch_
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
-  size_t capacity_ = 1 << 16;
-  int64_t epoch_ns_ = 0;  // steady_clock nanoseconds at Enable()
+  mutable Mutex mu_;
+  // The registry of per-thread buffers is guarded; each buffer's ring is
+  // single-writer/lock-free (see the header comment) once registered.
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ FASTT_GUARDED_BY(mu_);
+  size_t capacity_ FASTT_GUARDED_BY(mu_) = 1 << 16;
+  // steady_clock nanoseconds at Enable(). Atomic, not guarded: the hot-path
+  // Emit() reads it without the registry lock; Enable()'s release-store on
+  // enabled_ publishes the new epoch before any emitter can observe
+  // enabled() == true.
+  std::atomic<int64_t> epoch_ns_{0};
 };
 
 // RAII span. Captures the enabled flag at entry so a span opened while

@@ -1,0 +1,117 @@
+// Annotated synchronization primitives: std::mutex/std::condition_variable
+// wrappers carrying Clang thread-safety capability attributes, so the lock
+// discipline of the concurrent pieces (thread pool, metrics registry, event
+// log, tracer registry) is checked at COMPILE time by -Wthread-safety instead
+// of waiting for TSan to catch a lucky interleaving at runtime.
+//
+// Under GCC (the local toolchain) every annotation expands to nothing and the
+// wrappers are zero-cost aliases of the std types; the CI `static-analysis`
+// job builds with Clang and -Werror=thread-safety, where
+//
+//   Mutex mu;
+//   int value FASTT_GUARDED_BY(mu);
+//
+// makes any unlocked access to `value`, any double-lock, and any forgotten
+// unlock a hard build error. Annotate new shared state the same way; helper
+// functions that expect the caller to hold a lock take FASTT_REQUIRES(mu).
+//
+// Header-only and dependency-free on purpose: fastt_tracer (which must not
+// depend on fastt_util) can include it too.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+// ---- Attribute macros (Clang thread-safety analysis) -----------------------
+#if defined(__clang__) && (!defined(SWIG))
+#define FASTT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define FASTT_THREAD_ANNOTATION(x)  // no-op under GCC/MSVC
+#endif
+
+// A type that acts as a lock ("capability" in clang's terminology).
+#define FASTT_CAPABILITY(x) FASTT_THREAD_ANNOTATION(capability(x))
+// RAII type whose lifetime equals a critical section.
+#define FASTT_SCOPED_CAPABILITY FASTT_THREAD_ANNOTATION(scoped_lockable)
+// Data member readable/writable only while `x` is held.
+#define FASTT_GUARDED_BY(x) FASTT_THREAD_ANNOTATION(guarded_by(x))
+// Pointer member whose pointee is guarded by `x`.
+#define FASTT_PT_GUARDED_BY(x) FASTT_THREAD_ANNOTATION(pt_guarded_by(x))
+// Function acquires/releases the capability (lock/unlock implementations).
+#define FASTT_ACQUIRE(...) \
+  FASTT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define FASTT_RELEASE(...) \
+  FASTT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define FASTT_TRY_ACQUIRE(...) \
+  FASTT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+// Caller must already hold the capability.
+#define FASTT_REQUIRES(...) \
+  FASTT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+// Caller must NOT hold it (deadlock prevention on re-entrant paths).
+#define FASTT_EXCLUDES(...) FASTT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+// Returns a reference to the guarding capability.
+#define FASTT_RETURN_CAPABILITY(x) FASTT_THREAD_ANNOTATION(lock_returned(x))
+// Escape hatch for code the analysis cannot model (e.g. std::scoped_lock over
+// two mutexes in a move-assignment); use sparingly and say why.
+#define FASTT_NO_THREAD_SAFETY_ANALYSIS \
+  FASTT_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace fastt {
+
+// Annotated std::mutex. Lowercase lock/unlock/try_lock keep it a drop-in
+// BasicLockable, so std::lock_guard<Mutex> etc. still compile — though
+// MutexLock below is what annotated code should use (lock_guard in a system
+// header hides the acquire from the analysis).
+class FASTT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FASTT_ACQUIRE() { mu_.lock(); }
+  void unlock() FASTT_RELEASE() { mu_.unlock(); }
+  bool try_lock() FASTT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII critical section over a Mutex (annotated std::lock_guard).
+class FASTT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) FASTT_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() FASTT_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable bound to Mutex. Wait() requires the lock to be held and
+// holds it again when the predicate turns true — expressed to the analysis by
+// FASTT_REQUIRES, so waiting without the lock is a compile error. Internally
+// the held native mutex is adopted into a unique_lock and released again, so
+// ownership never actually changes hands from the caller's point of view.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  template <typename Predicate>
+  void Wait(Mutex& mu, Predicate pred) FASTT_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native, std::move(pred));
+    native.release();  // the caller's MutexLock still owns the mutex
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace fastt

@@ -29,10 +29,10 @@ ThreadPool::ThreadPool(int num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -43,8 +43,10 @@ void ThreadPool::WorkerLoop(int worker_index) {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(mu_);
+      cv_.Wait(mu_, [this]() FASTT_REQUIRES(mu_) {
+        return stop_ || !tasks_.empty();
+      });
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -94,8 +96,8 @@ void ThreadPool::Run(size_t n, const std::function<void(size_t)>& fn) {
     const std::function<void(size_t)>* fn = nullptr;
     std::atomic<size_t> next_chunk{0};
     std::atomic<size_t> done{0};
-    std::mutex mu;
-    std::condition_variable cv;
+    Mutex mu;
+    CondVar cv;
   };
   // Shared ownership: a worker that loses the claim race may still touch the
   // batch counters after Run has returned.
@@ -111,30 +113,32 @@ void ThreadPool::Run(size_t n, const std::function<void(size_t)>& fn) {
       const size_t end = (c + 1) * b->n / b->chunks;
       for (size_t i = begin; i < end; ++i) (*b->fn)(i);
       if (b->done.fetch_add(1) + 1 == b->chunks) {
-        std::lock_guard<std::mutex> lock(b->mu);
-        b->cv.notify_all();
+        MutexLock lock(b->mu);
+        b->cv.NotifyAll();
       }
     }
   };
   {
     const int64_t enqueue_ns = NowNs();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (size_t t = 0; t < std::min(threads, batch->chunks); ++t)
       tasks_.push({[batch, run_chunks] { run_chunks(batch); }, enqueue_ns});
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   run_chunks(batch);  // the calling thread helps
-  std::unique_lock<std::mutex> lock(batch->mu);
-  batch->cv.wait(lock, [&] { return batch->done.load() == batch->chunks; });
+  MutexLock lock(batch->mu);
+  batch->cv.Wait(batch->mu,
+                 [&] { return batch->done.load() == batch->chunks; });
 }
 
 namespace {
 
 struct SearchPoolState {
-  std::mutex mu;
-  int jobs = 0;  // 0 = uninitialized
-  std::unique_ptr<ThreadPool> pool;
-  PoolStats retired;  // counters from pools replaced by SetSearchJobs
+  Mutex mu;
+  int jobs FASTT_GUARDED_BY(mu) = 0;  // 0 = uninitialized
+  std::unique_ptr<ThreadPool> pool FASTT_GUARDED_BY(mu);
+  // Counters from pools replaced by SetSearchJobs.
+  PoolStats retired FASTT_GUARDED_BY(mu);
 };
 
 SearchPoolState& PoolState() {
@@ -165,7 +169,7 @@ void MergeStats(const PoolStats& from, PoolStats* into) {
 void SetSearchJobs(int jobs) {
   if (jobs < 1) jobs = 1;
   SearchPoolState& state = PoolState();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   if (state.jobs == jobs) return;
   state.jobs = jobs;
   if (state.pool) MergeStats(state.pool->Stats(), &state.retired);
@@ -175,7 +179,7 @@ void SetSearchJobs(int jobs) {
 
 int SearchJobs() {
   SearchPoolState& state = PoolState();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   if (state.jobs == 0) {
     state.jobs = InitialJobs();
     if (state.jobs > 1)
@@ -186,7 +190,7 @@ int SearchJobs() {
 
 PoolStats SearchPoolStats() {
   SearchPoolState& state = PoolState();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   PoolStats stats = state.retired;
   if (state.pool) MergeStats(state.pool->Stats(), &stats);
   stats.jobs = state.jobs == 0 ? 1 : state.jobs;
@@ -199,7 +203,7 @@ void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
   ThreadPool* pool = nullptr;
   if (n >= min_parallel && !ThreadPool::InWorker()) {
     SearchPoolState& state = PoolState();
-    std::lock_guard<std::mutex> lock(state.mu);
+    MutexLock lock(state.mu);
     if (state.jobs == 0) {
       state.jobs = InitialJobs();
       if (state.jobs > 1)

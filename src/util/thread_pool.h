@@ -14,14 +14,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace fastt {
 
@@ -68,10 +68,10 @@ class ThreadPool {
   void WorkerLoop(int worker_index);
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::queue<Task> tasks_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::queue<Task> tasks_ FASTT_GUARDED_BY(mu_);
+  bool stop_ FASTT_GUARDED_BY(mu_) = false;
 
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> tasks_run_{0};

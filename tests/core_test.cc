@@ -6,6 +6,7 @@
 #include "core/rank.h"
 #include "core/timeline.h"
 #include "util/rng.h"
+#include "util/strings.h"
 
 namespace fastt {
 namespace {
@@ -199,8 +200,7 @@ TEST(Dpos, IndependentBranchesUseBothDevices) {
   for (int b = 0; b < 2; ++b) {
     OpId prev = kInvalidOp;
     for (int i = 0; i < 4; ++i) {
-      const std::string name = "b" + std::to_string(b) + "_" +
-                               std::to_string(i);
+      const std::string name = StrFormat("b%d_%d", b, i);
       const OpId id = g.AddOp(NamedOp(name));
       comp.AddSample(name, 0, 0.001);
       comp.AddSample(name, 1, 0.001);

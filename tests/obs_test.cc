@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/verifier.h"
 #include "core/strategy_calculator.h"
 #include "models/model_zoo.h"
 #include "obs/event_log.h"
@@ -475,6 +476,48 @@ TEST(Workflow, RoundHistoryAndEventsRecorded) {
   EXPECT_TRUE(JsonlValidate(ft.events.ToJsonl()));
   EXPECT_NE(ft.events.ToJsonl().find("\"event\":\"final\""),
             std::string::npos);
+}
+
+TEST(Workflow, VerifierNarratesEveryRound) {
+  const ModelSpec& spec = FindModel("lenet");
+  CalculatorOptions options;
+  options.max_rounds = 2;
+  options.verify_full = true;  // exercise the full rule set in-workflow
+  const auto ft = RunFastT(spec.build, spec.name, 64, Scaling::kStrong,
+                           Cluster::SingleServer(2), options);
+  // One "verify" event per pre-training round, all clean on real searches.
+  const std::string jsonl = ft.events.ToJsonl();
+  EXPECT_TRUE(JsonlValidate(jsonl));
+  size_t verify_events = 0;
+  for (size_t pos = 0;
+       (pos = jsonl.find("\"event\":\"verify\"", pos)) != std::string::npos;
+       ++pos)
+    ++verify_events;
+  EXPECT_EQ(verify_events, static_cast<size_t>(ft.rounds));
+  EXPECT_EQ(jsonl.find("\"event\":\"verify_reject\""), std::string::npos);
+  for (const RoundSummary& r : ft.round_history) {
+    EXPECT_EQ(r.verify_errors, 0);
+    EXPECT_TRUE(r.verify_reject_rule.empty());
+  }
+}
+
+TEST(Json, VerifierDiagnosticsDocumentValidates) {
+  Graph g("tiny");
+  Operation op;
+  op.name = "a";
+  g.AddOp(op);
+  Strategy strategy;  // empty placement/order: several rules fire
+  const VerifyResult result =
+      VerifyStrategy(g, strategy, Cluster::SingleServer(1));
+  ASSERT_FALSE(result.ok());
+  const std::string json = DiagnosticsToJson(g, result);
+  std::string error;
+  EXPECT_TRUE(JsonValidate(json, &error)) << error;
+  JsonValue doc;
+  ASSERT_TRUE(JsonParse(json, &doc, &error)) << error;
+  EXPECT_EQ(doc.Find("errors")->IntOr(-1), result.errors);
+  EXPECT_EQ(doc.Find("diagnostics")->items.size(),
+            result.diagnostics.size());
 }
 
 // ---- TablePrinter alignment ----------------------------------------------

@@ -32,6 +32,12 @@
 //   fastt bench-diff <old.json> <new.json> [--threshold T] [--min-repeats R]
 //       Compare two fastt-bench/1 reports (FASTT_BENCH_JSON output).
 //       Exits nonzero on a hard regression — the CI gate.
+//   fastt verify <model> [--strategy f] [--gpus N] [--batch B] [--json F]
+//       Run the full strategy verifier (analysis/verifier.h rule catalog)
+//       over a strategy for <model>: with --strategy, a serialized strategy
+//       file whose split list is re-applied to the base graph; without, the
+//       strategy a pre-training round would compute (bootstrap profile +
+//       OS-DPOS). Exits nonzero when any error-severity rule fires.
 //
 // Every command also accepts `--jobs N` (or FASTT_JOBS=N) to parallelize the
 // strategy search across N threads — the computed strategy is bit-identical
@@ -47,12 +53,15 @@
 #include <fstream>
 #include <string>
 
+#include "analysis/verifier.h"
 #include "baselines/allreduce_dp.h"
 #include "core/data_parallel.h"
 #include "core/model_parallel.h"
 #include "core/os_dpos.h"
 #include "core/pipeline.h"
 #include "core/strategy_calculator.h"
+#include "core/strategy_io.h"
+#include "graph/rewrite.h"
 #include "graph/serialize.h"
 #include "models/model_zoo.h"
 #include "obs/bench_history.h"
@@ -78,6 +87,7 @@ struct Args {
   std::string model;
   std::string path;
   std::string op;            // --op: op-name filter for `fastt explain`
+  std::string strategy_path;  // --strategy: serialized strategy for `verify`
   std::string metrics_path;  // --metrics: dump the metrics registry here
   std::string json_path;     // --json: machine-readable analysis output
   std::string trace_search_path;  // --trace-search: search Chrome trace
@@ -108,6 +118,8 @@ Args Parse(int argc, char** argv) {
       args.jobs = std::atoi(next());
     } else if (a == "--op") {
       args.op = next();
+    } else if (a == "--strategy") {
+      args.strategy_path = next();
     } else if (a == "--metrics") {
       args.metrics_path = next();
     } else if (a == "--json") {
@@ -473,6 +485,80 @@ int CmdCalibrate(const Args& args) {
   return 0;
 }
 
+int CmdVerify(const Args& args) {
+  const ModelSpec& spec = FindModel(args.model);
+  const int64_t batch = args.batch > 0 ? args.batch : spec.strong_batch;
+  const Cluster cluster = MakeCluster(args);
+
+  // The base graph every strategy for this model refers to: the
+  // data-parallel replication (what StrategyCalculator hands OS-DPOS).
+  DataParallelGraph dp = BuildDataParallel(spec.build, spec.name, batch,
+                                           cluster.num_devices(),
+                                           args.scaling);
+  const std::vector<DeviceId> dp_placement =
+      CanonicalDataParallelPlacement(dp);
+  Graph graph = std::move(dp.graph);
+
+  CompCostModel comp;
+  CommCostModel comm;
+  Strategy strategy;
+  if (!args.strategy_path.empty()) {
+    std::ifstream in(args.strategy_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", args.strategy_path.c_str());
+      return 2;
+    }
+    strategy = DeserializeStrategy(in);
+    // Re-apply the recorded split list so slot ids in the strategy line up
+    // with the rewritten graph. Unknown or unsplittable names are left for
+    // the verifier to report (strategy.split.op) instead of aborting here.
+    for (const SplitDecision& s : strategy.splits) {
+      const OpId id = graph.FindOp(s.op_name);
+      if (id == kInvalidOp || !CanSplit(graph, id, s.dim, s.num_splits))
+        continue;
+      SplitOperation(graph, id, s.dim, s.num_splits);
+    }
+    std::printf("verify: %s, batch %lld, %s, strategy %s (%zu splits)\n",
+                spec.name.c_str(), (long long)batch,
+                cluster.ToString().c_str(), args.strategy_path.c_str(),
+                strategy.splits.size());
+  } else {
+    // No file: verify the strategy a pre-training round would compute —
+    // bootstrap-profile the DP placement once, then search with OS-DPOS.
+    SimOptions so;
+    so.noise_cv = 0.03;
+    so.seed = 11;
+    const RunProfile profile =
+        ExtractProfile(graph, Simulate(graph, dp_placement, cluster, so));
+    comp.AddProfile(profile);
+    comm.AddProfile(profile);
+    OsDposResult os = OsDpos(graph, cluster, comp, comm);
+    graph = std::move(os.graph);
+    strategy = std::move(os.schedule.strategy);
+    strategy.splits = std::move(os.splits);
+    std::printf("verify: %s, batch %lld, %s, OS-DPOS strategy (%zu splits, "
+                "%d probes)\n",
+                spec.name.c_str(), (long long)batch,
+                cluster.ToString().c_str(), strategy.splits.size(),
+                os.probes);
+  }
+
+  const VerifyResult result =
+      VerifyStrategy(graph, strategy, cluster, &comm, VerifierOptions{});
+  std::fputs(RenderDiagnostics(graph, result).c_str(), stdout);
+  if (!args.json_path.empty()) {
+    std::ofstream out(args.json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", args.json_path.c_str());
+      return 2;
+    }
+    out << DiagnosticsToJson(graph, result) << "\n";
+    std::printf("wrote diagnostics JSON to %s\n", args.json_path.c_str());
+  }
+  MaybeWriteMetrics(args, nullptr);
+  return result.ok() ? 0 : 1;
+}
+
 int CmdBenchDiff(const Args& args) {
   BenchHistoryDoc old_doc;
   BenchHistoryDoc new_doc;
@@ -518,6 +604,9 @@ constexpr CommandSpec kCommands[] = {
     {"bench-diff",
      "fastt bench-diff <old.json> <new.json> [--threshold T] [--hard-factor "
      "F] [--min-repeats R]"},
+    {"verify",
+     "fastt verify <model> [--strategy f] [--gpus N] [--servers S] "
+     "[--batch B] [--json F]"},
 };
 
 int Usage() {
@@ -580,6 +669,8 @@ int Dispatch(const Args& args) {
   if (args.command == "search-profile")
     return args.model.empty() ? CommandUsage(args.command)
                               : CmdSearchProfile(args);
+  if (args.command == "verify")
+    return args.model.empty() ? CommandUsage(args.command) : CmdVerify(args);
   if (args.command == "bench-diff") {
     if (args.model.empty() || args.path.empty())
       return CommandUsage(args.command);
