@@ -25,6 +25,7 @@
 #include "sim/exec_sim.h"
 #include "sim/incremental_sim.h"
 #include "sim/profiler.h"
+#include "util/memtrack.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -84,6 +85,33 @@ SearchTiming TimeSearch(const SearchInput& in, int jobs, int repeat) {
   }
   SetSearchJobs(1);
   return t;
+}
+
+struct SearchAllocStats {
+  std::vector<double> allocs;      // heap allocations per search run
+  std::vector<double> peak_bytes;  // high-water tagged live bytes per run
+};
+
+// Allocation telemetry for the search, measured on separate untracked-time
+// repeats so the timed samples above never pay the tracker. The counts are
+// deterministic for a fixed input, so these samples double as a regression
+// tripwire in bench-diff (an accidental copy shows up as an alloc-count
+// jump long before it shows up in noisy wall-clock).
+SearchAllocStats MeasureSearchAllocs(const SearchInput& in, int jobs,
+                                     int repeat) {
+  SetSearchJobs(jobs);
+  MemTracker& mem = MemTracker::Global();
+  SearchAllocStats s;
+  for (int r = 0; r < repeat; ++r) {
+    mem.Enable();  // Enable() zeroes, so each run measures from scratch
+    const OsDposResult os = OsDpos(in.graph, in.cluster, in.comp, in.comm);
+    mem.Disable();
+    (void)os;
+    s.allocs.push_back(static_cast<double>(mem.total_allocs()));
+    s.peak_bytes.push_back(static_cast<double>(mem.total_peak_bytes()));
+  }
+  SetSearchJobs(1);
+  return s;
 }
 
 struct ResimTiming {
@@ -250,6 +278,8 @@ int Run(int argc, char** argv) {
   const double search_speedup =
       parallel.best_s > 0.0 ? serial.best_s / parallel.best_s : 0.0;
 
+  const SearchAllocStats allocs = MeasureSearchAllocs(in, jobs_eff, repeat);
+
   const ResimTiming resim = TimeResim(in, edits, EditMode::kRandom, repeat);
   const double resim_speedup =
       resim.incremental_s > 0.0 ? resim.full_s / resim.incremental_s : 0.0;
@@ -281,6 +311,11 @@ int Run(int argc, char** argv) {
   std::printf("%s", table.Render().c_str());
   std::printf("strategies byte-identical across jobs: %s\n",
               identical ? "yes" : "NO");
+  if (!allocs.allocs.empty()) {
+    std::printf("search heap: %.0f tagged allocs, %s peak per run\n",
+                allocs.allocs.front(),
+                HumanBytes(allocs.peak_bytes.front()).c_str());
+  }
 
   if (const char* path = std::getenv("FASTT_BENCH_JSON");
       path != nullptr && *path != '\0') {
@@ -313,9 +348,20 @@ int Run(int argc, char** argv) {
       series.samples = samples;
       return series;
     };
+    auto counted = [](const std::string& name, const std::string& unit,
+                      const std::vector<double>& samples) {
+      BenchMetricSeries series;
+      series.name = name;
+      series.unit = unit;
+      series.lower_is_better = true;
+      series.samples = samples;
+      return series;
+    };
     report.metrics = {
         seconds("osdpos_serial_s", serial.samples),
         seconds("osdpos_parallel_s", parallel.samples),
+        counted("osdpos_allocs", "count", allocs.allocs),
+        counted("osdpos_peak_bytes", "bytes", allocs.peak_bytes),
         seconds("resim_full_s", resim.full_samples),
         seconds("resim_incremental_s", resim.incremental_samples),
         seconds("resim_tail_full_s", tail.full_samples),

@@ -14,6 +14,7 @@
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "util/check.h"
+#include "util/memtrack.h"
 #include "util/thread_pool.h"
 
 namespace fastt {
@@ -38,6 +39,10 @@ DposResult Dpos(const Graph& g, const Cluster& cluster,
                 const DposOptions& options) {
   FASTT_SCOPED_TIMER("dpos/total");
   FASTT_TRACE_SPAN("dpos/total");
+  FASTT_SCOPED_LATENCY_HISTOGRAM("dpos/latency_s");
+  // Everything Dpos allocates below — scratch vectors, the ready queue, the
+  // timelines — inherits the dpos tag through the ambient scope.
+  MemTagScope mem_scope(MemTag::kDpos);
   MetricsRegistry::Global().AddCounter("dpos/invocations");
   const int32_t n_dev = cluster.num_devices();
   FASTT_CHECK(n_dev >= 1);
@@ -50,7 +55,7 @@ DposResult Dpos(const Graph& g, const Cluster& cluster,
   const CommCostTable comm_t(comm, n_dev);
   // Memoized per-slot placement memory demand (MemNeed walks successor
   // lists; the device-selection loops ask for it O(devices · CP) times).
-  std::vector<int64_t> mem_need(slots, 0);
+  TaggedVector<int64_t> mem_need(slots, 0);
   for (OpId id : g.LiveOps())
     mem_need[static_cast<size_t>(id)] = MemNeed(g, id);
 
@@ -74,12 +79,13 @@ DposResult Dpos(const Graph& g, const Cluster& cluster,
     result.rank = ComputeRankU(g, comp_t, comm_t);
     result.critical_path = CriticalPathByRank(g, result.rank);
   }
+  EmitMemTraceCounters();
   result.start_time.assign(slots, 0.0);
   result.finish_time.assign(slots, 0.0);
   result.strategy.placement.assign(slots, kInvalidDevice);
 
-  std::vector<int64_t> planned_mem(static_cast<size_t>(n_dev), 0);
-  std::vector<int64_t> mem_budget(static_cast<size_t>(n_dev), 0);
+  TaggedVector<int64_t> planned_mem(static_cast<size_t>(n_dev), 0);
+  TaggedVector<int64_t> mem_budget(static_cast<size_t>(n_dev), 0);
   for (DeviceId d = 0; d < n_dev; ++d)
     mem_budget[static_cast<size_t>(d)] = static_cast<int64_t>(
         options.memory_headroom *
@@ -162,7 +168,7 @@ DposResult Dpos(const Graph& g, const Cluster& cluster,
         ++unplaced_preds[static_cast<size_t>(id)];
     }
   }
-  std::priority_queue<ReadyOp> queue;
+  std::priority_queue<ReadyOp, TaggedVector<ReadyOp>> queue;
   for (OpId id : g.LiveOps())
     if (unplaced_preds[static_cast<size_t>(id)] == 0)
       queue.push(ReadyOp{result.rank[static_cast<size_t>(id)], id});
@@ -271,7 +277,7 @@ DposResult Dpos(const Graph& g, const Cluster& cluster,
   };
 
   const char* trace = std::getenv("FASTT_DPOS_TRACE");
-  std::vector<double> scores(static_cast<size_t>(n_dev), kInf);
+  TaggedVector<double> scores(static_cast<size_t>(n_dev), kInf);
 
   // Full candidate table for one op, as the scheduler would have seen it at
   // decision time. Evaluation-only (ready_time / EarliestSlot / device_score
@@ -417,6 +423,7 @@ DposResult Dpos(const Graph& g, const Cluster& cluster,
     result.ft_exit =
         std::max(result.ft_exit, result.finish_time[static_cast<size_t>(id)]);
   result.strategy.predicted_makespan = result.ft_exit;
+  EmitMemTraceCounters();
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include "graph/rewrite.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
+#include "util/memtrack.h"
 #include "util/thread_pool.h"
 
 namespace fastt {
@@ -84,6 +85,8 @@ OsDposResult OsDpos(const Graph& g, const Cluster& cluster,
     }
     ParallelFor(trials.size(), [&](size_t i) {
       FASTT_TRACE_SPAN("osdpos/trial");
+      ScopedLatencyHistogram latency(MetricsRegistry::Global(),
+                                     "osdpos/trial_latency_s");
       Trial& t = trials[i];
       Graph trial = result.graph;
       SplitOperation(trial, op, t.dim, t.n);
@@ -94,6 +97,8 @@ OsDposResult OsDpos(const Graph& g, const Cluster& cluster,
       t.sched = std::move(sched);
     });
     result.probes += static_cast<int>(trials.size());
+    // Trial copies peak here; sample the live-bytes tracks once per probe.
+    EmitMemTraceCounters();
 
     // Snapshot the trial table before the winner loop below moves the
     // winning trial's graph/schedule out from under it; the winner's

@@ -18,6 +18,7 @@
 #include "cost/comm_cost.h"
 #include "cost/comp_cost.h"
 #include "graph/graph.h"
+#include "util/memtrack.h"
 
 namespace fastt {
 
@@ -49,8 +50,10 @@ class CompCostTable {
   int32_t num_devices_ = 0;
   int32_t num_slots_ = 0;
   uint64_t model_version_ = 0;
-  std::vector<double> times_;     // num_slots × num_devices
-  std::vector<double> max_time_;  // per slot
+  // Snapshot storage is charged to MemTag::kCost wherever it is built.
+  TaggedVector<double> times_{
+      TaggedAlloc<double>(MemTag::kCost)};  // num_slots × num_devices
+  TaggedVector<double> max_time_{TaggedAlloc<double>(MemTag::kCost)};
 };
 
 // Fitted (intercept, slope) for every ordered device pair.
@@ -84,8 +87,10 @@ class CommCostTable {
   };
   int32_t num_devices_ = 0;
   uint64_t model_version_ = 0;
-  std::vector<Pair> pairs_;        // num_devices × num_devices
-  std::vector<Pair> known_pairs_;  // dense list for MaxOverPairs
+  TaggedVector<Pair> pairs_{
+      TaggedAlloc<Pair>(MemTag::kCost)};  // num_devices × num_devices
+  // Dense list for MaxOverPairs.
+  TaggedVector<Pair> known_pairs_{TaggedAlloc<Pair>(MemTag::kCost)};
 };
 
 }  // namespace fastt

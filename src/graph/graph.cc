@@ -16,8 +16,10 @@ OpId Graph::AddOp(Operation op) {
   op.id = id;
   by_name_.emplace(op.name, id);
   ops_.push_back(std::move(op));
-  out_edges_.emplace_back();
-  in_edges_.emplace_back();
+  // Adjacency lists get an explicit kGraph allocator — emplace_back would
+  // otherwise default-construct them under the caller's ambient tag.
+  out_edges_.emplace_back(TaggedAlloc<EdgeId>(MemTag::kGraph));
+  in_edges_.emplace_back(TaggedAlloc<EdgeId>(MemTag::kGraph));
   ++num_live_;
   return id;
 }
@@ -84,12 +86,12 @@ std::vector<OpId> Graph::LiveOps() const {
   return out;
 }
 
-const std::vector<EdgeId>& Graph::out_edges(OpId id) const {
+const EdgeIdList& Graph::out_edges(OpId id) const {
   FASTT_CHECK(id >= 0 && id < num_slots());
   return out_edges_[static_cast<size_t>(id)];
 }
 
-const std::vector<EdgeId>& Graph::in_edges(OpId id) const {
+const EdgeIdList& Graph::in_edges(OpId id) const {
   FASTT_CHECK(id >= 0 && id < num_slots());
   return in_edges_[static_cast<size_t>(id)];
 }

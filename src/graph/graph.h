@@ -13,10 +13,16 @@
 #include <vector>
 
 #include "graph/operation.h"
+#include "util/memtrack.h"
 
 namespace fastt {
 
 using EdgeId = int32_t;
+
+// Graph storage is charged to MemTag::kGraph regardless of which subsystem
+// constructs or copies the graph (OS-DPOS trial copies included) — the
+// allocator is fixed per-member, not taken from the ambient scope.
+using EdgeIdList = TaggedVector<EdgeId>;
 
 struct Edge {
   EdgeId id = -1;
@@ -66,8 +72,8 @@ class Graph {
   std::vector<OpId> LiveOps() const;
 
   // Edge-id lists (may include dead edges; filter with edge(e).dead).
-  const std::vector<EdgeId>& out_edges(OpId id) const;
-  const std::vector<EdgeId>& in_edges(OpId id) const;
+  const EdgeIdList& out_edges(OpId id) const;
+  const EdgeIdList& in_edges(OpId id) const;
 
   // Live predecessor / successor op ids (deduplicated, insertion order).
   std::vector<OpId> Preds(OpId id) const;
@@ -103,12 +109,17 @@ class Graph {
   int64_t TotalParamBytes() const;
 
  private:
+  using NameMap =
+      std::unordered_map<std::string, OpId, std::hash<std::string>,
+                         std::equal_to<std::string>,
+                         TaggedAlloc<std::pair<const std::string, OpId>>>;
+
   std::string name_;
-  std::vector<Operation> ops_;
-  std::vector<Edge> edges_;
-  std::vector<std::vector<EdgeId>> out_edges_;
-  std::vector<std::vector<EdgeId>> in_edges_;
-  std::unordered_map<std::string, OpId> by_name_;
+  TaggedVector<Operation> ops_{TaggedAlloc<Operation>(MemTag::kGraph)};
+  TaggedVector<Edge> edges_{TaggedAlloc<Edge>(MemTag::kGraph)};
+  TaggedVector<EdgeIdList> out_edges_{TaggedAlloc<EdgeIdList>(MemTag::kGraph)};
+  TaggedVector<EdgeIdList> in_edges_{TaggedAlloc<EdgeIdList>(MemTag::kGraph)};
+  NameMap by_name_{NameMap::allocator_type(MemTag::kGraph)};
   int32_t num_live_ = 0;
 };
 

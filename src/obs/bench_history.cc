@@ -261,10 +261,15 @@ std::string RenderBenchDiff(const BenchDiffResult& result,
       case Verdict::kHardRegression: verdict = "REGRESSION"; break;
       case Verdict::kUnmatched: verdict = "unmatched"; break;
     }
+    // Byte-valued metrics render human-readable; everything else raw.
+    auto value = [&](double v, int samples) -> std::string {
+      if (samples <= 0) return "-";
+      return e.unit == "bytes" ? HumanBytes(v) : StrFormat("%.4g", v);
+    };
     table.AddRow(
         {e.benchmark, e.params, e.metric,
-         e.old_samples > 0 ? StrFormat("%.4g", e.old_median) : "-",
-         e.new_samples > 0 ? StrFormat("%.4g", e.new_median) : "-",
+         value(e.old_median, e.old_samples),
+         value(e.new_median, e.new_samples),
          e.old_samples > 0 && e.new_samples > 0
              ? StrFormat("%+.1f", 100.0 * e.rel_delta)
              : "-",

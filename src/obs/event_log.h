@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "obs/json.h"
+#include "util/memtrack.h"
 #include "util/sync.h"
 
 namespace fastt {
@@ -90,7 +91,10 @@ class EventLog {
 
   mutable Mutex mu_;
   std::atomic<int64_t> next_seq_{0};
-  std::vector<std::string> lines_ FASTT_GUARDED_BY(mu_);
+  // The line store is charged to the obs tag (the strings themselves use
+  // the default allocator; the vector's buffer dominates growth).
+  TaggedVector<std::string> lines_ FASTT_GUARDED_BY(mu_)
+      {TaggedAlloc<std::string>(MemTag::kObs)};
 };
 
 }  // namespace fastt

@@ -7,6 +7,7 @@
 
 #include "obs/metrics.h"
 #include "util/check.h"
+#include "util/memtrack.h"
 #include "util/rng.h"
 
 namespace fastt {
@@ -165,12 +166,21 @@ SimResult Simulate(const Graph& g, const std::vector<DeviceId>& placement,
     }
   }
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  // Event churn is the simulator's dominant allocation source; charge the
+  // queues (and per-device ready heaps) to sim/events so memstat and the
+  // trace counters attribute them.
+  MemTagScope mem_scope(MemTag::kSimEvents);
+  std::priority_queue<Event, TaggedVector<Event>, std::greater<Event>> events(
+      std::greater<Event>(), TaggedVector<Event>(TaggedAlloc<Event>(MemTag::kSimEvents)));
 
   using ReadyQueue =
-      std::priority_queue<ReadyEntry, std::vector<ReadyEntry>,
+      std::priority_queue<ReadyEntry, TaggedVector<ReadyEntry>,
                           std::greater<ReadyEntry>>;
-  std::vector<ReadyQueue> ready(static_cast<size_t>(cluster.num_devices()));
+  std::vector<ReadyQueue> ready(
+      static_cast<size_t>(cluster.num_devices()),
+      ReadyQueue(std::greater<ReadyEntry>(),
+                 TaggedVector<ReadyEntry>(
+                     TaggedAlloc<ReadyEntry>(MemTag::kSimEvents))));
   std::vector<bool> busy(static_cast<size_t>(cluster.num_devices()), false);
   uint64_t ready_counter = 0;
 
@@ -355,6 +365,7 @@ SimResult Simulate(const Graph& g, const std::vector<DeviceId>& placement,
   metrics.AddCounter("sim/transfers",
                      static_cast<int64_t>(result.transfers.size()));
   if (result.oom) metrics.AddCounter("sim/oom_runs");
+  EmitMemTraceCounters();
   return result;
 }
 

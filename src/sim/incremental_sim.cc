@@ -9,6 +9,7 @@
 #include "obs/tracer.h"
 #include "sim/device.h"
 #include "util/check.h"
+#include "util/memtrack.h"
 #include "util/rng.h"
 
 namespace fastt {
@@ -446,8 +447,11 @@ void IncrementalSim::Replay() {
   MetricsRegistry::Global().AddCounter(
       "inc_sim/clean_ops", static_cast<int64_t>(live.size() - dirty_live));
 
-  std::priority_queue<REvent, std::vector<REvent>, std::greater<REvent>>
-      events;
+  // Charge the event/ready heaps to sim/events, same as the full simulator.
+  MemTagScope mem_scope(MemTag::kSimEvents);
+  std::priority_queue<REvent, TaggedVector<REvent>, std::greater<REvent>>
+      events(std::greater<REvent>(),
+             TaggedVector<REvent>(TaggedAlloc<REvent>(MemTag::kSimEvents)));
 
   // Clean producers come in two kinds. Emission-dirty ones re-run their send
   // loop live, as an event at their cached finish. Every other clean
@@ -510,9 +514,12 @@ void IncrementalSim::Replay() {
     }
   }
 
-  using ReadyQueue = std::priority_queue<ReadyEntry, std::vector<ReadyEntry>,
+  using ReadyQueue = std::priority_queue<ReadyEntry, TaggedVector<ReadyEntry>,
                                          std::greater<ReadyEntry>>;
-  std::vector<ReadyQueue> ready(n_dev);
+  std::vector<ReadyQueue> ready(
+      n_dev, ReadyQueue(std::greater<ReadyEntry>(),
+                        TaggedVector<ReadyEntry>(
+                            TaggedAlloc<ReadyEntry>(MemTag::kSimEvents))));
   std::vector<bool> busy(n_dev, false);
   for (size_t d = 0; d < n_dev; ++d) busy[d] = last_clean[d] != kInvalidOp;
   uint64_t ready_counter = 0;
@@ -739,6 +746,7 @@ void IncrementalSim::Replay() {
   std::fill(hd_.begin(), hd_.end(), kInf);
   std::fill(he_.begin(), he_.end(), kInf);
   RebuildIndexes();
+  EmitMemTraceCounters();
 }
 
 }  // namespace fastt

@@ -32,7 +32,9 @@ std::string Join(const std::vector<std::string>& parts,
 }
 
 std::string HumanBytes(double bytes) {
-  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  // Binary units with the IEC suffixes — the divisor is 1024, so the label
+  // says KiB, not KB.
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
   int u = 0;
   while (std::fabs(bytes) >= 1024.0 && u < 4) {
     bytes /= 1024.0;

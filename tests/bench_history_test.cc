@@ -130,6 +130,49 @@ TEST(BenchDiff, HigherIsBetterFlipsTheSign) {
   EXPECT_EQ(better.entries[0].verdict, BenchDiffEntry::Verdict::kImproved);
 }
 
+// Allocation metrics ride the same (benchmark, params, name) matching as
+// timing metrics, so an injected allocation-count regression hard-fails the
+// diff exactly like a slowdown — and byte-valued cells render human-readable.
+TEST(BenchDiff, InjectedAllocationRegressionIsHard) {
+  auto make = [](double allocs, double peak_bytes) {
+    BenchHistoryDoc doc;
+    BenchReport report;
+    report.benchmark = "bench_search";
+    report.params = {{"model", "lenet"}, {"gpus", "2"}};
+    BenchMetricSeries a;
+    a.name = "osdpos_allocs";
+    a.unit = "count";
+    a.lower_is_better = true;
+    a.samples = {allocs, allocs, allocs};
+    BenchMetricSeries p;
+    p.name = "osdpos_peak_bytes";
+    p.unit = "bytes";
+    p.lower_is_better = true;
+    p.samples = {peak_bytes, peak_bytes, peak_bytes};
+    report.metrics = {std::move(a), std::move(p)};
+    doc.reports.push_back(std::move(report));
+    return doc;
+  };
+  // Allocation count doubles, peak bytes stay put: exactly one hard fail.
+  const BenchDiffResult diff =
+      DiffBenchReports(make(5000.0, 1 << 20), make(10000.0, 1 << 20), {});
+  ASSERT_EQ(diff.entries.size(), 2u);
+  EXPECT_EQ(diff.hard_regressions, 1);
+  EXPECT_EQ(diff.entries[0].metric, "osdpos_allocs");
+  EXPECT_EQ(diff.entries[0].verdict, BenchDiffEntry::Verdict::kHardRegression);
+  EXPECT_EQ(diff.entries[1].verdict, BenchDiffEntry::Verdict::kOk);
+
+  const std::string rendered = RenderBenchDiff(diff, {});
+  EXPECT_NE(rendered.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(rendered.find("1.00 MiB"), std::string::npos) << rendered;
+
+  // A peak-bytes blowup is caught the same way.
+  const BenchDiffResult bytes_diff =
+      DiffBenchReports(make(5000.0, 1 << 20), make(5000.0, 8 << 20), {});
+  EXPECT_EQ(bytes_diff.hard_regressions, 1);
+  EXPECT_EQ(bytes_diff.entries[0].metric, "osdpos_peak_bytes");
+}
+
 TEST(BenchDiff, UnmatchedCellsAreInformational) {
   BenchHistoryDoc old_doc = MakeDoc("bench_search", 1.0);
   BenchHistoryDoc new_doc = MakeDoc("bench_search", 1.0);

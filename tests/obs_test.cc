@@ -19,6 +19,7 @@
 #include "obs/metrics.h"
 #include "obs/schedule_analysis.h"
 #include "sim/trace.h"
+#include "util/memtrack.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 
@@ -281,6 +282,177 @@ TEST(Metrics, PublishSearchPoolMetricsExportsGauges) {
   const JsonValue* gauges = root.Find("gauges");
   ASSERT_TRUE(gauges != nullptr && gauges->is_object());
   EXPECT_GE(gauges->Find("pool/batches")->NumberOr(0.0), 8.0);
+}
+
+TEST(Metrics, ResetZeroesInPlaceAndCounterRefSurvives) {
+  MetricsRegistry r;
+  // The node-stable storage contract: a handle taken before Reset() must
+  // stay valid (and zeroed) after it.
+  std::atomic<int64_t>& hot = r.CounterRef("hot/path");
+  hot.fetch_add(41, std::memory_order_relaxed);
+  r.AddCounter("hot/path");  // name lookup and handle hit the same node
+  EXPECT_EQ(r.counter("hot/path"), 42);
+  r.SetGauge("g", 1.0);
+  r.RecordHistogram("h", 2.0);
+  r.Reset();
+  EXPECT_EQ(r.counter("hot/path"), 0);
+  EXPECT_DOUBLE_EQ(r.gauge("g"), 0.0);
+  EXPECT_EQ(r.histogram("h").count, 0);
+  // The pre-Reset handle still addresses the live node.
+  hot.fetch_add(7, std::memory_order_relaxed);
+  EXPECT_EQ(r.counter("hot/path"), 7);
+  EXPECT_EQ(&r.CounterRef("hot/path"), &hot);
+}
+
+// ---- Histograms -----------------------------------------------------------
+
+TEST(Histogram, BucketBoundariesAreExactPowersOfTwo) {
+  // 2^k lands in the bucket whose inclusive upper bound is 2^k; one ulp
+  // above moves to the next bucket.
+  for (int k : {-10, -1, 0, 1, 10, 20}) {
+    const double v = std::ldexp(1.0, k);
+    const size_t b = HistogramBucket(v);
+    EXPECT_DOUBLE_EQ(HistogramBucketUpper(b), v) << "k=" << k;
+    EXPECT_EQ(HistogramBucket(std::nextafter(
+                  v, std::numeric_limits<double>::infinity())),
+              b + 1)
+        << "k=" << k;
+  }
+  // Degenerate inputs stay in range.
+  EXPECT_EQ(HistogramBucket(0.0), 0u);
+  EXPECT_EQ(HistogramBucket(-5.0), 0u);
+  EXPECT_EQ(HistogramBucket(std::numeric_limits<double>::infinity()),
+            kHistBuckets - 1);
+}
+
+TEST(Histogram, RecordTracksCountSumMinMax) {
+  HistogramSnapshot h;
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);  // empty histogram
+  h.Record(1.0);
+  h.Record(4.0);
+  h.Record(16.0);
+  EXPECT_EQ(h.count, 3);
+  EXPECT_DOUBLE_EQ(h.sum, 21.0);
+  EXPECT_DOUBLE_EQ(h.min, 1.0);
+  EXPECT_DOUBLE_EQ(h.max, 16.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 7.0);
+}
+
+TEST(Histogram, QuantilesAreMonotoneAndClampedToRange) {
+  HistogramSnapshot h;
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> dist(1e-6, 1e3);
+  for (int i = 0; i < 1000; ++i) h.Record(dist(rng));
+  double prev = h.Quantile(0.0);
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const double v = h.Quantile(q);
+    EXPECT_GE(v, h.min);
+    EXPECT_LE(v, h.max);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), h.min);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), h.max);
+  EXPECT_LE(h.p50(), h.p90());
+  EXPECT_LE(h.p90(), h.p99());
+}
+
+TEST(Histogram, MergeMatchesRecordingEverythingIntoOne) {
+  HistogramSnapshot a, b, all;
+  std::mt19937_64 rng(13);
+  std::uniform_real_distribution<double> dist(0.5, 256.0);
+  for (int i = 0; i < 200; ++i) {
+    const double v = dist(rng);
+    (i % 2 == 0 ? a : b).Record(v);
+    all.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count, all.count);
+  EXPECT_DOUBLE_EQ(a.sum, all.sum);
+  EXPECT_DOUBLE_EQ(a.min, all.min);
+  EXPECT_DOUBLE_EQ(a.max, all.max);
+  EXPECT_EQ(a.buckets, all.buckets);
+  // Merging into an empty histogram is a copy.
+  HistogramSnapshot empty;
+  empty.Merge(all);
+  EXPECT_EQ(empty.count, all.count);
+}
+
+TEST(Histogram, JsonRoundTripsThroughJsonParse) {
+  HistogramSnapshot h;
+  for (double v : {0.001, 0.5, 1.0, 3.0, 1024.0, 1e9}) h.Record(v);
+  const std::string json = h.ToJson();
+  EXPECT_TRUE(JsonValidate(json));
+  JsonValue dom;
+  ASSERT_TRUE(JsonParse(json, &dom));
+  HistogramSnapshot back;
+  ASSERT_TRUE(HistogramFromJson(dom, &back));
+  EXPECT_EQ(back.count, h.count);
+  // JsonNumber prints %.9g, so doubles survive to ~9 significant digits.
+  EXPECT_NEAR(back.sum, h.sum, 1e-8 * h.sum);
+  EXPECT_DOUBLE_EQ(back.min, h.min);
+  EXPECT_DOUBLE_EQ(back.max, h.max);
+  EXPECT_EQ(back.buckets, h.buckets);
+  EXPECT_NEAR(back.p99(), h.p99(), 1e-8 * h.p99());
+
+  // Malformed inputs are rejected, not misread.
+  JsonValue bad;
+  ASSERT_TRUE(JsonParse("{\"count\":2,\"buckets\":[]}", &bad));
+  HistogramSnapshot out;
+  EXPECT_FALSE(HistogramFromJson(bad, &out));  // bucket sum != count
+  ASSERT_TRUE(JsonParse("{\"sum\":1.0}", &bad));
+  EXPECT_FALSE(HistogramFromJson(bad, &out));  // no count at all
+}
+
+TEST(Histogram, RegistryRecordsAndExports) {
+  MetricsRegistry r;
+  r.RecordHistogram("probe/latency_s", 0.001);
+  r.RecordHistogram("probe/latency_s", 0.004);
+  EXPECT_EQ(r.histogram("probe/latency_s").count, 2);
+  EXPECT_EQ(r.histogram("absent").count, 0);
+  const std::string json = r.ToJson();
+  EXPECT_TRUE(JsonValidate(json));
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"probe/latency_s\""), std::string::npos);
+  {
+    ScopedLatencyHistogram scope(r, "scoped/latency_s");
+    volatile double sink = 0;
+    for (int i = 0; i < 1000; ++i) sink = sink + i;
+    (void)sink;
+  }
+  EXPECT_EQ(r.histogram("scoped/latency_s").count, 1);
+  EXPECT_GT(r.histogram("scoped/latency_s").max, 0.0);
+}
+
+// ---- PublishMemMetrics ----------------------------------------------------
+
+TEST(Metrics, PublishMemMetricsExportsTaggedHeapStats) {
+  MemTracker& mt = MemTracker::Global();
+  mt.Enable();
+  {
+    TaggedVector<int64_t> v{TaggedAlloc<int64_t>(MemTag::kGraph)};
+    v.resize(1000);
+    MetricsRegistry r;
+    PublishMemMetrics(r);
+    const std::string json = r.ToJson();
+    EXPECT_TRUE(JsonValidate(json));
+    EXPECT_NE(json.find("\"mem/graph/live_bytes\""), std::string::npos);
+    EXPECT_NE(json.find("\"mem/graph/alloc_size_bytes\""), std::string::npos);
+    EXPECT_NE(json.find("\"mem/total/peak_bytes\""), std::string::npos);
+    EXPECT_GE(r.gauge("mem/graph/live_bytes"), 8000.0);
+    EXPECT_GE(r.gauge("mem/total/allocs"), 1.0);
+    const HistogramSnapshot sizes = r.histogram("mem/graph/alloc_size_bytes");
+    EXPECT_GE(sizes.count, 1);
+    // Republishing overwrites rather than double-counting.
+    PublishMemMetrics(r);
+    EXPECT_EQ(r.histogram("mem/graph/alloc_size_bytes").count, sizes.count);
+  }
+  mt.Disable();
+  // A never-active tracker publishes nothing.
+  mt.Reset();
+  MetricsRegistry empty;
+  PublishMemMetrics(empty);
+  EXPECT_EQ(empty.ToJson().find("\"mem/"), std::string::npos);
 }
 
 // ---- EventLog -------------------------------------------------------------

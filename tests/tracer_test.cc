@@ -18,6 +18,7 @@
 #include "obs/tracer.h"
 #include "sim/exec_sim.h"
 #include "sim/profiler.h"
+#include "util/memtrack.h"
 
 namespace fastt {
 namespace {
@@ -256,6 +257,51 @@ TEST_F(TracerTest, TracedSearchCoversMeasuredWallClock) {
   const JsonValue* events = root.Find("traceEvents");
   ASSERT_TRUE(events != nullptr && events->is_array());
   EXPECT_GE(events->items.size(), dump.spans.size());
+}
+
+// With the heap tracker enabled alongside the tracer, the instrumented
+// subsystems emit mem/<tag>/live_bytes counter samples, which the Chrome
+// export turns into "C"-phase counter tracks — memory next to time.
+TEST_F(TracerTest, SearchWithMemTrackerEmitsLiveBytesCounterTracks) {
+  const ModelSpec& spec = FindModel("lenet");
+  auto dp = BuildDataParallel(spec.build, spec.name, spec.strong_batch, 2,
+                              Scaling::kStrong);
+  const std::vector<DeviceId> placement = CanonicalDataParallelPlacement(dp);
+  const Graph graph = std::move(dp.graph);
+  const Cluster cluster = Cluster::SingleServer(2);
+  CompCostModel comp;
+  CommCostModel comm;
+  const RunProfile profile = ExtractProfile(
+      graph, Simulate(graph, placement, cluster, SimOptions{}));
+  comp.AddProfile(profile);
+  comm.AddProfile(profile);
+
+  MemTracker::Global().Enable();
+  Tracer::Global().Enable();
+  const OsDposResult os = OsDpos(graph, cluster, comp, comm);
+  EXPECT_GT(os.schedule.ft_exit, 0.0);
+  Tracer::Global().Disable();
+  MemTracker::Global().Disable();
+  const TraceDump dump = Tracer::Global().Drain();
+
+  size_t mem_counters = 0;
+  bool saw_total = false;
+  for (const TracePoint& p : dump.points) {
+    if (!p.is_counter) continue;
+    const std::string name = p.name;
+    if (name.rfind("mem/", 0) == 0) {
+      ++mem_counters;
+      if (name == "mem/total/live_bytes") saw_total = true;
+      EXPECT_GE(p.value, 0.0);
+    }
+  }
+  EXPECT_GE(mem_counters, 1u);
+  EXPECT_TRUE(saw_total);
+
+  // The exported trace carries them as counter ("C") events.
+  const std::string json = TraceToChromeJson(dump);
+  EXPECT_TRUE(JsonValidate(json));
+  EXPECT_NE(json.find("mem/total/live_bytes"), std::string::npos);
 }
 
 }  // namespace

@@ -131,8 +131,10 @@ TEST(Strings, Join) {
 
 TEST(Strings, HumanBytes) {
   EXPECT_EQ(HumanBytes(512), "512.00 B");
-  EXPECT_EQ(HumanBytes(2048), "2.00 KB");
-  EXPECT_EQ(HumanBytes(3.5 * 1024 * 1024), "3.50 MB");
+  EXPECT_EQ(HumanBytes(2048), "2.00 KiB");
+  EXPECT_EQ(HumanBytes(3.5 * 1024 * 1024), "3.50 MiB");
+  EXPECT_EQ(HumanBytes(1.5 * 1024 * 1024 * 1024), "1.50 GiB");
+  EXPECT_EQ(HumanBytes(2.0 * 1024 * 1024 * 1024 * 1024), "2.00 TiB");
 }
 
 TEST(Strings, HumanSeconds) {

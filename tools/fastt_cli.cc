@@ -28,7 +28,12 @@
 //   fastt search-profile <model> [trace.json] [--gpus N] [--jobs N]
 //       Run the OS-DPOS search under the flight recorder and report where
 //       its wall-clock went: a phase/self-time table, worker occupancy and
-//       queue-wait stats, optionally the raw Chrome trace of the search.
+//       queue-wait stats, optionally the raw Chrome trace of the search
+//       (with mem/<tag>/live_bytes counter tracks from the heap telemetry).
+//   fastt memstat <model> [--gpus N] [--batch B] [--jobs N] [--json F]
+//       Run one pre-training round under the tagged heap tracker and report
+//       per-phase, per-subsystem host-heap peaks, live bytes and allocation
+//       counts (graph build, bootstrap profile, OS-DPOS search, final sim).
 //   fastt bench-diff <old.json> <new.json> [--threshold T] [--min-repeats R]
 //       Compare two fastt-bench/1 reports (FASTT_BENCH_JSON output).
 //       Exits nonzero on a hard regression — the CI gate.
@@ -74,6 +79,7 @@
 #include "sim/exec_sim.h"
 #include "sim/profiler.h"
 #include "sim/trace.h"
+#include "util/memtrack.h"
 #include "util/strings.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -156,6 +162,7 @@ Cluster MakeCluster(const Args& args) {
 void MaybeWriteMetrics(const Args& args, const EventLog* events) {
   if (args.metrics_path.empty()) return;
   PublishSearchPoolMetrics(MetricsRegistry::Global());
+  PublishMemMetrics(MetricsRegistry::Global());
   if (WriteMetricsJson(args.metrics_path, MetricsRegistry::Global(), events))
     std::printf("wrote metrics to %s\n", args.metrics_path.c_str());
   else
@@ -374,6 +381,11 @@ int CmdSearchProfile(const Args& args) {
               spec.name.c_str(), (long long)batch, cluster.ToString().c_str(),
               SearchJobs());
 
+  // Heap telemetry rides along: with both the tracker and the tracer on,
+  // the subsystem entry points emit mem/<tag>/live_bytes counter tracks
+  // into the same trace, so memory shows up next to time in Perfetto.
+  MemTracker& mem = MemTracker::Global();
+  mem.Enable();
   Tracer& tracer = Tracer::Global();
   tracer.SetCurrentThreadName("search main");
   tracer.Enable();
@@ -417,6 +429,18 @@ int CmdSearchProfile(const Args& args) {
                 pool.tasks > 0 ? wait_s * 1e6 / double(pool.tasks) : 0.0);
   }
 
+  const MemTagStats g_mem = mem.stats(MemTag::kGraph);
+  const MemTagStats s_mem = mem.stats(MemTag::kSimEvents);
+  const MemTagStats d_mem = mem.stats(MemTag::kDpos);
+  std::printf("memory: total peak %s (%lld allocs) — graph peak %s, "
+              "sim/events peak %s, dpos peak %s; see `fastt memstat`\n",
+              HumanBytes(static_cast<double>(mem.total_peak_bytes())).c_str(),
+              (long long)mem.total_allocs(),
+              HumanBytes(static_cast<double>(g_mem.peak_bytes)).c_str(),
+              HumanBytes(static_cast<double>(s_mem.peak_bytes)).c_str(),
+              HumanBytes(static_cast<double>(d_mem.peak_bytes)).c_str());
+  mem.Disable();
+
   const std::string out_path =
       !args.path.empty() ? args.path : args.trace_search_path;
   if (!out_path.empty()) {
@@ -429,6 +453,184 @@ int CmdSearchProfile(const Args& args) {
     std::printf("wrote search trace to %s — load in chrome://tracing or "
                 "Perfetto\n",
                 out_path.c_str());
+  }
+  MaybeWriteMetrics(args, nullptr);
+  return 0;
+}
+
+int CmdMemstat(const Args& args) {
+  const ModelSpec& spec = FindModel(args.model);
+  const int64_t batch = args.batch > 0 ? args.batch : spec.strong_batch;
+  const Cluster cluster = MakeCluster(args);
+  std::printf("memstat: %s, batch %lld, %s, %d jobs\n\n", spec.name.c_str(),
+              (long long)batch, cluster.ToString().c_str(), SearchJobs());
+
+  MemTracker& mem = MemTracker::Global();
+  mem.Enable();
+
+  // One pre-training round, split into its phases. Peaks are reset at each
+  // phase boundary, so a phase's peak_bytes is its own high-water mark (on
+  // top of whatever the previous phases left live).
+  struct Phase {
+    std::string name;
+    std::vector<MemTagStats> before;
+    std::vector<MemTagStats> after;
+    int64_t total_peak = 0;
+    int64_t total_live = 0;
+  };
+  std::vector<Phase> phases;
+  auto run_phase = [&](const char* name, auto&& body) {
+    Phase p;
+    p.name = name;
+    mem.ResetPeaks();
+    p.before = mem.Snapshot();
+    body();
+    p.after = mem.Snapshot();
+    p.total_peak = mem.total_peak_bytes();
+    p.total_live = mem.total_live_bytes();
+    phases.push_back(std::move(p));
+  };
+
+  Graph graph;
+  std::vector<DeviceId> placement;
+  CompCostModel comp;
+  CommCostModel comm;
+  OsDposResult os;
+  run_phase("graph/build", [&] {
+    auto dp = BuildDataParallel(spec.build, spec.name, batch,
+                                cluster.num_devices(), args.scaling);
+    placement = CanonicalDataParallelPlacement(dp);
+    graph = std::move(dp.graph);
+  });
+  run_phase("profile", [&] {
+    SimOptions so;
+    so.noise_cv = 0.03;
+    so.seed = 11;
+    const RunProfile profile =
+        ExtractProfile(graph, Simulate(graph, placement, cluster, so));
+    comp.AddProfile(profile);
+    comm.AddProfile(profile);
+  });
+  run_phase("search", [&] { os = OsDpos(graph, cluster, comp, comm); });
+  run_phase("final-sim", [&] {
+    Simulate(os.graph, os.schedule.strategy.placement, cluster, SimOptions{});
+  });
+  mem.Disable();
+
+  const auto active = [](const MemTagStats& a, const MemTagStats& b) {
+    return a.allocs != b.allocs || a.frees != b.frees || b.peak_bytes > 0;
+  };
+  for (const Phase& p : phases) {
+    std::printf("phase %s (peak %s, live after %s)\n", p.name.c_str(),
+                HumanBytes(static_cast<double>(p.total_peak)).c_str(),
+                HumanBytes(static_cast<double>(p.total_live)).c_str());
+    TablePrinter table(
+        {"subsystem", "peak", "live", "allocs", "frees", "alloc bytes"});
+    for (size_t t = 0; t < kNumMemTags; ++t) {
+      const MemTagStats& a = p.before[t];
+      const MemTagStats& b = p.after[t];
+      if (!active(a, b)) continue;
+      table.AddRow({MemTagName(static_cast<MemTag>(t)),
+                    HumanBytes(static_cast<double>(b.peak_bytes)),
+                    HumanBytes(static_cast<double>(b.live_bytes)),
+                    StrFormat("%lld", (long long)(b.allocs - a.allocs)),
+                    StrFormat("%lld", (long long)(b.frees - a.frees)),
+                    HumanBytes(
+                        static_cast<double>(b.alloc_bytes - a.alloc_bytes))});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+
+  // Whole-round rollup: cumulative counts from the final snapshot; peaks are
+  // per-phase maxima (the boundaries reset them).
+  const std::vector<MemTagStats>& final_stats = phases.back().after;
+  std::vector<int64_t> tag_peak(kNumMemTags, 0);
+  int64_t run_peak = 0;
+  for (const Phase& p : phases) {
+    run_peak = std::max(run_peak, p.total_peak);
+    for (size_t t = 0; t < kNumMemTags; ++t)
+      tag_peak[t] = std::max(tag_peak[t], p.after[t].peak_bytes);
+  }
+  std::printf("whole round (peak %s)\n",
+              HumanBytes(static_cast<double>(run_peak)).c_str());
+  TablePrinter total(
+      {"subsystem", "peak", "live", "allocs", "frees", "alloc bytes"});
+  for (size_t t = 0; t < kNumMemTags; ++t) {
+    const MemTagStats& s = final_stats[t];
+    if (s.allocs == 0 && s.frees == 0) continue;
+    total.AddRow({MemTagName(static_cast<MemTag>(t)),
+                  HumanBytes(static_cast<double>(tag_peak[t])),
+                  HumanBytes(static_cast<double>(s.live_bytes)),
+                  StrFormat("%lld", (long long)s.allocs),
+                  StrFormat("%lld", (long long)s.frees),
+                  HumanBytes(static_cast<double>(s.alloc_bytes))});
+  }
+  total.Print();
+
+  // Greppable one-liner (the ctest smoke pins nonzero graph + sim/events).
+  const MemTagStats& gs = final_stats[static_cast<size_t>(MemTag::kGraph)];
+  const MemTagStats& ss = final_stats[static_cast<size_t>(MemTag::kSimEvents)];
+  std::printf("\nmemstat summary: graph allocs=%lld peak=%lld; sim/events "
+              "allocs=%lld peak=%lld; total peak=%lld\n",
+              (long long)gs.allocs,
+              (long long)tag_peak[static_cast<size_t>(MemTag::kGraph)],
+              (long long)ss.allocs,
+              (long long)tag_peak[static_cast<size_t>(MemTag::kSimEvents)],
+              (long long)run_peak);
+
+  if (!args.json_path.empty()) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("schema").String("fastt-memstat/1");
+    w.Key("model").String(spec.name);
+    w.Key("batch").Int(batch);
+    w.Key("gpus").Int(cluster.num_devices());
+    w.Key("run_peak_bytes").Int(run_peak);
+    w.Key("phases").BeginArray();
+    for (const Phase& p : phases) {
+      w.BeginObject();
+      w.Key("name").String(p.name);
+      w.Key("total_peak_bytes").Int(p.total_peak);
+      w.Key("total_live_bytes").Int(p.total_live);
+      w.Key("tags").BeginObject();
+      for (size_t t = 0; t < kNumMemTags; ++t) {
+        const MemTagStats& a = p.before[t];
+        const MemTagStats& b = p.after[t];
+        if (!active(a, b)) continue;
+        w.Key(MemTagName(static_cast<MemTag>(t))).BeginObject();
+        w.Key("peak_bytes").Int(b.peak_bytes);
+        w.Key("live_bytes").Int(b.live_bytes);
+        w.Key("allocs").Int(b.allocs - a.allocs);
+        w.Key("frees").Int(b.frees - a.frees);
+        w.Key("alloc_bytes").Int(b.alloc_bytes - a.alloc_bytes);
+        w.EndObject();
+      }
+      w.EndObject();
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("totals").BeginObject();
+    for (size_t t = 0; t < kNumMemTags; ++t) {
+      const MemTagStats& s = final_stats[t];
+      if (s.allocs == 0 && s.frees == 0) continue;
+      w.Key(MemTagName(static_cast<MemTag>(t))).BeginObject();
+      w.Key("peak_bytes").Int(tag_peak[t]);
+      w.Key("live_bytes").Int(s.live_bytes);
+      w.Key("allocs").Int(s.allocs);
+      w.Key("frees").Int(s.frees);
+      w.Key("alloc_bytes").Int(s.alloc_bytes);
+      w.EndObject();
+    }
+    w.EndObject();
+    w.EndObject();
+    std::ofstream out(args.json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", args.json_path.c_str());
+      return 1;
+    }
+    out << w.str() << "\n";
+    std::printf("wrote memstat JSON to %s\n", args.json_path.c_str());
   }
   MaybeWriteMetrics(args, nullptr);
   return 0;
@@ -601,6 +803,8 @@ constexpr CommandSpec kCommands[] = {
      "[--json F]"},
     {"search-profile",
      "fastt search-profile <model> [trace.json] [--gpus N] [--jobs N]"},
+    {"memstat",
+     "fastt memstat <model> [--gpus N] [--batch B] [--jobs N] [--json F]"},
     {"bench-diff",
      "fastt bench-diff <old.json> <new.json> [--threshold T] [--hard-factor "
      "F] [--min-repeats R]"},
@@ -669,6 +873,8 @@ int Dispatch(const Args& args) {
   if (args.command == "search-profile")
     return args.model.empty() ? CommandUsage(args.command)
                               : CmdSearchProfile(args);
+  if (args.command == "memstat")
+    return args.model.empty() ? CommandUsage(args.command) : CmdMemstat(args);
   if (args.command == "verify")
     return args.model.empty() ? CommandUsage(args.command) : CmdVerify(args);
   if (args.command == "bench-diff") {
