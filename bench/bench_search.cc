@@ -12,14 +12,17 @@
 // jobs 8); CI smoke runs pass e.g. `--model lenet --gpus 2 --repeat 1`.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "harness.h"
+#include "baselines/searcher_registry.h"
 #include "core/data_parallel.h"
 #include "core/os_dpos.h"
+#include "core/portfolio.h"
 #include "core/strategy_io.h"
 #include "obs/bench_history.h"
 #include "sim/exec_sim.h"
@@ -225,6 +228,50 @@ ResimTiming TimeResim(const SearchInput& in, int edits, EditMode mode,
   return t;
 }
 
+// Arena: race the registered searcher roster with an uncapped wall budget so
+// each quality column (the noise-free resimulated iteration time) is a
+// deterministic function of (model, gpus, batch) — machine-independent, hence
+// regression-gateable by bench-diff — while the wall-clock column stays
+// informational. Every repeat runs the same race, so the quality series has
+// enough identical samples to clear the hard-gate min_repeats bar.
+struct ArenaStats {
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> resim_s;  // [searcher][repeat]
+  std::vector<std::vector<double>> wall_s;
+  std::string winner;
+  double winner_s = 0.0;
+};
+
+ArenaStats RunArena(const std::string& model, int gpus, int64_t batch,
+                    int jobs, int repeat) {
+  const ModelSpec& spec = FindModel(model);
+  const Cluster cluster = Cluster::SingleServer(gpus);
+  const std::vector<ArenaSearcher>& roster = RegisteredSearchers();
+  SetSearchJobs(jobs);
+  ArenaStats s;
+  s.names.reserve(roster.size());
+  for (const ArenaSearcher& r : roster) s.names.push_back(r.name);
+  s.resim_s.resize(roster.size());
+  s.wall_s.resize(roster.size());
+  PortfolioOptions po;
+  po.budget_s = 0.0;  // uncapped: quality depends only on the evaluation budget
+  for (int r = 0; r < repeat; ++r) {
+    const PortfolioResult res =
+        PortfolioSearch(roster, spec.build, spec.name,
+                        batch > 0 ? batch : spec.strong_batch, cluster, po);
+    for (size_t i = 0; i < roster.size(); ++i) {
+      s.resim_s[i].push_back(res.entries[i].resim_s);
+      s.wall_s[i].push_back(res.entries[i].wall_s);
+    }
+    if (r == 0 && res.winner >= 0) {
+      s.winner = res.entries[static_cast<size_t>(res.winner)].searcher;
+      s.winner_s = res.iteration_s;
+    }
+  }
+  SetSearchJobs(1);
+  return s;
+}
+
 int Run(int argc, char** argv) {
   std::string model = "bert_large";
   int gpus = 8;
@@ -290,6 +337,8 @@ int Run(int argc, char** argv) {
   const double latest_speedup =
       latest.incremental_s > 0.0 ? latest.full_s / latest.incremental_s : 0.0;
 
+  const ArenaStats arena = RunArena(model, gpus, batch, jobs_eff, repeat);
+
   TablePrinter table({"measurement", "serial", "parallel", "speedup"});
   table.AddRow({StrFormat("OS-DPOS (%d probes), jobs %d of %d", serial.probes,
                           jobs_eff, jobs),
@@ -317,6 +366,19 @@ int Run(int argc, char** argv) {
                 HumanBytes(allocs.peak_bytes.front()).c_str());
   }
 
+  TablePrinter arena_table({"arena searcher", "iteration", "wall", ""});
+  for (size_t i = 0; i < arena.names.size(); ++i) {
+    const double q = arena.resim_s[i].front();
+    arena_table.AddRow(
+        {arena.names[i],
+         std::isfinite(q) ? StrFormat("%.3fms", q * 1e3) : std::string("OOM"),
+         StrFormat("%.3fs", arena.wall_s[i].front()),
+         arena.names[i] == arena.winner ? "<- winner" : ""});
+  }
+  std::printf("%s", arena_table.Render().c_str());
+  std::printf("arena winner: %s (%.3fms/iter over %zu searchers)\n",
+              arena.winner.c_str(), arena.winner_s * 1e3, arena.names.size());
+
   if (const char* path = std::getenv("FASTT_BENCH_JSON");
       path != nullptr && *path != '\0') {
     BenchHistoryDoc doc;
@@ -330,6 +392,7 @@ int Run(int argc, char** argv) {
         {"live_ops", StrFormat("%d", in.graph.num_live_ops())},
         {"osdpos_probes", StrFormat("%d", serial.probes)},
         {"strategies_identical", identical ? "yes" : "no"},
+        {"arena_winner", arena.winner},
     };
     BenchReport report;
     report.benchmark = "bench_search";
@@ -369,6 +432,16 @@ int Run(int argc, char** argv) {
         seconds("resim_latest_full_s", latest.full_samples),
         seconds("resim_latest_incremental_s", latest.incremental_samples),
     };
+    // Arena rows: the iteration series is deterministic (every repeat finds
+    // the same strategy under an uncapped wall budget), so bench-diff gates
+    // searcher quality; the wall series rides along as context.
+    for (size_t i = 0; i < arena.names.size(); ++i) {
+      report.metrics.push_back(
+          seconds("arena_" + arena.names[i] + "_iteration_s",
+                  arena.resim_s[i]));
+      report.metrics.push_back(
+          seconds("arena_" + arena.names[i] + "_wall_s", arena.wall_s[i]));
+    }
     doc.reports.push_back(std::move(report));
     doc.process_metrics_json = MetricsRegistry::Global().ToJson();
     WriteBenchHistoryDoc(doc, path);

@@ -1,0 +1,64 @@
+#include "baselines/searcher_registry.h"
+
+#include <chrono>
+#include <utility>
+
+#include "baselines/searchers.h"
+#include "core/strategy_calculator.h"
+
+namespace fastt {
+
+SearchResult FastTSearch(const ModelBuildFn& build,
+                         const std::string& model_name, int64_t batch,
+                         const Cluster& cluster,
+                         const SearchOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  // A bounded pre-training workflow: fewer rounds/iterations than the full
+  // Table 4 runs so the arena race stays snappy, but the same bootstrap +
+  // DPOS/OS-DPOS pipeline. Deterministic for a fixed seed (the profiling
+  // noise is seeded, and DPOS reduces in index order on any --jobs width).
+  CalculatorOptions copt;
+  copt.seed = options.seed;
+  copt.max_rounds = 4;
+  copt.profile_iterations = 2;
+  copt.measure_iterations = 2;
+  CalculatorResult ft = RunFastT(build, model_name, batch, Scaling::kStrong,
+                                 cluster, copt);
+  SearchResult result;
+  result.graph = std::move(ft.graph);
+  result.placement = std::move(ft.strategy.placement);
+  result.execution_order = std::move(ft.strategy.execution_order);
+  result.splits = std::move(ft.strategy.splits);
+  result.global_batch = ft.global_batch;
+  result.evaluations = ft.rounds;
+  result.stop_reason = "converged";
+  result.iteration_s = ResimulateIteration(result, cluster);
+  result.wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  return result;
+}
+
+const std::vector<ArenaSearcher>& RegisteredSearchers() {
+  static const std::vector<ArenaSearcher> kRoster = {
+      {"fastt", "dpos", FastTSearch},
+      {"random", "black-box", RandomSearchPlacement},
+      {"greedy-rank", "black-box", GreedyRankPlacement},
+      {"local-search", "black-box", LocalSearchPlacement},
+      {"cross-entropy", "black-box", CrossEntropyPlacement},
+      {"annealing", "black-box", AnnealingSearch},
+      {"m-etf", "list-scheduler", MEtfPlacement},
+      {"m-sct", "list-scheduler", MSctPlacement},
+      {"dp-pipeline", "partitioner", DpPipelinePlacement},
+      {"critical-path", "list-scheduler", CriticalPathPlacement},
+  };
+  return kRoster;
+}
+
+const ArenaSearcher* FindSearcher(const std::string& name) {
+  for (const ArenaSearcher& s : RegisteredSearchers())
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+}  // namespace fastt

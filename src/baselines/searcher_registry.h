@@ -1,0 +1,34 @@
+// The arena roster: every placement searcher in the repository behind the
+// shared SearchFn interface, in canonical registry order. PortfolioSearch
+// (core/portfolio.h) consumes the roster by value, so src/core never links
+// back into src/baselines — the registry is the one place that knows every
+// contender.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/portfolio.h"
+
+namespace fastt {
+
+// FastT's own pipeline (bootstrap profiling + DPOS/OS-DPOS via RunFastT)
+// behind the searcher interface. The reported iteration_s is the committed
+// strategy's noise-free re-simulation, so the differential oracle holds for
+// it like for every other searcher; evaluations counts pre-training rounds.
+SearchResult FastTSearch(const ModelBuildFn& build,
+                         const std::string& model_name, int64_t batch,
+                         const Cluster& cluster,
+                         const SearchOptions& options = {});
+
+// All registered searchers: fastt first, then the four Fig. 3 black-box
+// stand-ins (plus the local-search refinement), then the published-rival
+// constructions from rivals.cc. Order is the arena's tie-break and the
+// deterministic reduction order — append, never reorder.
+const std::vector<ArenaSearcher>& RegisteredSearchers();
+
+// Roster lookup by name; nullptr when absent.
+const ArenaSearcher* FindSearcher(const std::string& name);
+
+}  // namespace fastt

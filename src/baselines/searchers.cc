@@ -1,6 +1,7 @@
 #include "baselines/searchers.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
@@ -12,6 +13,11 @@ namespace fastt {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
 
 // Simulated objective of a candidate; infeasible (OOM) candidates score inf.
 double Evaluate(const Graph& g, const std::vector<DeviceId>& placement,
@@ -53,14 +59,22 @@ SearchResult RandomSearchPlacement(const ModelBuildFn& build,
                                    const std::string& model_name,
                                    int64_t batch, const Cluster& cluster,
                                    const SearchOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
   SearchResult result;
   result.global_batch = batch;
   result.graph = Graph(model_name);
   build(result.graph, "", batch);
   Rng rng(options.seed);
+  const SearchDeadline deadline(options.wall_budget_s);
 
   double best = kInf;
+  int since_improvement = 0;
+  result.stop_reason = "budget";
   for (int i = 0; i < options.budget; ++i) {
+    if (deadline.Exceeded()) {
+      result.stop_reason = "deadline";
+      break;
+    }
     auto placement = RandomPlacement(result.graph, cluster, rng);
     const double score =
         Evaluate(result.graph, placement, cluster, options,
@@ -68,6 +82,11 @@ SearchResult RandomSearchPlacement(const ModelBuildFn& build,
     if (score < best) {
       best = score;
       result.placement = std::move(placement);
+      since_improvement = 0;
+    } else if (options.patience > 0 &&
+               ++since_improvement >= options.patience) {
+      result.stop_reason = "converged";
+      break;
     }
   }
   // Random placement of a deep graph is usually dreadful; keep the
@@ -81,6 +100,7 @@ SearchResult RandomSearchPlacement(const ModelBuildFn& build,
     result.placement = std::move(single);
   }
   result.iteration_s = best;
+  result.wall_s = SecondsSince(t0);
   return result;
 }
 
@@ -88,6 +108,7 @@ SearchResult GreedyRankPlacement(const ModelBuildFn& build,
                                  const std::string& model_name,
                                  int64_t batch, const Cluster& cluster,
                                  const SearchOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
   SearchResult result;
   result.global_batch = batch;
   result.graph = Graph(model_name);
@@ -151,6 +172,8 @@ SearchResult GreedyRankPlacement(const ModelBuildFn& build,
   result.placement = std::move(placement);
   result.iteration_s = Evaluate(result.graph, result.placement, cluster,
                                 options, &result.evaluations);
+  result.wall_s = SecondsSince(t0);
+  result.stop_reason = "constructed";
   return result;
 }
 
@@ -158,6 +181,7 @@ SearchResult LocalSearchPlacement(const ModelBuildFn& build,
                                   const std::string& model_name,
                                   int64_t batch, const Cluster& cluster,
                                   const SearchOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
   // Start from the greedy construction, then hill-climb with single-op
   // moves (the cross-entropy/PPO refinement loop in white-box form).
   SearchResult result = GreedyRankPlacement(build, model_name, batch, cluster,
@@ -165,10 +189,17 @@ SearchResult LocalSearchPlacement(const ModelBuildFn& build,
   const Graph& g = result.graph;
   Rng rng(options.seed * 31 + 7);
   const auto live = g.LiveOps();
+  const SearchDeadline deadline(options.wall_budget_s);
 
   double best = result.iteration_s;
   auto placement = result.placement;
+  int since_improvement = 0;
+  result.stop_reason = "budget";
   while (result.evaluations < options.budget) {
+    if (deadline.Exceeded()) {
+      result.stop_reason = "deadline";
+      break;
+    }
     auto candidate = placement;
     const OpId victim = live[rng.NextBelow(live.size())];
     if (g.op(victim).colocate_with != kInvalidOp) continue;
@@ -180,10 +211,16 @@ SearchResult LocalSearchPlacement(const ModelBuildFn& build,
     if (score < best) {
       best = score;
       placement = std::move(candidate);
+      since_improvement = 0;
+    } else if (options.patience > 0 &&
+               ++since_improvement >= options.patience) {
+      result.stop_reason = "converged";
+      break;
     }
   }
   result.placement = std::move(placement);
   result.iteration_s = best;
+  result.wall_s = SecondsSince(t0);
   return result;
 }
 
@@ -191,12 +228,14 @@ SearchResult CrossEntropyPlacement(const ModelBuildFn& build,
                                    const std::string& model_name,
                                    int64_t batch, const Cluster& cluster,
                                    const SearchOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
   SearchResult result;
   result.global_batch = batch;
   result.graph = Graph(model_name);
   build(result.graph, "", batch);
   const Graph& g = result.graph;
   Rng rng(options.seed * 7919 + 13);
+  const SearchDeadline deadline(options.wall_budget_s);
 
   const auto live = g.LiveOps();
   const size_t n_dev = static_cast<size_t>(cluster.num_devices());
@@ -232,7 +271,13 @@ SearchResult CrossEntropyPlacement(const ModelBuildFn& build,
   std::vector<DeviceId> single(static_cast<size_t>(g.num_slots()), 0);
   double best = Evaluate(g, single, cluster, options, &result.evaluations);
   result.placement = std::move(single);
+  int since_improvement = 0;
+  result.stop_reason = "budget";
   while (result.evaluations + population <= options.budget) {
+    if (deadline.Exceeded()) {
+      result.stop_reason = "deadline";
+      break;
+    }
     std::vector<std::pair<double, std::vector<DeviceId>>> scored;
     scored.reserve(population);
     for (int i = 0; i < population; ++i) {
@@ -246,6 +291,11 @@ SearchResult CrossEntropyPlacement(const ModelBuildFn& build,
     if (scored.front().first < best) {
       best = scored.front().first;
       result.placement = scored.front().second;
+      since_improvement = 0;
+    } else if (options.patience > 0 &&
+               (since_improvement += population) >= options.patience) {
+      result.stop_reason = "converged";
+      break;
     }
     // Refit theta on the elite fraction.
     for (OpId id : live) {
@@ -269,6 +319,7 @@ SearchResult CrossEntropyPlacement(const ModelBuildFn& build,
                     &result.evaluations);
   }
   result.iteration_s = best;
+  result.wall_s = SecondsSince(t0);
   return result;
 }
 
@@ -276,6 +327,7 @@ SearchResult AnnealingSearch(const ModelBuildFn& build,
                              const std::string& model_name, int64_t batch,
                              const Cluster& cluster,
                              const SearchOptions& options) {
+  const auto wall_start = std::chrono::steady_clock::now();
   SearchResult result;
   DataParallelGraph dp = BuildDataParallel(build, model_name, batch,
                                            cluster.num_devices(),
@@ -283,26 +335,37 @@ SearchResult AnnealingSearch(const ModelBuildFn& build,
   result.global_batch = dp.global_batch;
   result.graph = dp.graph;
   Rng rng(options.seed * 131 + 3);
+  const SearchDeadline deadline(options.wall_budget_s);
 
-  // Current state: graph (splits applied) + placement. Start from canonical
-  // data parallelism — the same warm start FlexFlow's search uses.
+  // Current state: graph (splits applied) + placement + the split list that
+  // produced the graph. Start from canonical data parallelism — the same
+  // warm start FlexFlow's search uses.
   Graph current_graph = result.graph;
   auto current_placement = CanonicalDataParallelPlacement(dp);
+  std::vector<SplitDecision> current_splits;
   double current =
       Evaluate(current_graph, current_placement, cluster, options,
                &result.evaluations);
   Graph best_graph = current_graph;
   auto best_placement = current_placement;
+  auto best_splits = current_splits;
   double best = current;
 
+  int since_improvement = 0;
+  result.stop_reason = "budget";
   const double t0 = 0.35;  // initial acceptance temperature (relative)
   while (result.evaluations < options.budget) {
+    if (deadline.Exceeded()) {
+      result.stop_reason = "deadline";
+      break;
+    }
     const double progress = static_cast<double>(result.evaluations) /
                             std::max(1, options.budget);
     const double temperature = t0 * (1.0 - progress);
 
     Graph trial_graph = current_graph;
     auto trial_placement = current_placement;
+    auto trial_splits = current_splits;
     const bool try_split = rng.NextBool(0.15);
     bool mutated = false;
     if (try_split) {
@@ -316,6 +379,7 @@ SearchResult AnnealingSearch(const ModelBuildFn& build,
         const SplitDim dim = dims[rng.NextBelow(dims.size())];
         const int n = 2 << rng.NextBelow(2);  // 2 or 4
         if (!CanSplit(trial_graph, op, dim, n)) continue;
+        trial_splits.push_back({trial_graph.op(op).name, dim, n});
         const auto split = SplitOperation(trial_graph, op, dim, n);
         trial_placement.resize(
             static_cast<size_t>(trial_graph.num_slots()), 0);
@@ -347,16 +411,26 @@ SearchResult AnnealingSearch(const ModelBuildFn& build,
       current = score;
       current_graph = std::move(trial_graph);
       current_placement = std::move(trial_placement);
+      current_splits = std::move(trial_splits);
       if (current < best) {
         best = current;
         best_graph = current_graph;
         best_placement = current_placement;
+        best_splits = current_splits;
+        since_improvement = 0;
+        continue;
       }
+    }
+    if (options.patience > 0 && ++since_improvement >= options.patience) {
+      result.stop_reason = "converged";
+      break;
     }
   }
   result.graph = std::move(best_graph);
   result.placement = std::move(best_placement);
+  result.splits = std::move(best_splits);
   result.iteration_s = best;
+  result.wall_s = SecondsSince(wall_start);
   return result;
 }
 

@@ -26,24 +26,15 @@
 #include <string>
 
 #include "core/data_parallel.h"
+#include "core/portfolio.h"
 #include "core/strategy.h"
 #include "sim/exec_sim.h"
 
 namespace fastt {
 
-struct SearchResult {
-  Graph graph;
-  std::vector<DeviceId> placement;
-  double iteration_s = 0.0;  // best feasible candidate's simulated time
-  int evaluations = 0;       // simulator calls spent
-  int64_t global_batch = 0;
-};
-
-struct SearchOptions {
-  int budget = 200;        // candidate evaluations
-  uint64_t seed = 11;
-  double noise_cv = 0.0;   // evaluation noise (0: deterministic objective)
-};
+// SearchResult / SearchOptions / SearchDeadline moved to core/portfolio.h so
+// the portfolio racer in src/core can consume searcher results without a
+// layering inversion; this header re-exports them for existing includers.
 
 // REINFORCE-like: random model-parallel placements of the bare model graph.
 SearchResult RandomSearchPlacement(const ModelBuildFn& build,
@@ -80,5 +71,48 @@ SearchResult AnnealingSearch(const ModelBuildFn& build,
                              const std::string& model_name, int64_t batch,
                              const Cluster& cluster,
                              const SearchOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Published-rival reimplementations (rivals.cc) — white-box constructive
+// schedulers from the systems the ROADMAP's searcher arena names. All are
+// deterministic one-shot constructions on the bare model graph (evaluations
+// == 1, stop_reason "constructed"), consuming the same analytic ground-truth
+// durations GreedyRankPlacement uses.
+
+// Baechi-style m-ETF: memory-constrained earliest-task-first list scheduling.
+// Among all (ready op, device) pairs, repeatedly commit the pair with the
+// earliest start time, skipping devices whose memory budget the op's
+// footprint would overflow (Baechi's m-ETF on the profiled-memory cap).
+SearchResult MEtfPlacement(const ModelBuildFn& build,
+                           const std::string& model_name, int64_t batch,
+                           const Cluster& cluster,
+                           const SearchOptions& options = {});
+
+// Baechi-style m-SCT: ETF under the small-communication-times relaxation —
+// each op designates its heaviest out-edge consumer as its favorite child,
+// whose transfer is priced at zero during scheduling (the LP relaxation's
+// "communication hidden for one child" assumption). The final objective is
+// still the real simulation, so optimism shapes only the construction.
+SearchResult MSctPlacement(const ModelBuildFn& build,
+                           const std::string& model_name, int64_t batch,
+                           const Cluster& cluster,
+                           const SearchOptions& options = {});
+
+// Tarnawski-style DP pipeline partitioner: contiguous topo-order prefixes
+// assigned to devices 0..D-1 by an O(D·n²) dynamic program minimizing the
+// pipeline bottleneck (per-stage compute + cut-bytes transfer into the
+// stage). Empty stages are allowed, so small graphs use few devices.
+SearchResult DpPipelinePlacement(const ModelBuildFn& build,
+                                 const std::string& model_name, int64_t batch,
+                                 const Cluster& cluster,
+                                 const SearchOptions& options = {});
+
+// Mayer-style critical-path heuristic: iteratively peel the longest
+// remaining path and assign it wholesale to the least-loaded device
+// (Mayer et al.'s CP splitting rule for model parallelism).
+SearchResult CriticalPathPlacement(const ModelBuildFn& build,
+                                   const std::string& model_name,
+                                   int64_t batch, const Cluster& cluster,
+                                   const SearchOptions& options = {});
 
 }  // namespace fastt

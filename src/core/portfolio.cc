@@ -1,0 +1,220 @@
+#include "core/portfolio.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <utility>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "sim/exec_sim.h"
+#include "util/thread_pool.h"
+
+namespace fastt {
+
+std::vector<OpId> ExecutionOrderOf(const SearchResult& result,
+                                   const Cluster& cluster) {
+  if (!result.execution_order.empty()) return result.execution_order;
+  // Derive the order a FIFO dispatch actually runs: noise-free simulation,
+  // ops sorted by start time. Ties (zero-duration ops, parallel branches
+  // starting together) break by topological position so the derived order
+  // always extends the dependency partial order — the verifier's order.deps
+  // rule holds by construction.
+  SimOptions so;
+  so.track_memory = false;
+  const SimResult sim = Simulate(result.graph, result.placement, cluster, so);
+  const std::vector<OpId> topo = result.graph.TopoOrder();
+  std::vector<int32_t> topo_pos(static_cast<size_t>(result.graph.num_slots()),
+                                0);
+  for (size_t i = 0; i < topo.size(); ++i)
+    topo_pos[static_cast<size_t>(topo[i])] = static_cast<int32_t>(i);
+  std::vector<OpId> order = result.graph.LiveOps();
+  std::stable_sort(order.begin(), order.end(), [&](OpId a, OpId b) {
+    const double sa = sim.op_records[static_cast<size_t>(a)].start;
+    const double sb = sim.op_records[static_cast<size_t>(b)].start;
+    if (sa != sb) return sa < sb;
+    return topo_pos[static_cast<size_t>(a)] < topo_pos[static_cast<size_t>(b)];
+  });
+  return order;
+}
+
+double ResimulateIteration(const SearchResult& result,
+                           const Cluster& cluster) {
+  SimOptions so;
+  if (!result.execution_order.empty()) {
+    so.dispatch = DispatchMode::kPriority;
+    so.priorities = PrioritiesFromOrder(result.execution_order,
+                                        result.graph.num_slots());
+  }
+  // Noise-free, memory-tracked — the searchers' own noise_cv=0 evaluation
+  // options (including the OOM-is-infeasible convention), so reported
+  // objectives must reproduce bit-exactly.
+  const SimResult sim = Simulate(result.graph, result.placement, cluster, so);
+  return sim.oom ? std::numeric_limits<double>::infinity() : sim.makespan;
+}
+
+Strategy StrategyFromSearchResult(const SearchResult& result,
+                                  const Cluster& cluster) {
+  Strategy strategy;
+  strategy.placement = result.placement;
+  strategy.execution_order = ExecutionOrderOf(result, cluster);
+  strategy.splits = result.splits;
+  strategy.predicted_makespan = ResimulateIteration(result, cluster);
+  return strategy;
+}
+
+namespace {
+
+// Per-racer slot written by ParallelFor; reduced serially in registry order.
+struct RaceSlot {
+  SearchResult result;
+  Strategy strategy;
+  VerifyResult verify;
+};
+
+}  // namespace
+
+PortfolioResult PortfolioSearch(const std::vector<ArenaSearcher>& searchers,
+                                const ModelBuildFn& build,
+                                const std::string& model_name, int64_t batch,
+                                const Cluster& cluster,
+                                const PortfolioOptions& options) {
+  FASTT_TRACE_SPAN("portfolio/search");
+  PortfolioResult out;
+  const size_t n = searchers.size();
+  out.entries.resize(n);
+  std::vector<RaceSlot> slots(n);
+
+  ParallelFor(n, [&](size_t i) {
+    FASTT_TRACE_SPAN("portfolio/racer");
+    RaceSlot& slot = slots[i];
+    SearchOptions search = options.search;
+    if (options.budget_s > 0.0) search.wall_budget_s = options.budget_s;
+    const auto t0 = std::chrono::steady_clock::now();
+    slot.result = searchers[i].fn(build, model_name, batch, cluster, search);
+    if (slot.result.wall_s <= 0.0)
+      slot.result.wall_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+    // A searcher whose every candidate was infeasible can return an empty
+    // placement; don't hand that to the simulator — just disqualify it.
+    if (slot.result.placement.size() !=
+        static_cast<size_t>(slot.result.graph.num_slots())) {
+      slot.strategy.predicted_makespan =
+          std::numeric_limits<double>::infinity();
+      slot.result.verified = false;
+      return;
+    }
+    slot.strategy = StrategyFromSearchResult(slot.result, cluster);
+    if (options.verify) {
+      slot.verify = VerifyStrategy(slot.result.graph, slot.strategy, cluster,
+                                   nullptr, options.verifier);
+      slot.result.verified = slot.verify.ok();
+    } else {
+      slot.result.verified = true;
+    }
+  });
+
+  // Serial registry-order reduction: provenance emission and the winner
+  // pick are a pure function of the slot contents, so any --jobs width
+  // produces the identical entry table, event log, and winner.
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  for (size_t i = 0; i < n; ++i) {
+    const RaceSlot& slot = slots[i];
+    PortfolioEntry& e = out.entries[i];
+    e.searcher = searchers[i].name;
+    e.family = searchers[i].family;
+    e.iteration_s = slot.result.iteration_s;
+    e.resim_s = slot.strategy.predicted_makespan;
+    e.evaluations = slot.result.evaluations;
+    e.wall_s = slot.result.wall_s;
+    e.global_batch = slot.result.global_batch;
+    e.verified = slot.result.verified;
+    e.verify_errors = slot.verify.errors;
+    e.verify_warnings = slot.verify.warnings;
+    e.stop_reason = slot.result.stop_reason;
+    metrics.AddCounter("arena/" + e.searcher + "/runs");
+    metrics.AddCounter("arena/" + e.searcher + "/evaluations", e.evaluations);
+    metrics.RecordHistogram("arena/searcher_wall_s", e.wall_s);
+    out.events.Emit("arena_searcher")
+        .Str("searcher", e.searcher)
+        .Str("family", e.family)
+        .Number("iteration_s", e.iteration_s)
+        .Number("resim_s", e.resim_s)
+        .Int("evaluations", e.evaluations)
+        .Number("wall_s", e.wall_s)
+        .Bool("verified", e.verified)
+        .Int("verify_errors", e.verify_errors)
+        .Int("verify_warnings", e.verify_warnings)
+        .Str("stop_reason", e.stop_reason);
+    if (!e.verified) continue;
+    if (out.winner < 0 ||
+        e.resim_s < out.entries[static_cast<size_t>(out.winner)].resim_s)
+      out.winner = static_cast<int>(i);
+  }
+
+  metrics.AddCounter("arena/portfolio_runs");
+  if (out.winner >= 0) {
+    RaceSlot& won = slots[static_cast<size_t>(out.winner)];
+    PortfolioEntry& we = out.entries[static_cast<size_t>(out.winner)];
+    we.winner = true;
+    out.graph = std::move(won.result.graph);
+    out.strategy = std::move(won.strategy);
+    out.winner_verify = std::move(won.verify);
+    out.iteration_s = we.resim_s;
+    out.global_batch = we.global_batch;
+    metrics.SetGauge("arena/winner_iteration_s", out.iteration_s);
+    out.events.Emit("arena_winner")
+        .Str("searcher", we.searcher)
+        .Str("family", we.family)
+        .Number("iteration_s", out.iteration_s)
+        .Int("contenders", static_cast<int64_t>(n))
+        .Bool("verified", true);
+  } else {
+    out.events.Emit("arena_winner")
+        .Str("searcher", "")
+        .Int("contenders", static_cast<int64_t>(n))
+        .Bool("verified", false);
+  }
+  return out;
+}
+
+std::string PortfolioToJson(const std::string& model_name, int64_t batch,
+                            const Cluster& cluster,
+                            const PortfolioResult& result) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("fastt_arena").Int(1);
+  w.Key("model").String(model_name);
+  w.Key("global_batch").Int(batch);
+  w.Key("devices").Int(static_cast<int64_t>(cluster.num_devices()));
+  w.Key("searchers").BeginArray();
+  for (const PortfolioEntry& e : result.entries) {
+    w.BeginObject();
+    w.Key("searcher").String(e.searcher);
+    w.Key("family").String(e.family);
+    w.Key("iteration_s").Number(e.iteration_s);
+    w.Key("resim_s").Number(e.resim_s);
+    w.Key("evaluations").Int(e.evaluations);
+    w.Key("wall_s").Number(e.wall_s);
+    w.Key("global_batch").Int(e.global_batch);
+    w.Key("verified").Bool(e.verified);
+    w.Key("verify_errors").Int(e.verify_errors);
+    w.Key("verify_warnings").Int(e.verify_warnings);
+    w.Key("stop_reason").String(e.stop_reason);
+    w.Key("winner").Bool(e.winner);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("winner");
+  if (result.winner >= 0)
+    w.String(result.entries[static_cast<size_t>(result.winner)].searcher);
+  else
+    w.String("");
+  w.Key("winner_iteration_s").Number(result.iteration_s);
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace fastt

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
 #include "baselines/searchers.h"
 #include "models/model_zoo.h"
 
@@ -9,6 +12,11 @@ namespace {
 void ExpectValid(const SearchResult& r, const Cluster& c) {
   EXPECT_GT(r.iteration_s, 0.0);
   EXPECT_LT(r.iteration_s, 100.0);
+  // Provenance fields every searcher must now fill: how long the search
+  // ran and why it stopped ("budget" vs "converged" vs "constructed" vs
+  // "deadline" — previously indistinguishable from the result).
+  EXPECT_GT(r.wall_s, 0.0);
+  EXPECT_FALSE(r.stop_reason.empty());
   for (OpId id : r.graph.LiveOps()) {
     const DeviceId d = r.placement[static_cast<size_t>(id)];
     EXPECT_GE(d, 0);
@@ -95,6 +103,51 @@ TEST(Annealing, BudgetRespected) {
   options.budget = 25;
   const auto sa = AnnealingSearch(spec.build, spec.name, 64, c, options);
   EXPECT_LE(sa.evaluations, options.budget + 1);
+  EXPECT_EQ(sa.stop_reason, "budget");
+}
+
+TEST(Annealing, RecordsAcceptedSplitDecisions) {
+  // The best graph's rewrites are reported as SplitDecisions, so a verifier
+  // can line the split list up against the rewritten graph. With splits
+  // disabled by budget the list is empty; with a long run each recorded
+  // decision names a real parent op.
+  const ModelSpec& spec = FindModel("alexnet");
+  const Cluster c = Cluster::SingleServer(2);
+  SearchOptions options;
+  options.budget = 200;
+  const auto sa = AnnealingSearch(spec.build, spec.name, 64, c, options);
+  for (const SplitDecision& s : sa.splits) {
+    EXPECT_GE(s.num_splits, 2);
+    EXPECT_NE(s.dim, SplitDim::kNone);
+    // The first sub-op is live in the best graph, unless a later recorded
+    // decision re-split it (the verifier's chained-split rule).
+    const std::string part0 = s.op_name + "/part0";
+    const bool live = sa.graph.FindOp(part0) != kInvalidOp;
+    const bool resplit =
+        std::any_of(sa.splits.begin(), sa.splits.end(),
+                    [&](const SplitDecision& o) { return o.op_name == part0; });
+    EXPECT_TRUE(live || resplit) << part0;
+  }
+}
+
+TEST(Searchers, StopReasonDistinguishesBudgetFromConvergence) {
+  const ModelSpec& spec = FindModel("lenet");
+  const Cluster c = Cluster::SingleServer(2);
+  SearchOptions options;
+  options.budget = 30;
+  const auto exhausted =
+      RandomSearchPlacement(spec.build, spec.name, 64, c, options);
+  EXPECT_EQ(exhausted.stop_reason, "budget");
+  EXPECT_GE(exhausted.evaluations, options.budget);
+
+  options.budget = 100000;
+  options.patience = 5;
+  const auto converged =
+      RandomSearchPlacement(spec.build, spec.name, 64, c, options);
+  EXPECT_EQ(converged.stop_reason, "converged");
+  EXPECT_LT(converged.evaluations, options.budget);
+  // Convergence never forfeits quality found before the stop.
+  EXPECT_LE(converged.iteration_s, exhausted.iteration_s * 2.0);
 }
 
 }  // namespace

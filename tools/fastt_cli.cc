@@ -43,6 +43,13 @@
 //       file whose split list is re-applied to the base graph; without, the
 //       strategy a pre-training round would compute (bootstrap profile +
 //       OS-DPOS). Exits nonzero when any error-severity rule fires.
+//   fastt arena <model> [--gpus N] [--batch B] [--budget-ms T] [--json F]
+//       Race every registered searcher (FastT's DPOS pipeline, the Fig. 3
+//       black-box stand-ins, and the published-rival schedulers) on the
+//       shared search pool under a wall-clock budget, verify every
+//       candidate, and report the per-searcher table plus the winning
+//       verified strategy's diagnostics. Exits nonzero when no candidate
+//       passes verification.
 //
 // Every command also accepts `--jobs N` (or FASTT_JOBS=N) to parallelize the
 // strategy search across N threads — the computed strategy is bit-identical
@@ -52,6 +59,7 @@
 // `--trace-search <out.json>` (or FASTT_TRACE_SEARCH=path) to record the
 // strategy search itself as a Chrome trace.
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -60,7 +68,9 @@
 
 #include "analysis/verifier.h"
 #include "baselines/allreduce_dp.h"
+#include "baselines/searcher_registry.h"
 #include "core/data_parallel.h"
+#include "core/portfolio.h"
 #include "core/model_parallel.h"
 #include "core/os_dpos.h"
 #include "core/pipeline.h"
@@ -100,6 +110,7 @@ struct Args {
   int gpus = 4;
   int servers = 1;
   int jobs = 0;  // --jobs: search threads; 0 = keep FASTT_JOBS / default
+  int budget_ms = 2000;  // --budget-ms: arena wall-clock budget per racer
   int64_t batch = 0;  // 0 = model default
   Scaling scaling = Scaling::kStrong;
   BenchDiffOptions diff;  // bench-diff: --threshold / --min-repeats / ...
@@ -122,6 +133,8 @@ Args Parse(int argc, char** argv) {
       args.batch = std::atoll(next());
     } else if (a == "--jobs") {
       args.jobs = std::atoi(next());
+    } else if (a == "--budget-ms") {
+      args.budget_ms = std::atoi(next());
     } else if (a == "--op") {
       args.op = next();
     } else if (a == "--strategy") {
@@ -761,6 +774,65 @@ int CmdVerify(const Args& args) {
   return result.ok() ? 0 : 1;
 }
 
+int CmdArena(const Args& args) {
+  const ModelSpec& spec = FindModel(args.model);
+  const int64_t batch = args.batch > 0 ? args.batch : spec.strong_batch;
+  const Cluster cluster = MakeCluster(args);
+  const auto& roster = RegisteredSearchers();
+  std::printf("searcher arena: %s, batch %lld, %s — %zu searchers, "
+              "%d ms budget, %d jobs\n\n",
+              spec.name.c_str(), (long long)batch,
+              cluster.ToString().c_str(), roster.size(), args.budget_ms,
+              SearchJobs());
+
+  PortfolioOptions options;
+  options.budget_s = static_cast<double>(args.budget_ms) / 1e3;
+  const PortfolioResult result = PortfolioSearch(
+      roster, spec.build, spec.name, batch, cluster, options);
+
+  TablePrinter table({"searcher", "family", "iteration", "resim", "evals",
+                      "wall", "verify", "stop", ""});
+  for (const PortfolioEntry& e : result.entries) {
+    const bool finite = std::isfinite(e.iteration_s);
+    table.AddRow(
+        {e.searcher, e.family,
+         finite ? StrFormat("%.3f ms", e.iteration_s * 1e3) : "OOM",
+         std::isfinite(e.resim_s) ? StrFormat("%.3f ms", e.resim_s * 1e3)
+                                  : "-",
+         StrFormat("%d", e.evaluations), StrFormat("%.2f s", e.wall_s),
+         e.verified ? "PASS" : StrFormat("%d errors", e.verify_errors),
+         e.stop_reason, e.winner ? "<- winner" : ""});
+  }
+  table.Print();
+
+  if (result.winner < 0) {
+    std::printf("\nno searcher produced a verified strategy\n");
+    MaybeWriteMetrics(args, &result.events);
+    return 1;
+  }
+  const PortfolioEntry& winner =
+      result.entries[static_cast<size_t>(result.winner)];
+  std::printf("\nwinner: %s (%s), %.3f ms/iteration, %zu splits, "
+              "%zu-op order\n",
+              winner.searcher.c_str(), winner.family.c_str(),
+              result.iteration_s * 1e3, result.strategy.splits.size(),
+              result.strategy.execution_order.size());
+  std::fputs(RenderDiagnostics(result.graph, result.winner_verify).c_str(),
+             stdout);
+
+  if (!args.json_path.empty()) {
+    std::ofstream out(args.json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", args.json_path.c_str());
+      return 2;
+    }
+    out << PortfolioToJson(spec.name, batch, cluster, result) << "\n";
+    std::printf("wrote arena JSON to %s\n", args.json_path.c_str());
+  }
+  MaybeWriteMetrics(args, &result.events);
+  return 0;
+}
+
 int CmdBenchDiff(const Args& args) {
   BenchHistoryDoc old_doc;
   BenchHistoryDoc new_doc;
@@ -811,6 +883,9 @@ constexpr CommandSpec kCommands[] = {
     {"verify",
      "fastt verify <model> [--strategy f] [--gpus N] [--servers S] "
      "[--batch B] [--json F]"},
+    {"arena",
+     "fastt arena <model> [--gpus N] [--servers S] [--batch B] "
+     "[--budget-ms T] [--jobs N] [--json F]"},
 };
 
 int Usage() {
@@ -877,6 +952,8 @@ int Dispatch(const Args& args) {
     return args.model.empty() ? CommandUsage(args.command) : CmdMemstat(args);
   if (args.command == "verify")
     return args.model.empty() ? CommandUsage(args.command) : CmdVerify(args);
+  if (args.command == "arena")
+    return args.model.empty() ? CommandUsage(args.command) : CmdArena(args);
   if (args.command == "bench-diff") {
     if (args.model.empty() || args.path.empty())
       return CommandUsage(args.command);
