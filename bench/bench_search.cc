@@ -93,6 +93,7 @@ SearchTiming TimeSearch(const SearchInput& in, int jobs, int repeat) {
 struct SearchAllocStats {
   std::vector<double> allocs;      // heap allocations per search run
   std::vector<double> peak_bytes;  // high-water tagged live bytes per run
+  std::vector<double> obs_allocs;  // kObs-tagged allocations per run
 };
 
 // Allocation telemetry for the search, measured on separate untracked-time
@@ -112,6 +113,12 @@ SearchAllocStats MeasureSearchAllocs(const SearchInput& in, int jobs,
     (void)os;
     s.allocs.push_back(static_cast<double>(mem.total_allocs()));
     s.peak_bytes.push_back(static_cast<double>(mem.total_peak_bytes()));
+    // The interned-handle contract: the search hot path records metrics
+    // through pre-resolved handles and never allocates obs-tagged memory,
+    // so this series pins at the fixed per-search setup count (event-log
+    // lines from the committed rounds). A jump here means someone put a
+    // string-keyed metric lookup back inside the probe loop.
+    s.obs_allocs.push_back(static_cast<double>(mem.stats(MemTag::kObs).allocs));
   }
   SetSearchJobs(1);
   return s;
@@ -361,9 +368,10 @@ int Run(int argc, char** argv) {
   std::printf("strategies byte-identical across jobs: %s\n",
               identical ? "yes" : "NO");
   if (!allocs.allocs.empty()) {
-    std::printf("search heap: %.0f tagged allocs, %s peak per run\n",
-                allocs.allocs.front(),
-                HumanBytes(allocs.peak_bytes.front()).c_str());
+    std::printf(
+        "search heap: %.0f tagged allocs (%.0f obs), %s peak per run\n",
+        allocs.allocs.front(), allocs.obs_allocs.front(),
+        HumanBytes(allocs.peak_bytes.front()).c_str());
   }
 
   TablePrinter arena_table({"arena searcher", "iteration", "wall", ""});
@@ -425,6 +433,7 @@ int Run(int argc, char** argv) {
         seconds("osdpos_parallel_s", parallel.samples),
         counted("osdpos_allocs", "count", allocs.allocs),
         counted("osdpos_peak_bytes", "bytes", allocs.peak_bytes),
+        counted("osdpos_obs_allocs", "count", allocs.obs_allocs),
         seconds("resim_full_s", resim.full_samples),
         seconds("resim_incremental_s", resim.incremental_samples),
         seconds("resim_tail_full_s", tail.full_samples),

@@ -1,0 +1,211 @@
+#!/usr/bin/env python3
+"""Validate an OpenMetrics text exposition (promtool-lite, stdlib only).
+
+Usage: check_openmetrics.py <file> [--require-metric NAME ...]
+
+Checks the subset of the OpenMetrics 1.0 spec that WriteOpenMetrics
+promises to produce:
+
+  * the exposition ends with exactly one `# EOF\n` terminator;
+  * every sample line parses as `name[{labels}] value` with a valid
+    metric name ([a-zA-Z_:][a-zA-Z0-9_:]*) and a finite decimal value;
+  * every metric family has a `# TYPE` line *before* its first sample,
+    with a known type (counter, gauge, summary, histogram);
+  * counter samples end in `_total`; summaries expose only `_count` and
+    `_sum`; histogram `le` buckets are cumulative, finite-ascending, and
+    end with a `+Inf` bucket equal to `_count`;
+  * family blocks are contiguous (no interleaving) and no family or
+    sample-with-identical-labels repeats.
+
+Exits 0 and prints a one-line summary on success; prints every violation
+with its line number and exits 1 otherwise.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+# `name{labels} value` or `name value` — labels are parsed separately.
+SAMPLE_RE = re.compile(r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+                       r"(?:\{(?P<labels>[^}]*)\})?"
+                       r" (?P<value>\S+)$")
+LABEL_RE = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>[^"]*)"$')
+KNOWN_TYPES = {"counter", "gauge", "summary", "histogram"}
+# Suffixes that belong to the family rather than naming a new metric.
+FAMILY_SUFFIXES = ("_total", "_count", "_sum", "_bucket")
+
+
+def family_of(sample_name: str) -> str:
+    for suffix in FAMILY_SUFFIXES:
+        if sample_name.endswith(suffix):
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def parse_value(text: str):
+    if text in ("+Inf", "-Inf", "NaN"):
+        return float(text.replace("Inf", "inf").replace("NaN", "nan"))
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def check(path: str, required: list) -> list:
+    with open(path, "r", encoding="utf-8") as f:
+        text = f.read()
+    errors = []
+
+    def err(lineno, message):
+        errors.append(f"{path}:{lineno}: {message}")
+
+    if not text.endswith("# EOF\n"):
+        err(text.count("\n") + 1, "exposition must end with '# EOF\\n'")
+    if text.count("# EOF") != 1:
+        err(0, "exactly one '# EOF' terminator expected")
+
+    types = {}           # family -> declared type
+    samples = {}         # family -> list of (lineno, name, labels, value)
+    family_order = []    # families in first-seen order, for contiguity
+    seen_series = set()  # (name, labels) pairs, for duplicate detection
+    current_family = None
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line == "# EOF":
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                err(lineno, f"malformed TYPE line: {line!r}")
+                continue
+            _, _, family, mtype = parts
+            if not NAME_RE.match(family):
+                err(lineno, f"bad metric family name {family!r}")
+            if mtype not in KNOWN_TYPES:
+                err(lineno, f"unknown metric type {mtype!r}")
+            if family in types:
+                err(lineno, f"duplicate TYPE for family {family!r}")
+            types[family] = mtype
+            current_family = family
+            family_order.append(family)
+            continue
+        if line.startswith("# HELP ") or line.startswith("# UNIT "):
+            continue
+        if line.startswith("#"):
+            err(lineno, f"unrecognized comment line: {line!r}")
+            continue
+        if not line.strip():
+            err(lineno, "blank lines are not allowed in OpenMetrics")
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            err(lineno, f"unparsable sample line: {line!r}")
+            continue
+        name = m.group("name")
+        labels = {}
+        raw_labels = m.group("labels")
+        if raw_labels:
+            for pair in raw_labels.split(","):
+                lm = LABEL_RE.match(pair)
+                if not lm:
+                    err(lineno, f"bad label pair {pair!r} in {line!r}")
+                    continue
+                labels[lm.group("key")] = lm.group("val")
+        value = parse_value(m.group("value"))
+        if value is None or math.isnan(value):
+            err(lineno, f"bad sample value {m.group('value')!r}")
+            continue
+
+        family = family_of(name)
+        if family not in types:
+            err(lineno, f"sample {name!r} has no preceding TYPE line")
+            continue
+        if family != current_family:
+            err(lineno,
+                f"sample {name!r} interleaves into family "
+                f"{current_family!r}; families must be contiguous")
+        series_key = (name, tuple(sorted(labels.items())))
+        if series_key in seen_series:
+            err(lineno, f"duplicate series {name!r} {labels}")
+        seen_series.add(series_key)
+        samples.setdefault(family, []).append((lineno, name, labels, value))
+
+    # Per-family shape checks.
+    for family, mtype in types.items():
+        rows = samples.get(family, [])
+        if not rows:
+            err(0, f"family {family!r} declared but has no samples")
+            continue
+        first_line = rows[0][0]
+        names = [n for _, n, _, _ in rows]
+        if mtype == "counter":
+            for lineno, name, _, value in rows:
+                if not name.endswith("_total"):
+                    err(lineno, f"counter sample {name!r} must end _total")
+                if value < 0:
+                    err(lineno, f"counter {name!r} is negative ({value})")
+        elif mtype == "summary":
+            expected = {family + "_count", family + "_sum"}
+            if set(names) != expected:
+                err(first_line,
+                    f"summary {family!r} exposes {sorted(set(names))}, "
+                    f"expected exactly {sorted(expected)}")
+        elif mtype == "histogram":
+            buckets = [(ln, lb, v) for ln, n, lb, v in rows
+                       if n == family + "_bucket"]
+            count = next((v for _, n, _, v in rows
+                          if n == family + "_count"), None)
+            has_sum = any(n == family + "_sum" for _, n, _, _ in rows)
+            if count is None or not has_sum:
+                err(first_line,
+                    f"histogram {family!r} must expose _count and _sum")
+            if not buckets or buckets[-1][1].get("le") != "+Inf":
+                err(first_line,
+                    f"histogram {family!r} must end with a +Inf bucket")
+            prev_le, prev_count = -math.inf, 0.0
+            for lineno, labels, value in buckets:
+                le = parse_value(labels.get("le", ""))
+                if le is None:
+                    err(lineno, f"histogram bucket has bad le= {labels}")
+                    continue
+                if le <= prev_le:
+                    err(lineno,
+                        f"histogram {family!r} buckets not ascending "
+                        f"(le={labels.get('le')})")
+                if value < prev_count:
+                    err(lineno,
+                        f"histogram {family!r} buckets not cumulative")
+                prev_le, prev_count = le, value
+            if buckets and count is not None and buckets[-1][2] != count:
+                err(buckets[-1][0],
+                    f"histogram {family!r} +Inf bucket ({buckets[-1][2]}) "
+                    f"!= _count ({count})")
+
+    for name in required:
+        if not any(n == name for keys in samples.values()
+                   for _, n, _, _ in keys):
+            err(0, f"required metric {name!r} not found")
+
+    if not errors:
+        nseries = sum(len(v) for v in samples.values())
+        print(f"{path}: OK — {len(types)} families, {nseries} series")
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file")
+    parser.add_argument("--require-metric", action="append", default=[],
+                        help="fail unless this exact sample name is present")
+    args = parser.parse_args()
+    errors = check(args.file, args.require_metric)
+    for e in errors:
+        print(e, file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,6 @@
 #include "core/dpos.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <map>
@@ -11,6 +10,7 @@
 
 #include "core/rank.h"
 #include "core/timeline.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "util/check.h"
@@ -37,13 +37,17 @@ struct ReadyOp {
 DposResult Dpos(const Graph& g, const Cluster& cluster,
                 const CompCostModel& comp, const CommCostModel& comm,
                 const DposOptions& options) {
-  FASTT_SCOPED_TIMER("dpos/total");
+  // Resolve the ambient registry once; the latency histogram records
+  // through an interned handle so the per-call instrumentation does no
+  // string allocation (Dpos runs once per OS-DPOS trial on pool workers).
+  MetricsRegistry& reg = CurrentMetrics();
+  ScopedTimerRef total_timer(reg, reg.TimerRef("dpos/total"));
   FASTT_TRACE_SPAN("dpos/total");
-  FASTT_SCOPED_LATENCY_HISTOGRAM("dpos/latency_s");
+  ScopedLatencyRef latency_hist(reg, reg.HistogramRef("dpos/latency_s"));
   // Everything Dpos allocates below — scratch vectors, the ready queue, the
   // timelines — inherits the dpos tag through the ambient scope.
   MemTagScope mem_scope(MemTag::kDpos);
-  MetricsRegistry::Global().AddCounter("dpos/invocations");
+  reg.AddCounter("dpos/invocations");
   const int32_t n_dev = cluster.num_devices();
   FASTT_CHECK(n_dev >= 1);
   const size_t slots = static_cast<size_t>(g.num_slots());
@@ -277,6 +281,9 @@ DposResult Dpos(const Graph& g, const Cluster& cluster,
   };
 
   const char* trace = std::getenv("FASTT_DPOS_TRACE");
+  // Setting FASTT_DPOS_TRACE alone is enough to see the per-device score
+  // lines: opt-in diagnostics imply debug verbosity for their own output.
+  if (trace != nullptr) EnsureLogThresholdAtLeast(LogLevel::kDebug);
   TaggedVector<double> scores(static_cast<size_t>(n_dev), kInf);
 
   // Full candidate table for one op, as the scheduler would have seen it at
@@ -343,8 +350,8 @@ DposResult Dpos(const Graph& g, const Cluster& cluster,
           tracing ? static_cast<size_t>(n_dev) + 1 : kMinParallelScoreDevices);
       if (tracing) {
         for (DeviceId d = 0; d < n_dev; ++d)
-          std::fprintf(stderr, "dpos %-28s d%d: score=%.4f\n",
-                       o.name.c_str(), d, scores[static_cast<size_t>(d)]);
+          FASTT_LOG(Debug, "dpos %-28s d%d: score=%.4f", o.name.c_str(), d,
+                    scores[static_cast<size_t>(d)]);
       }
       double best_score = kInf;
       for (DeviceId d = 0; d < n_dev; ++d) {
@@ -394,10 +401,10 @@ DposResult Dpos(const Graph& g, const Cluster& cluster,
   }
   FASTT_CHECK_MSG(placed == static_cast<size_t>(g.num_live_ops()),
                   "DPOS failed to place every op (cycle?)");
-  MetricsRegistry::Global().AddCounter("dpos/ops_placed",
+  CurrentMetrics().AddCounter("dpos/ops_placed",
                                        static_cast<int64_t>(placed));
   if (result.memory_overflow)
-    MetricsRegistry::Global().AddCounter("dpos/memory_overflows");
+    CurrentMetrics().AddCounter("dpos/memory_overflows");
 
   // ---- Execution order & objective ------------------------------------------
   // Sort by scheduled start time, ties broken topologically. Unknown costs

@@ -28,7 +28,15 @@ OsDposResult OsDpos(const Graph& g, const Cluster& cluster,
                     const OsDposOptions& options) {
   FASTT_SCOPED_TIMER("os_dpos/total");
   FASTT_TRACE_SPAN("osdpos/total");
-  MetricsRegistry::Global().AddCounter("os_dpos/invocations");
+  // Resolve the ambient registry once and intern the per-trial histogram
+  // name up front: the trial lambda below runs on pool workers at full
+  // fan-out, and recording through the handle does no string construction
+  // or allocation there (pinned by the memtrack obs-tag gate in
+  // bench_search).
+  MetricsRegistry& metrics = CurrentMetrics();
+  const MetricsRegistry::HistogramHandle trial_latency =
+      metrics.HistogramRef("osdpos/trial_latency_s");
+  metrics.AddCounter("os_dpos/invocations");
   OsDposResult result;
   result.graph = g;
   result.schedule = Dpos(result.graph, cluster, comp, comm, options.dpos);
@@ -85,8 +93,7 @@ OsDposResult OsDpos(const Graph& g, const Cluster& cluster,
     }
     ParallelFor(trials.size(), [&](size_t i) {
       FASTT_TRACE_SPAN("osdpos/trial");
-      ScopedLatencyHistogram latency(MetricsRegistry::Global(),
-                                     "osdpos/trial_latency_s");
+      ScopedLatencyRef latency(metrics, trial_latency);
       Trial& t = trials[i];
       Graph trial = result.graph;
       SplitOperation(trial, op, t.dim, t.n);
@@ -149,7 +156,6 @@ OsDposResult OsDpos(const Graph& g, const Cluster& cluster,
   }
 
   result.schedule.strategy.splits = result.splits;
-  MetricsRegistry& metrics = MetricsRegistry::Global();
   metrics.AddCounter("os_dpos/split_probes",
                      static_cast<int64_t>(result.probes));
   metrics.AddCounter("os_dpos/splits_committed",

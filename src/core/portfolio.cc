@@ -119,7 +119,7 @@ PortfolioResult PortfolioSearch(const std::vector<ArenaSearcher>& searchers,
   // Serial registry-order reduction: provenance emission and the winner
   // pick are a pure function of the slot contents, so any --jobs width
   // produces the identical entry table, event log, and winner.
-  MetricsRegistry& metrics = MetricsRegistry::Global();
+  MetricsRegistry& metrics = CurrentMetrics();
   for (size_t i = 0; i < n; ++i) {
     const RaceSlot& slot = slots[i];
     PortfolioEntry& e = out.entries[i];

@@ -295,7 +295,7 @@ CalculatorResult RunFastT(const ModelBuildFn& build,
                          &result.comm, verify_options);
       summary.verify_errors = verdict.errors;
       summary.verify_warnings = verdict.warnings;
-      MetricsRegistry::Global().AddCounter("verifier/round_checks");
+      CurrentMetrics().AddCounter("verifier/round_checks");
       result.events.Emit("verify")
           .Int("round", summary.round)
           .Bool("ok", verdict.ok())
@@ -309,7 +309,7 @@ CalculatorResult RunFastT(const ModelBuildFn& build,
         summary.splits = static_cast<int>(candidate.splits.size());
         summary.algorithm_s = result.algorithm_time_s - round_algo_before;
         ++result.rollbacks;
-        MetricsRegistry::Global().AddCounter("verifier/round_rejects");
+        CurrentMetrics().AddCounter("verifier/round_rejects");
         result.events.Emit("verify_reject")
             .Int("round", summary.round)
             .Str("rule", summary.verify_reject_rule)
@@ -494,7 +494,7 @@ CalculatorResult RunFastT(const ModelBuildFn& build,
       .Number("algorithm_time_s", result.algorithm_time_s)
       .Bool("oom", result.final_sim.oom);
 
-  MetricsRegistry& metrics = MetricsRegistry::Global();
+  MetricsRegistry& metrics = CurrentMetrics();
   metrics.AddCounter("calculator/runs");
   metrics.AddCounter("calculator/rounds", result.rounds);
   metrics.AddCounter("calculator/rollbacks", result.rollbacks);

@@ -28,9 +28,9 @@ CompCostTable::CompCostTable(const Graph& g, const CompCostModel& model,
     }
     max_time_[static_cast<size_t>(id)] = best;
   }
-  MetricsRegistry::Global().AddCounter("cost/comp_table_builds");
+  CurrentMetrics().AddCounter("cost/comp_table_builds");
   if (unknown > 0) {
-    MetricsRegistry::Global().AddCounter("cost/comp_table_unknown_entries",
+    CurrentMetrics().AddCounter("cost/comp_table_unknown_entries",
                                          unknown);
     FASTT_TRACE_INSTANT("cost/comp_table_unknown", unknown);
   }
@@ -63,9 +63,9 @@ CommCostTable::CommCostTable(const CommCostModel& model, int32_t num_devices)
       }
     }
   }
-  MetricsRegistry::Global().AddCounter("cost/comm_table_builds");
+  CurrentMetrics().AddCounter("cost/comm_table_builds");
   if (unknown > 0) {
-    MetricsRegistry::Global().AddCounter("cost/comm_table_unknown_pairs",
+    CurrentMetrics().AddCounter("cost/comm_table_unknown_pairs",
                                          unknown);
     FASTT_TRACE_INSTANT("cost/comm_table_unknown", unknown);
   }

@@ -21,12 +21,16 @@ const std::vector<ModelSpec>& ModelZoo() {
   return kZoo;
 }
 
-const ModelSpec& FindModel(const std::string& name) {
+const ModelSpec* FindModelOrNull(const std::string& name) {
   for (const ModelSpec& spec : ModelZoo())
-    if (spec.name == name) return spec;
-  FASTT_CHECK_MSG(false, "unknown model: " + name);
-  // Unreachable; FASTT_CHECK_MSG throws.
-  return ModelZoo().front();
+    if (spec.name == name) return &spec;
+  return nullptr;
+}
+
+const ModelSpec& FindModel(const std::string& name) {
+  const ModelSpec* spec = FindModelOrNull(name);
+  FASTT_CHECK_MSG(spec != nullptr, "unknown model: " + name);
+  return *spec;
 }
 
 Graph BuildSingle(const ModelSpec& spec, int64_t batch) {

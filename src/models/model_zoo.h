@@ -29,6 +29,10 @@ const std::vector<ModelSpec>& ModelZoo();
 // Lookup by name ("vgg19", "bert_large", ...). Throws on unknown names.
 const ModelSpec& FindModel(const std::string& name);
 
+// Lookup returning nullptr on unknown names — the CLI uses this to report
+// bad input with an actionable message instead of a raw exception.
+const ModelSpec* FindModelOrNull(const std::string& name);
+
 // Builds a single-replica training graph at the given batch size.
 Graph BuildSingle(const ModelSpec& spec, int64_t batch);
 

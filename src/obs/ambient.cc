@@ -1,0 +1,22 @@
+#include "obs/ambient.h"
+
+namespace fastt {
+namespace {
+
+AmbientTelemetry& Slot() {
+  thread_local AmbientTelemetry slot;
+  return slot;
+}
+
+}  // namespace
+
+const AmbientTelemetry& CurrentAmbientTelemetry() { return Slot(); }
+
+AmbientTelemetry ExchangeAmbientTelemetry(const AmbientTelemetry& bundle) {
+  AmbientTelemetry& slot = Slot();
+  const AmbientTelemetry previous = slot;
+  slot = bundle;
+  return previous;
+}
+
+}  // namespace fastt

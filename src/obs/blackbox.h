@@ -1,0 +1,56 @@
+// Crash black-box: a post-mortem dump of the active TelemetryContext.
+//
+// InstallBlackbox registers handlers for the fatal signals (SIGABRT,
+// SIGSEGV, SIGBUS, SIGFPE, SIGILL) and std::terminate. When one fires, the
+// handler drains the calling thread's ambient context — flight-recorder
+// ring buffers (final trace spans), the last N event-log lines, and a full
+// metrics snapshot — into a `fastt-blackbox/1` JSON file, then re-raises
+// the default disposition so the process still dies with the original
+// signal. An aborted search is thereby debuggable from the artifact it
+// leaves behind instead of from nothing.
+//
+// Honesty note: the dump path allocates and takes locks, which is not
+// async-signal-safe. That is the usual flight-recorder trade-off — a crash
+// inside malloc or while a drain lock is held can lose the dump, but every
+// other abort (CHECK failures, std::abort, uncaught exceptions via
+// terminate) produces one. The handlers reset to SIG_DFL before dumping,
+// so a second fault during the dump terminates immediately rather than
+// recursing.
+//
+// Layout:
+//   {"schema": "fastt-blackbox/1", "reason": "SIGABRT",
+//    "metrics": {...}, "events_total": n, "events": [last N lines...],
+//    "trace": {"spans": [{"name","tid","start_s","dur_s"}...],
+//              "points": n, "dropped_events": n, "dropped_spans": n}}
+#pragma once
+
+#include <string>
+
+namespace fastt {
+
+class TelemetryContext;
+
+struct BlackboxOptions {
+  // Last N event-log lines kept in the dump ("events_total" still reports
+  // the full count).
+  size_t max_events = 64;
+  bool install_terminate_handler = true;
+};
+
+// Arms the black-box: fatal signals and std::terminate will dump the
+// calling thread's ambient context (resolved at crash time) to `path`.
+// Last install wins; the path must stay valid process-wide.
+void InstallBlackbox(const std::string& path,
+                     const BlackboxOptions& options = {});
+
+// Restores default signal dispositions (tests).
+void UninstallBlackbox();
+
+// The dump itself, callable directly (the handler's body): drains
+// `context`'s tracer if enabled and writes the fastt-blackbox/1 document.
+// Returns false on I/O failure.
+bool WriteBlackboxDump(const std::string& path, TelemetryContext& context,
+                       const std::string& reason,
+                       const BlackboxOptions& options = {});
+
+}  // namespace fastt

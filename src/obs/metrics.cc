@@ -202,6 +202,33 @@ int64_t MetricsRegistry::timer_count(const std::string& name) const {
   return it == timers_.end() ? 0 : it->second.count;
 }
 
+MetricsRegistry::TimerHandle MetricsRegistry::TimerRef(
+    const std::string& name) {
+  MutexLock lock(mu_);
+  TimerHandle h;
+  h.cell_ = &timers_[name];  // node-stable, survives Reset()
+  return h;
+}
+
+MetricsRegistry::HistogramHandle MetricsRegistry::HistogramRef(
+    const std::string& name) {
+  MutexLock lock(mu_);
+  HistogramHandle h;
+  h.cell_ = &histograms_[name];  // node-stable, survives Reset()
+  return h;
+}
+
+void MetricsRegistry::Record(TimerHandle handle, double seconds) {
+  MutexLock lock(mu_);
+  ++handle.cell_->count;
+  handle.cell_->total_s += seconds;
+}
+
+void MetricsRegistry::Record(HistogramHandle handle, double value) {
+  MutexLock lock(mu_);
+  handle.cell_->Record(value);
+}
+
 void MetricsRegistry::RecordHistogram(const std::string& name, double value) {
   MutexLock lock(mu_);
   histograms_[name].Record(value);
@@ -229,6 +256,18 @@ void MetricsRegistry::Reset() {
   for (auto& [name, value] : gauges_) value = 0.0;
   for (auto& [name, t] : timers_) t = Timer{};
   for (auto& [name, h] : histograms_) h = HistogramSnapshot{};
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
+  MutexLock lock(mu_);
+  Snapshot snap;
+  for (const auto& [name, value] : counters_)
+    snap.counters[name] = value.load(std::memory_order_relaxed);
+  for (const auto& [name, value] : gauges_) snap.gauges[name] = value;
+  for (const auto& [name, t] : timers_)
+    snap.timers[name] = {t.count, t.total_s};
+  for (const auto& [name, h] : histograms_) snap.histograms[name] = h;
+  return snap;
 }
 
 std::string MetricsRegistry::ToJson() const {

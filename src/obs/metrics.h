@@ -26,8 +26,10 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "util/memtrack.h"
 #include "util/sync.h"
 
 namespace fastt {
@@ -83,9 +85,13 @@ bool HistogramFromJson(const JsonValue& v, HistogramSnapshot* out);
 // ---- Registry -------------------------------------------------------------
 
 class MetricsRegistry {
+ private:
+  struct Timer;  // accumulated seconds + call count; defined below
+
  public:
-  // The process-wide registry used by the FASTT_SCOPED_TIMER macro and the
-  // instrumented library code. Separate instances can be created for tests.
+  // The process-wide registry: the sink for instrumented library code when
+  // no ambient TelemetryContext is installed (see CurrentMetrics below).
+  // Separate instances can be created for tests and contexts.
   static MetricsRegistry& Global();
 
   MetricsRegistry() = default;
@@ -109,6 +115,32 @@ class MetricsRegistry {
   double timer_total_s(const std::string& name) const;
   int64_t timer_count(const std::string& name) const;
 
+  // Interned handles for hot instrumented paths: resolve the name once,
+  // record through the handle with zero string construction, copying or
+  // hashing afterwards. Like CounterRef, handles are node-stable for the
+  // registry's lifetime, across Reset() included. A default-constructed
+  // handle is null and must not be recorded through.
+  class TimerHandle {
+   public:
+    TimerHandle() = default;
+
+   private:
+    friend class MetricsRegistry;
+    Timer* cell_ = nullptr;
+  };
+  class HistogramHandle {
+   public:
+    HistogramHandle() = default;
+
+   private:
+    friend class MetricsRegistry;
+    HistogramSnapshot* cell_ = nullptr;
+  };
+  TimerHandle TimerRef(const std::string& name);
+  HistogramHandle HistogramRef(const std::string& name);
+  void Record(TimerHandle handle, double seconds);
+  void Record(HistogramHandle handle, double value);
+
   // ---- Histograms (log2 buckets, see HistogramSnapshot) ------------------
   void RecordHistogram(const std::string& name, double value);
   // Replaces the stored histogram wholesale — for republished snapshots
@@ -121,6 +153,20 @@ class MetricsRegistry {
   // handle — erasing nodes here would dangle it.
   void Reset();
 
+  // Point-in-time copy of everything, for exporters (OpenMetrics, reports)
+  // that need structured values rather than the JSON string.
+  struct TimerSnapshot {
+    int64_t count = 0;
+    double total_s = 0.0;
+  };
+  struct Snapshot {
+    std::map<std::string, int64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, TimerSnapshot> timers;
+    std::map<std::string, HistogramSnapshot> histograms;
+  };
+  Snapshot TakeSnapshot() const;
+
   // {"counters": {...}, "gauges": {...},
   //  "timers": {"name": {"count": n, "total_s": t, "mean_s": m}},
   //  "histograms": {"name": {...HistogramSnapshot::ToJson...}}}
@@ -131,15 +177,35 @@ class MetricsRegistry {
     int64_t count = 0;
     double total_s = 0.0;
   };
-  mutable Mutex mu_;
   // std::map: deterministic export order and node stability under insert.
+  // Node storage is charged to MemTag::kObs explicitly (not the ambient
+  // tag: registries are constructed and first-touched under arbitrary
+  // scopes), so memtrack can assert the interned-handle hot path performs
+  // no obs-tagged allocation.
+  template <typename V>
+  using TaggedMap = std::map<std::string, V, std::less<std::string>,
+                             TaggedAlloc<std::pair<const std::string, V>>>;
+  template <typename V>
+  static TaggedMap<V> MakeMap() {
+    return TaggedMap<V>(
+        TaggedAlloc<std::pair<const std::string, V>>(MemTag::kObs));
+  }
+
+  mutable Mutex mu_;
   // Counter values are atomic so a CounterRef can be bumped without mu_;
   // the map structure itself is only modified under mu_.
-  std::map<std::string, std::atomic<int64_t>> counters_ FASTT_GUARDED_BY(mu_);
-  std::map<std::string, double> gauges_ FASTT_GUARDED_BY(mu_);
-  std::map<std::string, Timer> timers_ FASTT_GUARDED_BY(mu_);
-  std::map<std::string, HistogramSnapshot> histograms_ FASTT_GUARDED_BY(mu_);
+  TaggedMap<std::atomic<int64_t>> counters_ FASTT_GUARDED_BY(mu_) =
+      MakeMap<std::atomic<int64_t>>();
+  TaggedMap<double> gauges_ FASTT_GUARDED_BY(mu_) = MakeMap<double>();
+  TaggedMap<Timer> timers_ FASTT_GUARDED_BY(mu_) = MakeMap<Timer>();
+  TaggedMap<HistogramSnapshot> histograms_ FASTT_GUARDED_BY(mu_) =
+      MakeMap<HistogramSnapshot>();
 };
+
+// The registry the instrumentation macros write to: the ambient
+// TelemetryContext's registry if a TelemetryScope is installed on this
+// thread, else the process global. Defined in obs/context.cc.
+MetricsRegistry& CurrentMetrics();
 
 // RAII timer: accumulates the scope's wall time under `name` on destruction.
 class ScopedTimer {
@@ -184,6 +250,52 @@ class ScopedLatencyHistogram {
   std::chrono::steady_clock::time_point start_;
 };
 
+// RAII timer through a pre-interned handle: the hot-path sibling of
+// ScopedTimer — no string member, no name lookup at record time.
+class ScopedTimerRef {
+ public:
+  ScopedTimerRef(MetricsRegistry& registry, MetricsRegistry::TimerHandle h)
+      : registry_(registry),
+        handle_(h),
+        start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimerRef() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    registry_.Record(handle_,
+                     std::chrono::duration<double>(elapsed).count());
+  }
+  ScopedTimerRef(const ScopedTimerRef&) = delete;
+  ScopedTimerRef& operator=(const ScopedTimerRef&) = delete;
+
+ private:
+  MetricsRegistry& registry_;
+  MetricsRegistry::TimerHandle handle_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// RAII latency sample through a pre-interned handle: the hot-path sibling
+// of ScopedLatencyHistogram. The per-trial OS-DPOS instrumentation uses
+// this so the instrumented path performs no string allocation.
+class ScopedLatencyRef {
+ public:
+  ScopedLatencyRef(MetricsRegistry& registry,
+                   MetricsRegistry::HistogramHandle h)
+      : registry_(registry),
+        handle_(h),
+        start_(std::chrono::steady_clock::now()) {}
+  ~ScopedLatencyRef() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    registry_.Record(handle_,
+                     std::chrono::duration<double>(elapsed).count());
+  }
+  ScopedLatencyRef(const ScopedLatencyRef&) = delete;
+  ScopedLatencyRef& operator=(const ScopedLatencyRef&) = delete;
+
+ private:
+  MetricsRegistry& registry_;
+  MetricsRegistry::HistogramHandle handle_;
+  std::chrono::steady_clock::time_point start_;
+};
+
 // Full metrics document: the registry plus (optionally) a structured event
 // log under "events" — what `fastt run --metrics out.json` writes.
 std::string MetricsToJson(const MetricsRegistry& registry,
@@ -211,12 +323,12 @@ void PublishMemMetrics(MetricsRegistry& registry);
 
 #define FASTT_TIMER_CONCAT2(a, b) a##b
 #define FASTT_TIMER_CONCAT(a, b) FASTT_TIMER_CONCAT2(a, b)
-// Times the enclosing scope into the global registry under `name`.
+// Times the enclosing scope into the ambient registry under `name`.
 #define FASTT_SCOPED_TIMER(name)                         \
   ::fastt::ScopedTimer FASTT_TIMER_CONCAT(fastt_scoped_timer_, __LINE__)( \
-      ::fastt::MetricsRegistry::Global(), (name))
+      ::fastt::CurrentMetrics(), (name))
 // Records the enclosing scope's wall time into a latency histogram.
 #define FASTT_SCOPED_LATENCY_HISTOGRAM(name)                 \
   ::fastt::ScopedLatencyHistogram FASTT_TIMER_CONCAT(        \
       fastt_scoped_latency_, __LINE__)(                      \
-      ::fastt::MetricsRegistry::Global(), (name))
+      ::fastt::CurrentMetrics(), (name))

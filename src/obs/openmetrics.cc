@@ -1,0 +1,91 @@
+#include "obs/openmetrics.h"
+
+#include <cmath>
+#include <fstream>
+
+#include "obs/metrics.h"
+#include "util/strings.h"
+
+namespace fastt {
+namespace {
+
+// Sample values in the exposition: integers print exactly, doubles with
+// enough digits to round-trip. Non-finite sums can't occur (histogram sums
+// of finite samples), but guard anyway.
+std::string Sample(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::fabs(v) < 9.0e15) {
+    return StrFormat("%lld", static_cast<long long>(v));
+  }
+  return StrFormat("%.17g", v);
+}
+
+}  // namespace
+
+std::string OpenMetricsName(const std::string& name) {
+  std::string out = "fastt_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string OpenMetricsText(const MetricsRegistry& registry) {
+  const MetricsRegistry::Snapshot snap = registry.TakeSnapshot();
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string om = OpenMetricsName(name);
+    out += "# TYPE " + om + " counter\n";
+    out += om + "_total " + StrFormat("%lld", static_cast<long long>(value)) +
+           "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string om = OpenMetricsName(name);
+    out += "# TYPE " + om + " gauge\n";
+    out += om + " " + Sample(value) + "\n";
+  }
+  for (const auto& [name, t] : snap.timers) {
+    const std::string om = OpenMetricsName(name);
+    out += "# TYPE " + om + " summary\n";
+    out += om + "_count " + StrFormat("%lld", static_cast<long long>(t.count)) +
+           "\n";
+    out += om + "_sum " + Sample(t.total_s) + "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string om = OpenMetricsName(name);
+    out += "# TYPE " + om + " histogram\n";
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;
+      const double upper = HistogramBucketUpper(i);
+      // The overflow bucket folds into the mandatory +Inf line below.
+      if (std::isinf(upper)) continue;
+      cumulative += h.buckets[i];
+      out += om + "_bucket{le=\"" + Sample(upper) + "\"} " +
+             StrFormat("%lld", static_cast<long long>(cumulative)) + "\n";
+    }
+    // The +Inf bucket is mandatory and must equal _count.
+    out += om + "_bucket{le=\"+Inf\"} " +
+           StrFormat("%lld", static_cast<long long>(h.count)) + "\n";
+    out += om + "_sum " + Sample(h.sum) + "\n";
+    out += om + "_count " +
+           StrFormat("%lld", static_cast<long long>(h.count)) + "\n";
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+bool WriteOpenMetrics(const std::string& path,
+                      const MetricsRegistry& registry) {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << OpenMetricsText(registry);
+  return static_cast<bool>(file);
+}
+
+}  // namespace fastt

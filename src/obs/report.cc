@@ -1,0 +1,78 @@
+#include "obs/report.h"
+
+#include <fstream>
+
+#include "obs/event_log.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace_export.h"
+
+namespace fastt {
+
+RunReport::RunReport(std::string command, std::string model)
+    : command_(std::move(command)), model_(std::move(model)) {}
+
+void RunReport::SetParam(const std::string& key, int64_t value) {
+  params_.emplace_back(key, value);
+}
+
+void RunReport::SetMetrics(const MetricsRegistry& registry) {
+  metrics_json_ = registry.ToJson();
+}
+
+void RunReport::SetEvents(const EventLog& events) {
+  std::string out = "[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) out += ',';
+    out += events.line(i);
+  }
+  out += "]";
+  events_json_ = std::move(out);
+}
+
+void RunReport::SetTraceSummary(const TraceSummary& summary) {
+  JsonWriter w;
+  w.BeginArray();
+  for (const TracePhase& phase : summary.phases) {
+    w.BeginObject();
+    w.Key("name").String(phase.name);
+    w.Key("count").Int(phase.count);
+    w.Key("total_s").Number(phase.total_s);
+    w.Key("self_s").Number(phase.self_s);
+    w.EndObject();
+  }
+  w.EndArray();
+  trace_phases_json_ = w.str();
+}
+
+void RunReport::AddSection(const std::string& key,
+                           const std::string& raw_json) {
+  sections_.emplace_back(key, raw_json);
+}
+
+std::string RunReport::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String("fastt-report/1");
+  w.Key("command").String(command_);
+  w.Key("model").String(model_);
+  w.Key("params").BeginObject();
+  for (const auto& [key, value] : params_) w.Key(key).Int(value);
+  w.EndObject();
+  if (!metrics_json_.empty()) w.Key("metrics").Raw(metrics_json_);
+  if (!events_json_.empty()) w.Key("events").Raw(events_json_);
+  if (!trace_phases_json_.empty())
+    w.Key("trace_phases").Raw(trace_phases_json_);
+  for (const auto& [key, json] : sections_) w.Key(key).Raw(json);
+  w.EndObject();
+  return w.str();
+}
+
+bool RunReport::Write(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << ToJson() << "\n";
+  return static_cast<bool>(file);
+}
+
+}  // namespace fastt

@@ -12,21 +12,47 @@ int64_t SteadyNowNs() {
       .count();
 }
 
+// Process-wide count of enabled Tracer instances; see TracingActive().
+std::atomic<int64_t> g_enabled_tracers{0};
+
+// Monotonic instance-id source. Ids are never reused, so the per-thread
+// buffer cache can key on them safely across tracer destruction.
+std::atomic<uint64_t> g_next_tracer_id{1};
+
 }  // namespace
+
+bool TracingActive() {
+  return g_enabled_tracers.load(std::memory_order_relaxed) > 0;
+}
 
 Tracer& Tracer::Global() {
   static Tracer* tracer = new Tracer();  // leaked: outlives thread-locals
   return *tracer;
 }
 
+Tracer::Tracer()
+    : id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+Tracer::~Tracer() {
+  if (enabled_.load(std::memory_order_relaxed)) {
+    g_enabled_tracers.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
 void Tracer::Enable() {
   MutexLock lock(mu_);
   epoch_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
   for (auto& buf : buffers_) buf->head.store(0, std::memory_order_relaxed);
-  enabled_.store(true, std::memory_order_release);
+  if (!enabled_.exchange(true, std::memory_order_release)) {
+    g_enabled_tracers.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
-void Tracer::Disable() { enabled_.store(false, std::memory_order_release); }
+void Tracer::Disable() {
+  if (enabled_.exchange(false, std::memory_order_release)) {
+    g_enabled_tracers.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
 
 void Tracer::SetRingCapacity(size_t events) {
   MutexLock lock(mu_);
@@ -38,18 +64,33 @@ void Tracer::SetRingCapacity(size_t events) {
 }
 
 Tracer::ThreadBuffer* Tracer::CurrentBuffer() {
-  // One slot per (tracer, thread). The raw pointer stays valid for the
-  // thread's lifetime because buffers_ holds unique_ptrs and is never
-  // shrunk.
-  thread_local ThreadBuffer* cached = nullptr;
-  thread_local Tracer* cached_owner = nullptr;
-  if (cached != nullptr && cached_owner == this) return cached;
+  // One slot per (tracer, thread), cached thread-locally and keyed by the
+  // tracer's never-reused id so an entry for a destroyed context tracer is
+  // simply dead weight, never a dangling hit. The linear scan is over the
+  // handful of tracers this thread has written to; the common case (one or
+  // two live tracers) hits in the first slot. Buffer pointers stay valid
+  // for the tracer's lifetime because buffers_ holds unique_ptrs and is
+  // never shrunk.
+  struct CacheEntry {
+    uint64_t tracer_id = 0;
+    ThreadBuffer* buf = nullptr;
+  };
+  thread_local std::vector<CacheEntry> cache;
+  for (const CacheEntry& entry : cache) {
+    if (entry.tracer_id == id_) return entry.buf;
+  }
   MutexLock lock(mu_);
   buffers_.push_back(std::make_unique<ThreadBuffer>(capacity_));
   buffers_.back()->tid = static_cast<int>(buffers_.size());
-  cached = buffers_.back().get();
-  cached_owner = this;
-  return cached;
+  ThreadBuffer* buf = buffers_.back().get();
+  // Bound the cache for long-lived worker threads that serve many
+  // short-lived context tracers: evict the oldest entry. If that tracer is
+  // still live and re-entered later, the thread just registers a fresh
+  // buffer with it — a correctness-neutral duplicate.
+  constexpr size_t kMaxCachedTracers = 64;
+  if (cache.size() >= kMaxCachedTracers) cache.erase(cache.begin());
+  cache.push_back({id_, buf});
+  return buf;
 }
 
 double Tracer::NowSinceEpoch() const {

@@ -24,6 +24,13 @@
 // were overwritten by ring wraparound, and begins never closed, are dropped
 // and counted rather than emitted, so a drain is always well-formed.
 //
+// Tracers are instances, not a singleton: every TelemetryContext
+// (obs/context.h) owns one, and the macros resolve theirs through the
+// ambient slot (obs/ambient.h), falling back to Tracer::Global(). The
+// disabled fast path stays one relaxed load: TracingActive() counts enabled
+// tracers process-wide, and only when it is nonzero do the macros resolve
+// the ambient slot and check that tracer's own flag.
+//
 // This header is dependency-free (library fastt_tracer) so the thread pool
 // in fastt_util can be instrumented without a util <-> obs cycle; Chrome
 // JSON export and summarization live in obs/trace_export.h.
@@ -35,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/ambient.h"
 #include "util/sync.h"
 
 namespace fastt {
@@ -74,10 +82,12 @@ struct TraceDump {
 
 class Tracer {
  public:
-  // Process-wide instance used by the FASTT_TRACE_* macros.
+  // Process-wide instance: the macros' sink when no ambient context is
+  // installed (see CurrentTracer below).
   static Tracer& Global();
 
-  Tracer() = default;
+  Tracer();
+  ~Tracer();
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
@@ -129,6 +139,10 @@ class Tracer {
   ThreadBuffer* CurrentBuffer();
   double NowSinceEpoch() const;
 
+  // Never-reused instance id: the per-thread buffer cache keys on it, so an
+  // entry for a destroyed tracer can't be mistaken for a new tracer that
+  // happens to land at the same address.
+  const uint64_t id_;
   std::atomic<bool> enabled_{false};
   mutable Mutex mu_;
   // The registry of per-thread buffers is guarded; each buffer's ring is
@@ -142,25 +156,40 @@ class Tracer {
   std::atomic<int64_t> epoch_ns_{0};
 };
 
-// RAII span. Captures the enabled flag at entry so a span opened while
-// tracing is on always closes (Disable mid-span leaves at worst one
-// unpaired end, which the drain drops).
+// True when at least one Tracer instance anywhere in the process is
+// enabled. One relaxed load: this is the only cost the macros pay when
+// tracing is off, same as the old single-global design.
+bool TracingActive();
+
+// The tracer the macros write to: the ambient context's tracer if a
+// TelemetryScope is installed on this thread, else the process global.
+inline Tracer& CurrentTracer() {
+  Tracer* ambient = CurrentAmbientTelemetry().tracer;
+  return ambient != nullptr ? *ambient : Tracer::Global();
+}
+
+// RAII span. Resolves and pins the ambient tracer at entry so a span opened
+// while tracing is on always closes on the same sink (Disable mid-span
+// leaves at worst one unpaired end, which the drain drops).
 class TraceScope {
  public:
   explicit TraceScope(const char* name) {
-    Tracer& t = Tracer::Global();
+    if (!TracingActive()) return;
+    Tracer& t = CurrentTracer();
     if (t.enabled()) {
+      tracer_ = &t;
       name_ = name;
       t.BeginSpan(name);
     }
   }
   ~TraceScope() {
-    if (name_ != nullptr) Tracer::Global().EndSpan(name_);
+    if (tracer_ != nullptr) tracer_->EndSpan(name_);
   }
   TraceScope(const TraceScope&) = delete;
   TraceScope& operator=(const TraceScope&) = delete;
 
  private:
+  Tracer* tracer_ = nullptr;
   const char* name_ = nullptr;
 };
 
@@ -175,17 +204,21 @@ class TraceScope {
   ::fastt::TraceScope FASTT_TRACE_CONCAT(fastt_trace_scope_, \
                                          __LINE__)(name)
 // One instant marker / counter sample with a numeric value.
-#define FASTT_TRACE_INSTANT(name, value)                             \
-  do {                                                               \
-    if (::fastt::Tracer::Global().enabled())                         \
-      ::fastt::Tracer::Global().Instant((name),                      \
-                                        static_cast<double>(value)); \
+#define FASTT_TRACE_INSTANT(name, value)                            \
+  do {                                                              \
+    if (::fastt::TracingActive()) {                                 \
+      ::fastt::Tracer& fastt_trace_t = ::fastt::CurrentTracer();    \
+      if (fastt_trace_t.enabled())                                  \
+        fastt_trace_t.Instant((name), static_cast<double>(value));  \
+    }                                                               \
   } while (0)
-#define FASTT_TRACE_COUNTER(name, value)                             \
-  do {                                                               \
-    if (::fastt::Tracer::Global().enabled())                         \
-      ::fastt::Tracer::Global().Counter((name),                      \
-                                        static_cast<double>(value)); \
+#define FASTT_TRACE_COUNTER(name, value)                            \
+  do {                                                              \
+    if (::fastt::TracingActive()) {                                 \
+      ::fastt::Tracer& fastt_trace_t = ::fastt::CurrentTracer();    \
+      if (fastt_trace_t.enabled())                                  \
+        fastt_trace_t.Counter((name), static_cast<double>(value));  \
+    }                                                               \
   } while (0)
 #else
 #define FASTT_TRACE_SPAN(name) ((void)0)

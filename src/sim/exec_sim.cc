@@ -359,7 +359,7 @@ SimResult Simulate(const Graph& g, const std::vector<DeviceId>& placement,
   if (options.record_memory_timeline)
     result.memory_timeline = memory.TakeTimeline();
 
-  MetricsRegistry& metrics = MetricsRegistry::Global();
+  MetricsRegistry& metrics = CurrentMetrics();
   metrics.AddCounter("sim/runs");
   metrics.AddCounter("sim/ops_executed", static_cast<int64_t>(finished));
   metrics.AddCounter("sim/transfers",

@@ -275,7 +275,7 @@ const SimResult& IncrementalSim::Replace(OpId op, DeviceId device) {
   const DeviceId old = placement_[static_cast<size_t>(op)];
   if (old == device) return base_;
   FASTT_TRACE_SPAN("incsim/replace");
-  MetricsRegistry::Global().AddCounter("inc_sim/replacements");
+  CurrentMetrics().AddCounter("inc_sim/replacements");
 
   // The old device dispatches differently from where the op used to start.
   LowerDispatchHorizon(old, base_.op_records[static_cast<size_t>(op)].start);
@@ -322,7 +322,7 @@ const SimResult& IncrementalSim::NotifySplit(
   FASTT_CHECK_MSG(devices.size() == added.size(),
                   "NotifySplit: one device per added op");
   FASTT_TRACE_SPAN("incsim/split");
-  MetricsRegistry::Global().AddCounter("inc_sim/splits");
+  CurrentMetrics().AddCounter("inc_sim/splits");
 
   // The graph grew: extend every slot-indexed structure.
   const size_t slots = static_cast<size_t>(g_.num_slots());
@@ -441,10 +441,10 @@ void IncrementalSim::Replay() {
       if (f > pf || (f == pf && id > prev)) last_clean[d] = id;
     }
   }
-  MetricsRegistry::Global().AddCounter("inc_sim/dirty_ops",
+  CurrentMetrics().AddCounter("inc_sim/dirty_ops",
                                        static_cast<int64_t>(dirty_live));
   FASTT_TRACE_COUNTER("incsim/cone_ops", dirty_live);
-  MetricsRegistry::Global().AddCounter(
+  CurrentMetrics().AddCounter(
       "inc_sim/clean_ops", static_cast<int64_t>(live.size() - dirty_live));
 
   // Charge the event/ready heaps to sim/events, same as the full simulator.

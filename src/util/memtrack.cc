@@ -141,8 +141,11 @@ MemTagScope::~MemTagScope() { t_current_tag = prev_; }
 
 void EmitMemTraceCounters() {
   MemTracker& mt = MemTracker::Global();
-  Tracer& tracer = Tracer::Global();
-  if (!mt.enabled() || !tracer.enabled()) return;
+  if (!mt.enabled() || !TracingActive()) return;
+  // The ambient context's tracer, so a request-scoped trace carries its own
+  // memory tracks.
+  Tracer& tracer = CurrentTracer();
+  if (!tracer.enabled()) return;
   // Counter names must be string literals (the tracer stores the pointer);
   // the tag set is fixed, so spell them out in MemTag order.
   static constexpr const char* kLiveNames[kNumMemTags] = {

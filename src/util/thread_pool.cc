@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "obs/ambient.h"
 #include "obs/tracer.h"
 #include "util/strings.h"
 
@@ -94,6 +95,12 @@ void ThreadPool::Run(size_t n, const std::function<void(size_t)>& fn) {
     size_t n = 0;
     size_t chunks = 0;
     const std::function<void(size_t)>* fn = nullptr;
+    // The submitting thread's telemetry bindings, installed around every
+    // chunk a worker claims so request-scoped metrics/traces/events land in
+    // the submitter's TelemetryContext — the same propagation discipline as
+    // the ambient MemTag. Pointers stay valid because Run() doesn't return
+    // until every chunk is done and the installing scope outlives Run.
+    AmbientTelemetry ambient;
     std::atomic<size_t> next_chunk{0};
     std::atomic<size_t> done{0};
     Mutex mu;
@@ -105,10 +112,12 @@ void ThreadPool::Run(size_t n, const std::function<void(size_t)>& fn) {
   batch->n = n;
   batch->chunks = std::min(n, threads + 1);  // +1: the caller participates
   batch->fn = &fn;  // outlives every claimed chunk (Run waits for them)
+  batch->ambient = CurrentAmbientTelemetry();
   auto run_chunks = [](const std::shared_ptr<Batch>& b) {
+    const AmbientTelemetry prev = ExchangeAmbientTelemetry(b->ambient);
     for (;;) {
       const size_t c = b->next_chunk.fetch_add(1);
-      if (c >= b->chunks) return;
+      if (c >= b->chunks) break;
       const size_t begin = c * b->n / b->chunks;
       const size_t end = (c + 1) * b->n / b->chunks;
       for (size_t i = begin; i < end; ++i) (*b->fn)(i);
@@ -117,6 +126,7 @@ void ThreadPool::Run(size_t n, const std::function<void(size_t)>& fn) {
         b->cv.NotifyAll();
       }
     }
+    ExchangeAmbientTelemetry(prev);
   };
   {
     const int64_t enqueue_ns = NowNs();

@@ -14,10 +14,15 @@
 #include "analysis/verifier.h"
 #include "core/strategy_calculator.h"
 #include "models/model_zoo.h"
+#include "obs/context.h"
 #include "obs/event_log.h"
 #include "obs/json.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/openmetrics.h"
+#include "obs/report.h"
 #include "obs/schedule_analysis.h"
+#include "obs/trace_export.h"
 #include "sim/trace.h"
 #include "util/memtrack.h"
 #include "util/table.h"
@@ -693,6 +698,193 @@ TEST(Json, VerifierDiagnosticsDocumentValidates) {
 }
 
 // ---- TablePrinter alignment ----------------------------------------------
+
+// ---- Leveled logger ------------------------------------------------------
+// Each TEST runs in its own ctest process (gtest_discover_tests), so the
+// process-global threshold mutations here cannot leak between tests.
+
+TEST(Log, ParseLevelRoundTrip) {
+  for (LogLevel level : {LogLevel::kError, LogLevel::kWarn, LogLevel::kInfo,
+                         LogLevel::kDebug}) {
+    LogLevel parsed = LogLevel::kError;
+    EXPECT_TRUE(ParseLogLevel(LogLevelName(level), &parsed));
+    EXPECT_EQ(parsed, level);
+  }
+  LogLevel parsed = LogLevel::kError;
+  EXPECT_FALSE(ParseLogLevel("chatty", &parsed));
+  EXPECT_FALSE(ParseLogLevel("", &parsed));
+}
+
+TEST(Log, EnsureRaisesDefaultButNeverOverridesExplicit) {
+  ::unsetenv("FASTT_LOG_LEVEL");
+  // Untouched default: warn. An opt-in diagnostic may raise it...
+  ASSERT_EQ(LogThreshold(), LogLevel::kWarn);
+  EXPECT_FALSE(LogEnabled(LogLevel::kDebug));
+  EnsureLogThresholdAtLeast(LogLevel::kDebug);
+  EXPECT_TRUE(LogEnabled(LogLevel::kDebug));
+  // ...but an explicit choice wins over any later courtesy raise —
+  // `--log-level error` must stay quiet even with trace env vars set.
+  SetLogThreshold(LogLevel::kError);
+  EnsureLogThresholdAtLeast(LogLevel::kDebug);
+  EXPECT_EQ(LogThreshold(), LogLevel::kError);
+  EXPECT_FALSE(LogEnabled(LogLevel::kWarn));
+}
+
+TEST(Log, MessagesLandInAmbientEventLog) {
+  SetLogThreshold(LogLevel::kInfo);
+  TelemetryContext context;
+  {
+    TelemetryScope scope(context);
+    FASTT_LOG(Info, "round %d drifted %.1f%%", 3, 12.5);
+    FASTT_LOG(Debug, "suppressed below the threshold");
+  }
+  ASSERT_EQ(context.events().size(), 1u);
+  JsonValue event;
+  std::string error;
+  ASSERT_TRUE(JsonParse(context.events().line(0), &event, &error)) << error;
+  const JsonValue* level = event.Find("level");
+  ASSERT_NE(level, nullptr);
+  EXPECT_EQ(level->StringOr(""), "info");
+  const JsonValue* msg = event.Find("msg");
+  ASSERT_NE(msg, nullptr);
+  EXPECT_EQ(msg->StringOr(""), "round 3 drifted 12.5%");
+}
+
+// ---- OpenMetrics exposition ----------------------------------------------
+
+TEST(OpenMetrics, NameSanitizationAndPrefix) {
+  EXPECT_EQ(OpenMetricsName("dpos/latency_s"), "fastt_dpos_latency_s");
+  EXPECT_EQ(OpenMetricsName("pool.queue-wait"), "fastt_pool_queue_wait");
+  EXPECT_EQ(OpenMetricsName("already_ok:x9"), "fastt_already_ok:x9");
+}
+
+TEST(OpenMetrics, ExpositionCoversEveryMetricKindAndEndsWithEof) {
+  MetricsRegistry registry;
+  registry.AddCounter("dpos/invocations", 3);
+  registry.SetGauge("pool/jobs", 2.0);
+  registry.RecordTimer("dpos/total", 0.5);
+  registry.RecordTimer("dpos/total", 1.5);
+  registry.RecordHistogram("osdpos/trial_latency_s", 0.001);
+  registry.RecordHistogram("osdpos/trial_latency_s", 0.002);
+  const std::string text = OpenMetricsText(registry);
+
+  EXPECT_NE(text.find("# TYPE fastt_dpos_invocations counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fastt_dpos_invocations_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE fastt_pool_jobs gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("fastt_pool_jobs 2\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE fastt_dpos_total summary\n"), std::string::npos);
+  EXPECT_NE(text.find("fastt_dpos_total_count 2\n"), std::string::npos);
+  EXPECT_NE(text.find("fastt_dpos_total_sum 2\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE fastt_osdpos_trial_latency_s histogram\n"),
+            std::string::npos);
+  // The mandatory +Inf bucket equals the observation count, and the series
+  // carries _sum and _count.
+  EXPECT_NE(text.find("fastt_osdpos_trial_latency_s_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fastt_osdpos_trial_latency_s_count 2\n"),
+            std::string::npos);
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+// ---- fastt-report/1 bundles ----------------------------------------------
+
+TEST(RunReport, BundleCarriesSchemaParamsMetricsEventsAndSections) {
+  MetricsRegistry registry;
+  registry.AddCounter("dpos/invocations", 2);
+  EventLog events;
+  events.Emit("round").Int("round", 1);
+  TraceSummary summary;
+  summary.phases.push_back(TracePhase{"search/total", 1, 0.5, 0.25});
+
+  RunReport report("run", "lenet");
+  report.SetParam("gpus", 4);
+  report.SetParam("batch", 256);
+  report.SetMetrics(registry);
+  report.SetEvents(events);
+  report.SetTraceSummary(summary);
+  report.AddSection("calibration", "{\"rounds\":[]}");
+
+  const std::string json = report.ToJson();
+  EXPECT_TRUE(JsonValidate(json)) << json;
+  JsonValue doc;
+  ASSERT_TRUE(JsonParse(json, &doc));
+  const JsonValue* schema = doc.Find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->StringOr(""), "fastt-report/1");
+  const JsonValue* params = doc.Find("params");
+  ASSERT_NE(params, nullptr);
+  EXPECT_EQ(params->Find("gpus")->IntOr(0), 4);
+  const JsonValue* metrics = doc.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->Find("counters")->Find("dpos/invocations")->IntOr(0), 2);
+  const JsonValue* ev = doc.Find("events");
+  ASSERT_NE(ev, nullptr);
+  ASSERT_TRUE(ev->is_array());
+  EXPECT_EQ(ev->items.size(), 1u);
+  const JsonValue* phases = doc.Find("trace_phases");
+  ASSERT_NE(phases, nullptr);
+  ASSERT_EQ(phases->items.size(), 1u);
+  EXPECT_EQ(phases->items[0].Find("name")->StringOr(""), "search/total");
+  const JsonValue* calibration = doc.Find("calibration");
+  ASSERT_NE(calibration, nullptr);
+  EXPECT_TRUE(calibration->is_object());
+}
+
+TEST(RunReport, OptionalSectionsAreOmittedWhenUnset) {
+  RunReport bare("models", "");
+  JsonValue doc;
+  ASSERT_TRUE(JsonParse(bare.ToJson(), &doc));
+  EXPECT_NE(doc.Find("schema"), nullptr);
+  EXPECT_NE(doc.Find("params"), nullptr);
+  EXPECT_EQ(doc.Find("metrics"), nullptr);
+  EXPECT_EQ(doc.Find("events"), nullptr);
+  EXPECT_EQ(doc.Find("trace_phases"), nullptr);
+}
+
+// ---- Interned metric handles ---------------------------------------------
+
+// The instrumented DPOS/OS-DPOS hot paths record latencies through
+// preformatted handles; the contract is zero obs-tagged heap allocations
+// per Record. (Interning itself may allocate — that happens once, before
+// the measured window.)
+TEST(Metrics, HandleRecordDoesNotAllocate) {
+  MetricsRegistry registry;
+  const MetricsRegistry::TimerHandle timer = registry.TimerRef("dpos/total");
+  const MetricsRegistry::HistogramHandle hist =
+      registry.HistogramRef("dpos/latency_s");
+
+  MemTracker& mem = MemTracker::Global();
+  mem.Enable();
+  const int64_t before = mem.stats(MemTag::kObs).allocs;
+  for (int i = 0; i < 1000; ++i) {
+    registry.Record(timer, 1e-6);
+    registry.Record(hist, 1e-6);
+    ScopedTimerRef scoped(registry, timer);
+  }
+  const int64_t after = mem.stats(MemTag::kObs).allocs;
+  mem.Disable();
+  EXPECT_EQ(after - before, 0);
+
+  // The handles really did land the data.
+  const MetricsRegistry::Snapshot snap = registry.TakeSnapshot();
+  EXPECT_EQ(snap.timers.at("dpos/total").count, 2000);
+  EXPECT_EQ(snap.histograms.at("dpos/latency_s").count, 1000);
+}
+
+// Handles stay valid across Reset(): the registry's storage is node-stable
+// and Reset zeroes cells instead of erasing them.
+TEST(Metrics, HandlesSurviveReset) {
+  MetricsRegistry registry;
+  const MetricsRegistry::TimerHandle timer = registry.TimerRef("t");
+  registry.Record(timer, 1.0);
+  registry.Reset();
+  registry.Record(timer, 2.0);
+  const MetricsRegistry::Snapshot snap = registry.TakeSnapshot();
+  EXPECT_EQ(snap.timers.at("t").count, 1);
+  EXPECT_DOUBLE_EQ(snap.timers.at("t").total_s, 2.0);
+}
 
 TEST(Table, NumericColumnsRightAlign) {
   TablePrinter t({"name", "value", "note"});

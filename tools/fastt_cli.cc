@@ -51,13 +51,27 @@
 //       verified strategy's diagnostics. Exits nonzero when no candidate
 //       passes verification.
 //
+//   fastt report <model> [report.json] [--gpus N] [--batch B] [--jobs N]
+//       Run the full FastT workflow inside a fresh TelemetryContext with the
+//       tracer and heap tracker on, and write the richest fastt-report/1
+//       bundle: metrics, workflow events, calibration, verifier summary,
+//       memstat totals and trace phase self-times in one JSON document.
+//
 // Every command also accepts `--jobs N` (or FASTT_JOBS=N) to parallelize the
 // strategy search across N threads — the computed strategy is bit-identical
-// to --jobs 1 — a global `--metrics <out.json>` flag that dumps
-// the process metrics registry (counters, timers, gauges — plus the round-
-// by-round workflow event log for run/analyze) on exit, and
-// `--trace-search <out.json>` (or FASTT_TRACE_SEARCH=path) to record the
-// strategy search itself as a Chrome trace.
+// to --jobs 1 — plus the global artifact/diagnostic flags:
+//   --metrics <out.json>      dump the metrics registry (counters, timers,
+//                             gauges — plus the round-by-round workflow event
+//                             log for run/analyze) on exit
+//   --report <out.json>       one fastt-report/1 bundle of whatever the
+//                             command ran (metrics + events + command section)
+//   --openmetrics <out.txt>   OpenMetrics/Prometheus text exposition of the
+//                             metrics registry on exit
+//   --blackbox <out.json>     arm the crash black-box: fatal signals and
+//                             std::terminate dump a fastt-blackbox/1 file
+//   --log-level <level>       error|warn|info|debug (or FASTT_LOG_LEVEL)
+//   --trace-search <out.json> (or FASTT_TRACE_SEARCH=path) records the
+//                             strategy search itself as a Chrome trace
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -80,8 +94,14 @@
 #include "graph/serialize.h"
 #include "models/model_zoo.h"
 #include "obs/bench_history.h"
+#include "obs/blackbox.h"
 #include "obs/calibration.h"
+#include "obs/context.h"
+#include "obs/json.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/openmetrics.h"
+#include "obs/report.h"
 #include "obs/provenance.h"
 #include "obs/schedule_analysis.h"
 #include "obs/trace_export.h"
@@ -106,6 +126,10 @@ struct Args {
   std::string strategy_path;  // --strategy: serialized strategy for `verify`
   std::string metrics_path;  // --metrics: dump the metrics registry here
   std::string json_path;     // --json: machine-readable analysis output
+  std::string report_path;   // --report: fastt-report/1 bundle
+  std::string openmetrics_path;  // --openmetrics: Prometheus exposition
+  std::string blackbox_path;     // --blackbox: arm the crash black-box
+  std::string log_level;         // --log-level: error|warn|info|debug
   std::string trace_search_path;  // --trace-search: search Chrome trace
   int gpus = 4;
   int servers = 1;
@@ -143,6 +167,14 @@ Args Parse(int argc, char** argv) {
       args.metrics_path = next();
     } else if (a == "--json") {
       args.json_path = next();
+    } else if (a == "--report") {
+      args.report_path = next();
+    } else if (a == "--openmetrics") {
+      args.openmetrics_path = next();
+    } else if (a == "--blackbox") {
+      args.blackbox_path = next();
+    } else if (a == "--log-level") {
+      args.log_level = next();
     } else if (a == "--trace-search") {
       args.trace_search_path = next();
     } else if (a == "--threshold") {
@@ -170,16 +202,63 @@ Cluster MakeCluster(const Args& args) {
              : Cluster::SingleServer(args.gpus);
 }
 
-// Honors the global --metrics flag; `events` (may be null) is the workflow
-// event log of whatever the command just ran.
-void MaybeWriteMetrics(const Args& args, const EventLog* events) {
-  if (args.metrics_path.empty()) return;
-  PublishSearchPoolMetrics(MetricsRegistry::Global());
-  PublishMemMetrics(MetricsRegistry::Global());
-  if (WriteMetricsJson(args.metrics_path, MetricsRegistry::Global(), events))
-    std::printf("wrote metrics to %s\n", args.metrics_path.c_str());
-  else
-    std::fprintf(stderr, "cannot write %s\n", args.metrics_path.c_str());
+// Command-specific report sections: (key, complete raw JSON value) pairs,
+// appended to the fastt-report/1 bundle in order. Commands only build them
+// when --report was given (the JSON renders can be sizable).
+using ReportSections = std::vector<std::pair<std::string, std::string>>;
+
+// Shared artifact epilogue honoring the global --metrics, --openmetrics and
+// --report flags; `events` (may be null) is the workflow event log of
+// whatever the command just ran. Reads the ambient registry so a command
+// that ran under a TelemetryScope exports that context's metrics.
+void WriteRunArtifacts(const Args& args, const EventLog* events,
+                       const ReportSections& sections = {}) {
+  if (args.metrics_path.empty() && args.openmetrics_path.empty() &&
+      args.report_path.empty())
+    return;
+  MetricsRegistry& metrics = CurrentMetrics();
+  PublishSearchPoolMetrics(metrics);
+  PublishMemMetrics(metrics);
+  if (!args.metrics_path.empty()) {
+    if (WriteMetricsJson(args.metrics_path, metrics, events))
+      std::printf("wrote metrics to %s\n", args.metrics_path.c_str());
+    else
+      std::fprintf(stderr, "cannot write %s\n", args.metrics_path.c_str());
+  }
+  if (!args.openmetrics_path.empty()) {
+    if (WriteOpenMetrics(args.openmetrics_path, metrics))
+      std::printf("wrote OpenMetrics exposition to %s\n",
+                  args.openmetrics_path.c_str());
+    else
+      std::fprintf(stderr, "cannot write %s\n",
+                   args.openmetrics_path.c_str());
+  }
+  if (!args.report_path.empty()) {
+    RunReport report(args.command, args.model);
+    report.SetParam("gpus", args.gpus);
+    report.SetParam("servers", args.servers);
+    if (args.batch > 0) report.SetParam("batch", args.batch);
+    report.SetParam("jobs", SearchJobs());
+    report.SetMetrics(metrics);
+    if (events != nullptr) report.SetEvents(*events);
+    for (const auto& [key, json] : sections) report.AddSection(key, json);
+    if (report.Write(args.report_path))
+      std::printf("wrote run report to %s\n", args.report_path.c_str());
+    else
+      std::fprintf(stderr, "cannot write %s\n", args.report_path.c_str());
+  }
+}
+
+// Model lookup with the CLI's actionable error message; commands return 2
+// when this comes back null.
+const ModelSpec* RequireModel(const std::string& name) {
+  const ModelSpec* spec = FindModelOrNull(name);
+  if (spec == nullptr)
+    std::fprintf(stderr,
+                 "fastt: unknown model \"%s\" — run `fastt models` to list "
+                 "the zoo\n",
+                 name.c_str());
+  return spec;
 }
 
 int CmdModels() {
@@ -203,7 +282,9 @@ int CmdModels() {
 }
 
 int CmdRun(const Args& args) {
-  const ModelSpec& spec = FindModel(args.model);
+  const ModelSpec* specp = RequireModel(args.model);
+  if (specp == nullptr) return 2;
+  const ModelSpec& spec = *specp;
   const int64_t batch = args.batch > 0 ? args.batch : spec.strong_batch;
   const Cluster cluster = MakeCluster(args);
   std::printf("FastT: %s, batch %lld (%s scaling), %s\n", spec.name.c_str(),
@@ -242,12 +323,18 @@ int CmdRun(const Args& args) {
     std::printf("  pre-training rounds (predicted vs measured):\n");
     rounds.Print();
   }
-  MaybeWriteMetrics(args, &ft.events);
+  ReportSections sections;
+  if (!args.report_path.empty() && !ft.calibration.empty())
+    sections.push_back(
+        {"calibration", CalibrationToJson(spec.name, ft.calibration)});
+  WriteRunArtifacts(args, &ft.events, sections);
   return 0;
 }
 
 int CmdAnalyze(const Args& args) {
-  const ModelSpec& spec = FindModel(args.model);
+  const ModelSpec* specp = RequireModel(args.model);
+  if (specp == nullptr) return 2;
+  const ModelSpec& spec = *specp;
   const int64_t batch = args.batch > 0 ? args.batch : spec.strong_batch;
   const Cluster cluster = MakeCluster(args);
   std::printf("FastT schedule analysis: %s, batch %lld, %s\n\n",
@@ -273,12 +360,17 @@ int CmdAnalyze(const Args& args) {
     out << ScheduleAnalysisToJson(ft.graph, analysis) << "\n";
     std::printf("\nwrote analysis JSON to %s\n", args.json_path.c_str());
   }
-  MaybeWriteMetrics(args, &ft.events);
+  ReportSections sections;
+  if (!args.report_path.empty())
+    sections.push_back({"analysis", ScheduleAnalysisToJson(ft.graph, analysis)});
+  WriteRunArtifacts(args, &ft.events, sections);
   return 0;
 }
 
 int CmdCompare(const Args& args) {
-  const ModelSpec& spec = FindModel(args.model);
+  const ModelSpec* specp = RequireModel(args.model);
+  if (specp == nullptr) return 2;
+  const ModelSpec& spec = *specp;
   const int64_t batch = args.batch > 0 ? args.batch : spec.strong_batch;
   const Cluster cluster = MakeCluster(args);
   std::printf("%s, global batch %lld, %s\n\n", spec.name.c_str(),
@@ -329,7 +421,9 @@ int CmdCompare(const Args& args) {
 }
 
 int CmdExport(const Args& args) {
-  const ModelSpec& spec = FindModel(args.model);
+  const ModelSpec* specp = RequireModel(args.model);
+  if (specp == nullptr) return 2;
+  const ModelSpec& spec = *specp;
   const int64_t batch = args.batch > 0 ? args.batch : spec.strong_batch;
   const Graph g = BuildSingle(spec, batch);
   std::ofstream out(args.path);
@@ -344,7 +438,9 @@ int CmdExport(const Args& args) {
 }
 
 int CmdTrace(const Args& args) {
-  const ModelSpec& spec = FindModel(args.model);
+  const ModelSpec* specp = RequireModel(args.model);
+  if (specp == nullptr) return 2;
+  const ModelSpec& spec = *specp;
   const Cluster cluster = MakeCluster(args);
   CalculatorOptions options;
   const auto ft = RunFastT(spec.build, spec.name, spec.strong_batch,
@@ -363,12 +459,14 @@ int CmdTrace(const Args& args) {
   }
   std::printf("wrote %s — load in chrome://tracing or Perfetto\n",
               args.path.c_str());
-  MaybeWriteMetrics(args, &ft.events);
+  WriteRunArtifacts(args, &ft.events);
   return 0;
 }
 
 int CmdSearchProfile(const Args& args) {
-  const ModelSpec& spec = FindModel(args.model);
+  const ModelSpec* specp = RequireModel(args.model);
+  if (specp == nullptr) return 2;
+  const ModelSpec& spec = *specp;
   const int64_t batch = args.batch > 0 ? args.batch : spec.strong_batch;
   const Cluster cluster = MakeCluster(args);
 
@@ -467,12 +565,14 @@ int CmdSearchProfile(const Args& args) {
                 "Perfetto\n",
                 out_path.c_str());
   }
-  MaybeWriteMetrics(args, nullptr);
+  WriteRunArtifacts(args, nullptr);
   return 0;
 }
 
 int CmdMemstat(const Args& args) {
-  const ModelSpec& spec = FindModel(args.model);
+  const ModelSpec* specp = RequireModel(args.model);
+  if (specp == nullptr) return 2;
+  const ModelSpec& spec = *specp;
   const int64_t batch = args.batch > 0 ? args.batch : spec.strong_batch;
   const Cluster cluster = MakeCluster(args);
   std::printf("memstat: %s, batch %lld, %s, %d jobs\n\n", spec.name.c_str(),
@@ -592,7 +692,10 @@ int CmdMemstat(const Args& args) {
               (long long)tag_peak[static_cast<size_t>(MemTag::kSimEvents)],
               (long long)run_peak);
 
-  if (!args.json_path.empty()) {
+  // The fastt-memstat/1 document doubles as --json output and as the
+  // "memstat" section of a --report bundle, so it is rendered once here.
+  std::string memstat_json;
+  if (!args.json_path.empty() || !args.report_path.empty()) {
     JsonWriter w;
     w.BeginObject();
     w.Key("schema").String("fastt-memstat/1");
@@ -637,20 +740,28 @@ int CmdMemstat(const Args& args) {
     }
     w.EndObject();
     w.EndObject();
+    memstat_json = w.str();
+  }
+  if (!args.json_path.empty()) {
     std::ofstream out(args.json_path);
     if (!out) {
       std::fprintf(stderr, "cannot write %s\n", args.json_path.c_str());
       return 1;
     }
-    out << w.str() << "\n";
+    out << memstat_json << "\n";
     std::printf("wrote memstat JSON to %s\n", args.json_path.c_str());
   }
-  MaybeWriteMetrics(args, nullptr);
+  ReportSections sections;
+  if (!args.report_path.empty())
+    sections.push_back({"memstat", memstat_json});
+  WriteRunArtifacts(args, nullptr, sections);
   return 0;
 }
 
 int CmdExplain(const Args& args) {
-  const ModelSpec& spec = FindModel(args.model);
+  const ModelSpec* specp = RequireModel(args.model);
+  if (specp == nullptr) return 2;
+  const ModelSpec& spec = *specp;
   const int64_t batch = args.batch > 0 ? args.batch : spec.strong_batch;
   const Cluster cluster = MakeCluster(args);
   std::printf("placement provenance: %s, batch %lld, %s\n", spec.name.c_str(),
@@ -672,12 +783,18 @@ int CmdExplain(const Args& args) {
     out << ProvenanceToJson(ft.provenance, ft.split_trials) << "\n";
     std::printf("\nwrote provenance JSON to %s\n", args.json_path.c_str());
   }
-  MaybeWriteMetrics(args, &ft.events);
+  ReportSections sections;
+  if (!args.report_path.empty())
+    sections.push_back(
+        {"provenance", ProvenanceToJson(ft.provenance, ft.split_trials)});
+  WriteRunArtifacts(args, &ft.events, sections);
   return 0;
 }
 
 int CmdCalibrate(const Args& args) {
-  const ModelSpec& spec = FindModel(args.model);
+  const ModelSpec* specp = RequireModel(args.model);
+  if (specp == nullptr) return 2;
+  const ModelSpec& spec = *specp;
   const int64_t batch = args.batch > 0 ? args.batch : spec.strong_batch;
   const Cluster cluster = MakeCluster(args);
   std::printf("cost-model calibration: %s, batch %lld, %s\n\n",
@@ -696,12 +813,18 @@ int CmdCalibrate(const Args& args) {
     out << CalibrationToJson(spec.name, ft.calibration) << "\n";
     std::printf("\nwrote calibration JSON to %s\n", args.json_path.c_str());
   }
-  MaybeWriteMetrics(args, &ft.events);
+  ReportSections sections;
+  if (!args.report_path.empty())
+    sections.push_back(
+        {"calibration", CalibrationToJson(spec.name, ft.calibration)});
+  WriteRunArtifacts(args, &ft.events, sections);
   return 0;
 }
 
 int CmdVerify(const Args& args) {
-  const ModelSpec& spec = FindModel(args.model);
+  const ModelSpec* specp = RequireModel(args.model);
+  if (specp == nullptr) return 2;
+  const ModelSpec& spec = *specp;
   const int64_t batch = args.batch > 0 ? args.batch : spec.strong_batch;
   const Cluster cluster = MakeCluster(args);
 
@@ -720,10 +843,21 @@ int CmdVerify(const Args& args) {
   if (!args.strategy_path.empty()) {
     std::ifstream in(args.strategy_path);
     if (!in) {
-      std::fprintf(stderr, "cannot read %s\n", args.strategy_path.c_str());
+      std::fprintf(stderr,
+                   "fastt: cannot read strategy file \"%s\" — check the "
+                   "--strategy path\n",
+                   args.strategy_path.c_str());
       return 2;
     }
-    strategy = DeserializeStrategy(in);
+    try {
+      strategy = DeserializeStrategy(in);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "fastt: cannot parse strategy file \"%s\": %s — expected "
+                   "the format SerializeStrategy writes\n",
+                   args.strategy_path.c_str(), e.what());
+      return 2;
+    }
     // Re-apply the recorded split list so slot ids in the strategy line up
     // with the rewritten graph. Unknown or unsplittable names are left for
     // the verifier to report (strategy.split.op) instead of aborting here.
@@ -770,12 +904,17 @@ int CmdVerify(const Args& args) {
     out << DiagnosticsToJson(graph, result) << "\n";
     std::printf("wrote diagnostics JSON to %s\n", args.json_path.c_str());
   }
-  MaybeWriteMetrics(args, nullptr);
+  ReportSections sections;
+  if (!args.report_path.empty())
+    sections.push_back({"verify", DiagnosticsToJson(graph, result)});
+  WriteRunArtifacts(args, nullptr, sections);
   return result.ok() ? 0 : 1;
 }
 
 int CmdArena(const Args& args) {
-  const ModelSpec& spec = FindModel(args.model);
+  const ModelSpec* specp = RequireModel(args.model);
+  if (specp == nullptr) return 2;
+  const ModelSpec& spec = *specp;
   const int64_t batch = args.batch > 0 ? args.batch : spec.strong_batch;
   const Cluster cluster = MakeCluster(args);
   const auto& roster = RegisteredSearchers();
@@ -807,7 +946,7 @@ int CmdArena(const Args& args) {
 
   if (result.winner < 0) {
     std::printf("\nno searcher produced a verified strategy\n");
-    MaybeWriteMetrics(args, &result.events);
+    WriteRunArtifacts(args, &result.events);
     return 1;
   }
   const PortfolioEntry& winner =
@@ -829,7 +968,96 @@ int CmdArena(const Args& args) {
     out << PortfolioToJson(spec.name, batch, cluster, result) << "\n";
     std::printf("wrote arena JSON to %s\n", args.json_path.c_str());
   }
-  MaybeWriteMetrics(args, &result.events);
+  ReportSections sections;
+  if (!args.report_path.empty())
+    sections.push_back(
+        {"arena", PortfolioToJson(spec.name, batch, cluster, result)});
+  WriteRunArtifacts(args, &result.events, sections);
+  return 0;
+}
+
+// `fastt report` — the full workflow inside a fresh TelemetryContext: the
+// tracer and heap tracker run for the whole workflow, every instrumented
+// call site (including pool workers) lands in the request-scoped context,
+// and the richest fastt-report/1 bundle is written at the end. This is the
+// artifact a `fastt serve` request would return.
+int CmdReport(const Args& args) {
+  const ModelSpec* specp = RequireModel(args.model);
+  if (specp == nullptr) return 2;
+  const ModelSpec& spec = *specp;
+  const int64_t batch = args.batch > 0 ? args.batch : spec.strong_batch;
+  const Cluster cluster = MakeCluster(args);
+  const std::string out_path = !args.path.empty()          ? args.path
+                               : !args.report_path.empty() ? args.report_path
+                                                           : "report.json";
+  std::printf("report: %s, batch %lld, %s, %d jobs\n", spec.name.c_str(),
+              (long long)batch, cluster.ToString().c_str(), SearchJobs());
+
+  TelemetryContext context;
+  context.tracer().SetCurrentThreadName("report main");
+  context.tracer().Enable();
+  MemTracker& mem = context.memtrack();
+  mem.Enable();
+
+  CalculatorResult ft;
+  VerifyResult verify;
+  {
+    TelemetryScope scope(context);
+    CalculatorOptions options;
+    ft = RunFastT(spec.build, spec.name, batch, args.scaling, cluster,
+                  options);
+    verify =
+        VerifyStrategy(ft.graph, ft.strategy, cluster, &ft.comm,
+                       VerifierOptions{});
+    PublishSearchPoolMetrics(context.metrics());
+    PublishMemMetrics(context.metrics());
+  }
+  mem.Disable();
+  context.tracer().Disable();
+  const TraceSummary summary = SummarizeTrace(context.tracer().Drain());
+
+  std::printf("  %.1f samples/s, %d rounds, %zu splits; verifier: %d "
+              "errors, %d warnings\n",
+              SamplesPerSecond(ft), ft.rounds, ft.strategy.splits.size(),
+              verify.errors, verify.warnings);
+
+  RunReport report("report", spec.name);
+  report.SetParam("gpus", cluster.num_devices());
+  report.SetParam("servers", args.servers);
+  report.SetParam("batch", batch);
+  report.SetParam("jobs", SearchJobs());
+  report.SetMetrics(context.metrics());
+  report.SetEvents(ft.events);
+  report.SetTraceSummary(summary);
+  if (!ft.calibration.empty())
+    report.AddSection("calibration",
+                      CalibrationToJson(spec.name, ft.calibration));
+  report.AddSection("verify", DiagnosticsToJson(ft.graph, verify));
+  {
+    // Whole-run heap rollup (per-phase detail lives in `fastt memstat`).
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("total_peak_bytes").Int(mem.total_peak_bytes());
+    w.Key("total_allocs").Int(mem.total_allocs());
+    w.Key("tags").BeginObject();
+    for (size_t t = 0; t < kNumMemTags; ++t) {
+      const MemTagStats s = mem.stats(static_cast<MemTag>(t));
+      if (s.allocs == 0 && s.frees == 0) continue;
+      w.Key(MemTagName(static_cast<MemTag>(t))).BeginObject();
+      w.Key("peak_bytes").Int(s.peak_bytes);
+      w.Key("allocs").Int(s.allocs);
+      w.Key("alloc_bytes").Int(s.alloc_bytes);
+      w.EndObject();
+    }
+    w.EndObject();
+    w.EndObject();
+    report.AddSection("memstat", w.str());
+  }
+  if (!report.Write(out_path)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote run report to %s\n", out_path.c_str());
   return 0;
 }
 
@@ -886,6 +1114,9 @@ constexpr CommandSpec kCommands[] = {
     {"arena",
      "fastt arena <model> [--gpus N] [--servers S] [--batch B] "
      "[--budget-ms T] [--jobs N] [--json F]"},
+    {"report",
+     "fastt report <model> [report.json] [--gpus N] [--servers S] "
+     "[--batch B] [--jobs N]"},
 };
 
 int Usage() {
@@ -894,9 +1125,14 @@ int Usage() {
     std::fprintf(stderr, "  %s\n", c.usage);
   std::fprintf(stderr,
                "options: every command accepts --jobs N (parallel search;\n"
-               "         same strategy as --jobs 1), --metrics <out.json>\n"
-               "         and --trace-search <out.json> (Chrome trace of the\n"
-               "         search; also via FASTT_TRACE_SEARCH=path)\n");
+               "         same strategy as --jobs 1), --metrics <out.json>,\n"
+               "         --report <out.json> (fastt-report/1 bundle),\n"
+               "         --openmetrics <out.txt> (Prometheus exposition),\n"
+               "         --blackbox <out.json> (crash dump on fatal signal),\n"
+               "         --log-level error|warn|info|debug (or\n"
+               "         FASTT_LOG_LEVEL) and --trace-search <out.json>\n"
+               "         (Chrome trace of the search; also via\n"
+               "         FASTT_TRACE_SEARCH=path)\n");
   return 2;
 }
 
@@ -915,7 +1151,7 @@ int Dispatch(const Args& args) {
   if (args.command.empty()) return Usage();
   if (args.command == "models") {
     const int rc = CmdModels();
-    MaybeWriteMetrics(args, nullptr);
+    WriteRunArtifacts(args, nullptr);
     return rc;
   }
   if (args.command == "run")
@@ -930,14 +1166,14 @@ int Dispatch(const Args& args) {
   if (args.command == "compare") {
     if (args.model.empty()) return CommandUsage(args.command);
     const int rc = CmdCompare(args);
-    MaybeWriteMetrics(args, nullptr);
+    WriteRunArtifacts(args, nullptr);
     return rc;
   }
   if (args.command == "export") {
     if (args.model.empty() || args.path.empty())
       return CommandUsage(args.command);
     const int rc = CmdExport(args);
-    MaybeWriteMetrics(args, nullptr);
+    WriteRunArtifacts(args, nullptr);
     return rc;
   }
   if (args.command == "trace") {
@@ -954,6 +1190,8 @@ int Dispatch(const Args& args) {
     return args.model.empty() ? CommandUsage(args.command) : CmdVerify(args);
   if (args.command == "arena")
     return args.model.empty() ? CommandUsage(args.command) : CmdArena(args);
+  if (args.command == "report")
+    return args.model.empty() ? CommandUsage(args.command) : CmdReport(args);
   if (args.command == "bench-diff") {
     if (args.model.empty() || args.path.empty())
       return CommandUsage(args.command);
@@ -968,6 +1206,18 @@ int Dispatch(const Args& args) {
 
 int main(int argc, char** argv) {
   Args args = Parse(argc, argv);
+  if (!args.log_level.empty()) {
+    LogLevel level;
+    if (!ParseLogLevel(args.log_level, &level)) {
+      std::fprintf(stderr,
+                   "fastt: bad --log-level \"%s\" — use error, warn, info "
+                   "or debug\n",
+                   args.log_level.c_str());
+      return 2;
+    }
+    SetLogThreshold(level);
+  }
+  if (!args.blackbox_path.empty()) InstallBlackbox(args.blackbox_path);
   if (args.jobs > 0) SetSearchJobs(args.jobs);
   if (args.trace_search_path.empty()) {
     if (const char* env = std::getenv("FASTT_TRACE_SEARCH");
