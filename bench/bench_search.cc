@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -25,6 +26,9 @@
 #include "core/portfolio.h"
 #include "core/strategy_io.h"
 #include "obs/bench_history.h"
+#include "obs/prof_export.h"
+#include "obs/profiler.h"
+#include "obs/tracer.h"
 #include "sim/exec_sim.h"
 #include "sim/incremental_sim.h"
 #include "sim/profiler.h"
@@ -119,6 +123,72 @@ SearchAllocStats MeasureSearchAllocs(const SearchInput& in, int jobs,
     // lines from the committed rounds). A jump here means someone put a
     // string-keyed metric lookup back inside the probe loop.
     s.obs_allocs.push_back(static_cast<double>(mem.stats(MemTag::kObs).allocs));
+  }
+  SetSearchJobs(1);
+  return s;
+}
+
+struct SearchProfileStats {
+  std::vector<double> span_attrib_pct;  // % of samples landing inside a span
+  std::vector<double> hot_frame_pct;    // % with a known search hot frame
+  SymbolizedProfile last;               // last repeat, for --profile output
+};
+
+// CPU-sampling coverage of the search, measured on separate untimed repeats
+// (like MeasureSearchAllocs, so the timed samples never pay the sampler).
+// The raw sample counts vary run to run, but the two *percentages* are
+// near-constant for a fixed input — the search spends all of its time under
+// spans and inside the known hot functions — so bench-diff can gate them:
+// a drop means profiler attribution broke or the search grew an untraced
+// phase, both worth failing loudly.
+SearchProfileStats MeasureSearchProfile(const SearchInput& in, int jobs,
+                                        int repeat) {
+  SetSearchJobs(jobs);
+  Tracer& tracer = Tracer::Global();
+  tracer.SetCurrentThreadName("bench main");
+  RegisterProfiledThread("bench main");
+  SearchProfileStats s;
+  for (int r = 0; r < repeat; ++r) {
+    tracer.Enable();
+    CpuProfilerOptions popts;
+    popts.hz = 997;
+    popts.epoch_ns = tracer.epoch_ns();
+    if (!CpuProfiler::Global().Start(popts)) break;
+    // Loop the search until the sampler has seen a statistically useful
+    // window; one small-model search alone is shorter than a timer period.
+    const double t0 = Now();
+    do {
+      FASTT_TRACE_SPAN("bench/search");
+      const OsDposResult os = OsDpos(in.graph, in.cluster, in.comp, in.comm);
+      (void)os;
+    } while (Now() - t0 < 0.25);
+    CpuProfiler::Global().Stop();
+    tracer.Disable();
+    tracer.Drain();  // spans only feed sample attribution here
+    const SymbolizedProfile prof =
+        SymbolizeProfile(CpuProfiler::Global().Drain());
+    if (prof.samples_total == 0) {
+      s.span_attrib_pct.push_back(0.0);
+      s.hot_frame_pct.push_back(0.0);
+      continue;
+    }
+    uint64_t hot = 0;
+    for (const ProfStackRow& row : prof.stacks) {
+      for (const std::string& frame : row.frames) {
+        if (frame.find("Dpos") != std::string::npos ||
+            frame.find("Simulate") != std::string::npos ||
+            frame.find("ParallelFor") != std::string::npos) {
+          hot += row.count;
+          break;
+        }
+      }
+    }
+    s.span_attrib_pct.push_back(100.0 *
+                                static_cast<double>(prof.span_attributed) /
+                                static_cast<double>(prof.samples_total));
+    s.hot_frame_pct.push_back(100.0 * static_cast<double>(hot) /
+                              static_cast<double>(prof.samples_total));
+    s.last = prof;
   }
   SetSearchJobs(1);
   return s;
@@ -286,6 +356,7 @@ int Run(int argc, char** argv) {
   int jobs = 8;
   int repeat = 3;
   int edits = 200;
+  std::string profile_path;
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) {
@@ -306,6 +377,8 @@ int Run(int argc, char** argv) {
       repeat = std::atoi(next());
     } else if (!std::strcmp(argv[i], "--edits")) {
       edits = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--profile")) {
+      profile_path = next();
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;
@@ -345,6 +418,9 @@ int Run(int argc, char** argv) {
       latest.incremental_s > 0.0 ? latest.full_s / latest.incremental_s : 0.0;
 
   const ArenaStats arena = RunArena(model, gpus, batch, jobs_eff, repeat);
+
+  const SearchProfileStats profcov =
+      MeasureSearchProfile(in, jobs_eff, repeat);
 
   TablePrinter table({"measurement", "serial", "parallel", "speedup"});
   table.AddRow({StrFormat("OS-DPOS (%d probes), jobs %d of %d", serial.probes,
@@ -386,6 +462,26 @@ int Run(int argc, char** argv) {
   std::printf("%s", arena_table.Render().c_str());
   std::printf("arena winner: %s (%.3fms/iter over %zu searchers)\n",
               arena.winner.c_str(), arena.winner_s * 1e3, arena.names.size());
+
+  if (!profcov.span_attrib_pct.empty()) {
+    std::printf("cpu sampler: %llu samples, %.1f%% span-attributed, %.1f%% "
+                "in search hot frames\n",
+                (unsigned long long)profcov.last.samples_total,
+                profcov.span_attrib_pct.back(), profcov.hot_frame_pct.back());
+  }
+  if (!profile_path.empty() && profcov.last.samples_total > 0) {
+    std::ofstream out(profile_path);
+    if (out) {
+      out << ProfileToJson(profcov.last, {{"benchmark", "bench_search"},
+                                          {"model", model},
+                                          {"gpus", StrFormat("%d", gpus)},
+                                          {"jobs", StrFormat("%d", jobs_eff)}})
+          << "\n";
+      std::printf("wrote cpu profile to %s\n", profile_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", profile_path.c_str());
+    }
+  }
 
   if (const char* path = std::getenv("FASTT_BENCH_JSON");
       path != nullptr && *path != '\0') {
@@ -441,6 +537,23 @@ int Run(int argc, char** argv) {
         seconds("resim_latest_full_s", latest.full_samples),
         seconds("resim_latest_incremental_s", latest.incremental_samples),
     };
+    // Profiler coverage rows: percentages, higher is better (a drop means
+    // span attribution or stack capture regressed).
+    auto coverage = [](const std::string& name,
+                       const std::vector<double>& samples) {
+      BenchMetricSeries series;
+      series.name = name;
+      series.unit = "%";
+      series.lower_is_better = false;
+      series.samples = samples;
+      return series;
+    };
+    if (!profcov.span_attrib_pct.empty()) {
+      report.metrics.push_back(
+          coverage("profile_span_attrib_pct", profcov.span_attrib_pct));
+      report.metrics.push_back(
+          coverage("profile_hot_frame_pct", profcov.hot_frame_pct));
+    }
     // Arena rows: the iteration series is deterministic (every repeat finds
     // the same strategy under an uncapped wall budget), so bench-diff gates
     // searcher quality; the wall series rides along as context.

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Validate collapsed-stack flamegraph output (stdlib only).
+
+Usage: check_folded.py <file.folded> [--require-frame NAME ...]
+
+Checks the contract ProfileToFolded promises (the format flamegraph.pl
+and speedscope consume):
+
+  * every line is `frame;frame;...;frame count` — stack left of the last
+    space, sample count right of it;
+  * the count is a positive decimal integer;
+  * the stack is non-empty and no frame is empty (no leading, trailing
+    or doubled `;`);
+  * frames contain no `;`, tabs, newlines or other control characters
+    and no leading/trailing whitespace;
+  * the file carries at least one sample in total;
+  * each `--require-frame NAME` appears as a substring of at least one
+    frame (used by CI to pin the known hot functions).
+
+Exits 0 and prints a one-line summary on success; prints every violation
+with its line number and exits 1 otherwise.
+"""
+
+import argparse
+import sys
+
+
+def check(path: str, required: list) -> list:
+    with open(path, "r", encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    errors = []
+    total_samples = 0
+    stacks = 0
+    seen_frames = set()
+
+    for i, line in enumerate(lines, start=1):
+        if not line:
+            errors.append(f"line {i}: empty line")
+            continue
+        if line != line.strip():
+            errors.append(f"line {i}: leading/trailing whitespace")
+            line = line.strip()
+        stack_part, sep, count_part = line.rpartition(" ")
+        if not sep or not stack_part:
+            errors.append(f"line {i}: expected 'frame;...;frame count'")
+            continue
+        if not count_part.isdigit():
+            errors.append(f"line {i}: count {count_part!r} is not a "
+                          "decimal integer")
+            continue
+        count = int(count_part)
+        if count <= 0:
+            errors.append(f"line {i}: count must be positive, got {count}")
+            continue
+        frames = stack_part.split(";")
+        bad = False
+        for frame in frames:
+            if not frame:
+                errors.append(f"line {i}: empty frame (doubled, leading or "
+                              "trailing ';')")
+                bad = True
+                break
+            if frame != frame.strip():
+                errors.append(f"line {i}: frame {frame!r} has surrounding "
+                              "whitespace")
+                bad = True
+                break
+            if any(ord(c) < 0x20 for c in frame):
+                errors.append(f"line {i}: frame {frame!r} contains a "
+                              "control character")
+                bad = True
+                break
+        if bad:
+            continue
+        total_samples += count
+        stacks += 1
+        seen_frames.update(frames)
+
+    if total_samples == 0:
+        errors.append("no samples: every profile must fold at least one "
+                      "stack")
+    for name in required:
+        if not any(name in frame for frame in seen_frames):
+            errors.append(f"required frame {name!r} not found in any stack")
+
+    if not errors:
+        print(f"{path}: OK — {stacks} unique stacks, {total_samples} "
+              f"samples, {len(seen_frames)} distinct frames")
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Validate collapsed-stack flamegraph output.")
+    parser.add_argument("file")
+    parser.add_argument("--require-frame", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless NAME appears as a substring of "
+                             "some frame (repeatable)")
+    args = parser.parse_args()
+    errors = check(args.file, args.require_frame)
+    for error in errors:
+        print(f"{args.file}: {error}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

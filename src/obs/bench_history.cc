@@ -6,6 +6,7 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/build_info.h"
 #include "obs/json.h"
 #include "util/stats.h"
 #include "util/strings.h"
@@ -14,16 +15,21 @@
 namespace fastt {
 
 void BenchMetricSeries::Finalize() {
-  median = Percentile(samples, 50.0);
-  p90 = Percentile(samples, 90.0);
-  min = Min(samples);
-  mean = Mean(samples);
+  // One ComputeSampleStats call sorts once and derives every field —
+  // previously each Percentile call re-sorted the series.
+  const SampleStats stats = ComputeSampleStats(samples);
+  median = stats.p50;
+  p90 = stats.p90;
+  min = stats.min;
+  mean = stats.mean;
 }
 
 std::string BenchHistoryDocToJson(const BenchHistoryDoc& doc) {
   JsonWriter w;
   w.BeginObject();
   w.Key("schema").String("fastt-bench/1");
+  w.Key("build");
+  WriteBuildInfo(w);
   w.Key("run").BeginObject();
   for (const auto& [k, v] : doc.run) w.Key(k).String(v);
   w.EndObject();

@@ -5,8 +5,11 @@
 #include <exception>
 #include <fstream>
 
+#include "obs/build_info.h"
 #include "obs/context.h"
 #include "obs/json.h"
+#include "obs/prof_export.h"
+#include "obs/profiler.h"
 #include "obs/trace_export.h"
 
 namespace fastt {
@@ -92,6 +95,8 @@ bool WriteBlackboxDump(const std::string& path, TelemetryContext& context,
   JsonWriter w;
   w.BeginObject();
   w.Key("schema").String("fastt-blackbox/1");
+  w.Key("build");
+  WriteBuildInfo(w);
   w.Key("reason").String(reason);
   w.Key("metrics").Raw(context.metrics().ToJson());
 
@@ -132,6 +137,20 @@ bool WriteBlackboxDump(const std::string& path, TelemetryContext& context,
     w.Key("dropped_spans").Int(0);
   }
   w.EndObject();
+
+  // If a CPU profile was in flight when the process died, the crash comes
+  // with its last seconds of samples: stop sampling (the handler must not
+  // fire mid-dump) and fold whatever the rings have published.
+  if (CpuProfiler::Global().active()) {
+    CpuProfiler::Global().Stop();
+  }
+  {
+    const ProfileDump prof_dump = CpuProfiler::Global().Drain();
+    if (prof_dump.samples_total > 0) {
+      const SymbolizedProfile prof = SymbolizeProfile(prof_dump);
+      w.Key("profile").Raw(ProfileToJson(prof, {}));
+    }
+  }
 
   w.EndObject();
   std::ofstream file(path);

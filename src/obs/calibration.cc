@@ -18,9 +18,10 @@ ErrorStats StatsOverAbsRelErrors(std::vector<double> abs_rel) {
   ErrorStats stats;
   stats.n = static_cast<int>(abs_rel.size());
   if (abs_rel.empty()) return stats;
-  stats.max = Max(abs_rel);
-  stats.p90 = Percentile(abs_rel, 90.0);
-  stats.p50 = Percentile(std::move(abs_rel), 50.0);
+  const SampleStats s = ComputeSampleStats(std::move(abs_rel));
+  stats.max = s.max;
+  stats.p90 = s.p90;
+  stats.p50 = s.p50;
   return stats;
 }
 

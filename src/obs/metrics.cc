@@ -8,6 +8,7 @@
 #include "obs/event_log.h"
 #include "obs/json.h"
 #include "util/memtrack.h"
+#include "util/stats.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
 
@@ -81,8 +82,7 @@ double HistogramSnapshot::Quantile(double q) const {
       double hi = std::min(max, HistogramBucketUpper(i));
       if (!std::isfinite(hi)) hi = max;
       if (hi < lo) hi = lo;
-      const double frac = (target - cum) / n;
-      return std::clamp(lo + frac * (hi - lo), min, max);
+      return std::clamp(Lerp(lo, hi, (target - cum) / n), min, max);
     }
     cum += n;
   }

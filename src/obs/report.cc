@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "obs/build_info.h"
 #include "obs/event_log.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -43,6 +44,14 @@ void RunReport::SetTraceSummary(const TraceSummary& summary) {
   }
   w.EndArray();
   trace_phases_json_ = w.str();
+  // Ring-buffer overflow is never silent: the drop counters ride along so a
+  // report whose phase table was starved by wraparound says so itself.
+  JsonWriter dropped;
+  dropped.BeginObject();
+  dropped.Key("events").Int(static_cast<int64_t>(summary.dropped_events));
+  dropped.Key("spans").Int(static_cast<int64_t>(summary.dropped_spans));
+  dropped.EndObject();
+  trace_dropped_json_ = dropped.str();
 }
 
 void RunReport::AddSection(const std::string& key,
@@ -54,6 +63,8 @@ std::string RunReport::ToJson() const {
   JsonWriter w;
   w.BeginObject();
   w.Key("schema").String("fastt-report/1");
+  w.Key("build");
+  WriteBuildInfo(w);
   w.Key("command").String(command_);
   w.Key("model").String(model_);
   w.Key("params").BeginObject();
@@ -63,6 +74,8 @@ std::string RunReport::ToJson() const {
   if (!events_json_.empty()) w.Key("events").Raw(events_json_);
   if (!trace_phases_json_.empty())
     w.Key("trace_phases").Raw(trace_phases_json_);
+  if (!trace_dropped_json_.empty())
+    w.Key("trace_dropped").Raw(trace_dropped_json_);
   for (const auto& [key, json] : sections_) w.Key(key).Raw(json);
   w.EndObject();
   return w.str();

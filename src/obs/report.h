@@ -52,6 +52,7 @@ class RunReport {
   std::string metrics_json_;       // empty: omitted
   std::string events_json_;        // "[" ... "]" array; empty: omitted
   std::string trace_phases_json_;  // array; empty: omitted
+  std::string trace_dropped_json_; // {"events","spans"}; empty: omitted
   std::vector<std::pair<std::string, std::string>> sections_;
 };
 

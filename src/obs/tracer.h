@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "obs/ambient.h"
+#include "obs/profiler.h"
 #include "util/sync.h"
 
 namespace fastt {
@@ -114,6 +115,13 @@ class Tracer {
   // a subsequent drain starts empty. Requires quiescence.
   TraceDump Drain();
 
+  // steady_clock nanoseconds at Enable(). The CPU profiler starts from the
+  // same origin so sample timestamps land on the span timeline when both
+  // are exported into one Chrome trace.
+  int64_t epoch_ns() const {
+    return epoch_ns_.load(std::memory_order_relaxed);
+  }
+
  private:
   enum Kind : uint8_t { kBegin, kEnd, kInstant, kCounter };
 
@@ -170,7 +178,10 @@ inline Tracer& CurrentTracer() {
 
 // RAII span. Resolves and pins the ambient tracer at entry so a span opened
 // while tracing is on always closes on the same sink (Disable mid-span
-// leaves at worst one unpaired end, which the drain drops).
+// leaves at worst one unpaired end, which the drain drops). Every opened
+// span is also pushed on the per-thread ProfSpanStack (obs/profiler.h) so
+// the sampling profiler can attribute each CPU sample to the innermost
+// live span.
 class TraceScope {
  public:
   explicit TraceScope(const char* name) {
@@ -180,10 +191,14 @@ class TraceScope {
       tracer_ = &t;
       name_ = name;
       t.BeginSpan(name);
+      ProfSpanPush(name);
     }
   }
   ~TraceScope() {
-    if (tracer_ != nullptr) tracer_->EndSpan(name_);
+    if (tracer_ != nullptr) {
+      ProfSpanPop();
+      tracer_->EndSpan(name_);
+    }
   }
   TraceScope(const TraceScope&) = delete;
   TraceScope& operator=(const TraceScope&) = delete;

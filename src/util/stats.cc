@@ -42,14 +42,37 @@ double Max(const std::vector<double>& xs) {
 }
 
 double Percentile(std::vector<double> xs, double p) {
-  if (xs.empty()) return 0.0;
   std::sort(xs.begin(), xs.end());
+  return PercentileSorted(xs, p);
+}
+
+double Lerp(double lo, double hi, double frac) {
+  frac = std::clamp(frac, 0.0, 1.0);
+  return lo + frac * (hi - lo);
+}
+
+double PercentileSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
   p = std::clamp(p, 0.0, 100.0);
-  const double idx = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const double idx = p / 100.0 * static_cast<double>(sorted.size() - 1);
   const size_t lo = static_cast<size_t>(idx);
-  const size_t hi = std::min(lo + 1, xs.size() - 1);
-  const double frac = idx - static_cast<double>(lo);
-  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  return Lerp(sorted[lo], sorted[hi], idx - static_cast<double>(lo));
+}
+
+SampleStats ComputeSampleStats(std::vector<double> xs) {
+  SampleStats s;
+  if (xs.empty()) return s;
+  s.n = xs.size();
+  s.mean = Mean(xs);
+  s.stddev = Stddev(xs);
+  std::sort(xs.begin(), xs.end());
+  s.min = xs.front();
+  s.max = xs.back();
+  s.p50 = PercentileSorted(xs, 50.0);
+  s.p90 = PercentileSorted(xs, 90.0);
+  s.p99 = PercentileSorted(xs, 99.0);
+  return s;
 }
 
 }  // namespace fastt

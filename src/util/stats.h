@@ -33,4 +33,28 @@ double Max(const std::vector<double>& xs);
 // Linear-interpolated percentile, p in [0, 100]. Empty input returns 0.
 double Percentile(std::vector<double> xs, double p);
 
+// Linear interpolation between lo and hi; frac outside [0, 1] is clamped.
+// The one interpolation formula shared by Percentile, the histogram
+// quantile estimator (obs/metrics) and the profiler table.
+double Lerp(double lo, double hi, double frac);
+
+// Percentile over an ALREADY ascending-sorted vector — what every
+// multi-percentile consumer should call so the input is sorted once, not
+// once per percentile. Same contract as Percentile otherwise.
+double PercentileSorted(const std::vector<double>& sorted, double p);
+
+// One-pass summary of a sample vector: sorts once, then derives every
+// order statistic from the sorted data. Empty input yields all zeros.
+struct SampleStats {
+  size_t n = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+SampleStats ComputeSampleStats(std::vector<double> xs);
+
 }  // namespace fastt

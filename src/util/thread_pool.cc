@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "obs/ambient.h"
+#include "obs/profiler.h"
 #include "obs/tracer.h"
 #include "util/strings.h"
 
@@ -39,8 +40,12 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::WorkerLoop(int worker_index) {
   t_in_worker = true;
-  Tracer::Global().SetCurrentThreadName(
-      StrFormat("search worker %d", worker_index));
+  const std::string thread_name = StrFormat("search worker %d", worker_index);
+  Tracer::Global().SetCurrentThreadName(thread_name);
+  // Workers opt into CPU sampling for their whole lifetime: if a profile is
+  // running their timers arm immediately, otherwise the slot sits idle
+  // until a Start() arms it.
+  RegisterProfiledThread(thread_name.c_str());
   for (;;) {
     Task task;
     {
@@ -48,7 +53,10 @@ void ThreadPool::WorkerLoop(int worker_index) {
       cv_.Wait(mu_, [this]() FASTT_REQUIRES(mu_) {
         return stop_ || !tasks_.empty();
       });
-      if (stop_ && tasks_.empty()) return;
+      if (stop_ && tasks_.empty()) {
+        UnregisterProfiledThread();
+        return;
+      }
       task = std::move(tasks_.front());
       tasks_.pop();
     }

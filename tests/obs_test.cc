@@ -832,6 +832,29 @@ TEST(RunReport, BundleCarriesSchemaParamsMetricsEventsAndSections) {
   EXPECT_TRUE(calibration->is_object());
 }
 
+TEST(RunReport, SurfacesDroppedTraceCountsAndBuildProvenance) {
+  TraceSummary summary;
+  summary.phases.push_back(TracePhase{"search/total", 1, 0.5, 0.25});
+  summary.dropped_events = 14;
+  summary.dropped_spans = 2;
+  RunReport report("run", "lenet");
+  report.SetTraceSummary(summary);
+
+  JsonValue doc;
+  ASSERT_TRUE(JsonParse(report.ToJson(), &doc));
+  // Ring wraparound is data loss; the bundle must say so, not just shrink.
+  const JsonValue* dropped = doc.Find("trace_dropped");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_EQ(dropped->Find("events")->IntOr(0), 14);
+  EXPECT_EQ(dropped->Find("spans")->IntOr(0), 2);
+  // Every report states which build produced it.
+  const JsonValue* build = doc.Find("build");
+  ASSERT_NE(build, nullptr);
+  EXPECT_FALSE(build->Find("git_sha")->StringOr("").empty());
+  EXPECT_FALSE(build->Find("compiler")->StringOr("").empty());
+  EXPECT_FALSE(build->Find("build_type")->StringOr("").empty());
+}
+
 TEST(RunReport, OptionalSectionsAreOmittedWhenUnset) {
   RunReport bare("models", "");
   JsonValue doc;

@@ -108,8 +108,23 @@ TEST_F(TracerTest, RingWraparoundDropsOldestAndStaysWellFormed) {
   EXPECT_LE(dump.points.size(), 8u);
   for (const TracePoint& p : dump.points) EXPECT_STREQ(p.name, "spam");
 
+  // Loss is advertised, not silent: the Chrome export's metadata block
+  // carries the drop counters for anyone loading the trace.
   const std::string json = TraceToChromeJson(dump);
   EXPECT_TRUE(JsonValidate(json)) << json;
+  JsonValue doc;
+  ASSERT_TRUE(JsonParse(json, &doc));
+  const JsonValue* metadata = doc.Find("metadata");
+  ASSERT_NE(metadata, nullptr);
+  EXPECT_EQ(metadata->Find("dropped_events")->IntOr(0), 14);
+  EXPECT_GE(metadata->Find("dropped_spans")->IntOr(0), 1);
+
+  // And the summary feeding `fastt report` carries them too.
+  const TraceSummary summary = SummarizeTrace(dump);
+  EXPECT_EQ(summary.dropped_events, 14u);
+  EXPECT_GE(summary.dropped_spans, 1u);
+  EXPECT_NE(RenderTraceSummary(summary).find("dropped 14 events"),
+            std::string::npos);
 }
 
 TEST_F(TracerTest, WraparoundOverManySpansKeepsDrainSorted) {

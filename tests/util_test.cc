@@ -117,6 +117,38 @@ TEST(Stats, Percentile) {
   EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
 }
 
+TEST(Stats, LerpClampsFraction) {
+  EXPECT_DOUBLE_EQ(Lerp(10.0, 20.0, 0.5), 15.0);
+  EXPECT_DOUBLE_EQ(Lerp(10.0, 20.0, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Lerp(10.0, 20.0, 1.0), 20.0);
+  EXPECT_DOUBLE_EQ(Lerp(10.0, 20.0, -3.0), 10.0);
+  EXPECT_DOUBLE_EQ(Lerp(10.0, 20.0, 7.0), 20.0);
+}
+
+TEST(Stats, PercentileSortedMatchesPercentile) {
+  std::vector<double> sorted = {1, 2, 3, 4, 5};
+  for (double p : {0.0, 25.0, 50.0, 90.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(PercentileSorted(sorted, p), Percentile(sorted, p)) << p;
+  }
+  EXPECT_DOUBLE_EQ(PercentileSorted({}, 50), 0.0);
+}
+
+TEST(Stats, ComputeSampleStatsDerivesEverythingFromOneSort) {
+  const std::vector<double> xs = {5, 1, 4, 2, 3};
+  const SampleStats stats = ComputeSampleStats(xs);
+  EXPECT_EQ(stats.n, 5u);
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max, 5.0);
+  EXPECT_DOUBLE_EQ(stats.mean, 3.0);
+  EXPECT_DOUBLE_EQ(stats.stddev, Stddev(xs));
+  EXPECT_DOUBLE_EQ(stats.p50, 3.0);
+  EXPECT_DOUBLE_EQ(stats.p90, Percentile(xs, 90));
+  EXPECT_DOUBLE_EQ(stats.p99, Percentile(xs, 99));
+  const SampleStats empty = ComputeSampleStats({});
+  EXPECT_EQ(empty.n, 0u);
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+}
+
 TEST(Strings, StrFormat) {
   EXPECT_EQ(StrFormat("%d-%s", 3, "x"), "3-x");
   EXPECT_EQ(StrFormat("%.2f", 1.234), "1.23");

@@ -37,6 +37,15 @@
 //   fastt bench-diff <old.json> <new.json> [--threshold T] [--min-repeats R]
 //       Compare two fastt-bench/1 reports (FASTT_BENCH_JSON output).
 //       Exits nonzero on a hard regression — the CI gate.
+//   fastt profile <model> [--hz N] [--seconds S] [--json F] [--folded F]
+//       Run the OS-DPOS search in a loop under the sampling CPU profiler
+//       (obs/profiler.h) and report where the cycles went: a top-N
+//       self/total frame table, per-sample span attribution, and optionally
+//       the fastt-prof/1 JSON (--json) plus collapsed-stack flamegraph
+//       input (--folded, flamegraph.pl / speedscope format).
+//   fastt prof-diff <old.json> <new.json> [--threshold PP]
+//       Compare two fastt-prof/1 profiles by per-frame self-time share.
+//       Exits nonzero on a hard regression — the perf twin of bench-diff.
 //   fastt verify <model> [--strategy f] [--gpus N] [--batch B] [--json F]
 //       Run the full strategy verifier (analysis/verifier.h rule catalog)
 //       over a strategy for <model>: with --strategy, a serialized strategy
@@ -72,6 +81,10 @@
 //   --log-level <level>       error|warn|info|debug (or FASTT_LOG_LEVEL)
 //   --trace-search <out.json> (or FASTT_TRACE_SEARCH=path) records the
 //                             strategy search itself as a Chrome trace
+//   --profile <out.json>      sample the whole command under the CPU
+//                             profiler and write a fastt-prof/1 document
+//                             (on search-profile: also merges sample tracks
+//                             into the Chrome trace)
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -95,12 +108,15 @@
 #include "models/model_zoo.h"
 #include "obs/bench_history.h"
 #include "obs/blackbox.h"
+#include "obs/build_info.h"
 #include "obs/calibration.h"
 #include "obs/context.h"
 #include "obs/json.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/openmetrics.h"
+#include "obs/prof_export.h"
+#include "obs/profiler.h"
 #include "obs/report.h"
 #include "obs/provenance.h"
 #include "obs/schedule_analysis.h"
@@ -131,13 +147,19 @@ struct Args {
   std::string blackbox_path;     // --blackbox: arm the crash black-box
   std::string log_level;         // --log-level: error|warn|info|debug
   std::string trace_search_path;  // --trace-search: search Chrome trace
+  std::string profile_path;  // --profile: fastt-prof/1 CPU profile output
+  std::string folded_path;   // --folded: collapsed-stack flamegraph output
   int gpus = 4;
   int servers = 1;
   int jobs = 0;  // --jobs: search threads; 0 = keep FASTT_JOBS / default
   int budget_ms = 2000;  // --budget-ms: arena wall-clock budget per racer
+  int profile_hz = 997;  // --hz: profiler sampling rate
+  double profile_seconds = 1.0;  // --seconds: `fastt profile` loop duration
+  int top_n = 15;        // --top: profile table rows
   int64_t batch = 0;  // 0 = model default
   Scaling scaling = Scaling::kStrong;
   BenchDiffOptions diff;  // bench-diff: --threshold / --min-repeats / ...
+  ProfDiffOptions prof_diff;  // prof-diff: --threshold (pp) / --min-samples
 };
 
 Args Parse(int argc, char** argv) {
@@ -177,12 +199,31 @@ Args Parse(int argc, char** argv) {
       args.log_level = next();
     } else if (a == "--trace-search") {
       args.trace_search_path = next();
+    } else if (a == "--profile") {
+      args.profile_path = next();
+    } else if (a == "--folded") {
+      args.folded_path = next();
+    } else if (a == "--hz") {
+      args.profile_hz = std::atoi(next());
+    } else if (a == "--seconds") {
+      args.profile_seconds = std::atof(next());
+    } else if (a == "--top") {
+      args.top_n = std::atoi(next());
     } else if (a == "--threshold") {
-      args.diff.threshold = std::atof(next());
+      // Shared spelling, per-command scale: a relative delta for
+      // bench-diff, percentage points of self share for prof-diff.
+      const double v = std::atof(next());
+      args.diff.threshold = v;
+      args.prof_diff.threshold_pp = v;
     } else if (a == "--hard-factor") {
-      args.diff.hard_factor = std::atof(next());
+      const double v = std::atof(next());
+      args.diff.hard_factor = v;
+      args.prof_diff.hard_factor = v;
     } else if (a == "--min-repeats") {
       args.diff.min_repeats = std::atoi(next());
+    } else if (a == "--min-samples") {
+      args.prof_diff.min_samples =
+          static_cast<uint64_t>(std::atoll(next()));
     } else if (a == "--weak") {
       args.scaling = Scaling::kWeak;
     } else if (positional == 0) {
@@ -500,6 +541,19 @@ int CmdSearchProfile(const Args& args) {
   Tracer& tracer = Tracer::Global();
   tracer.SetCurrentThreadName("search main");
   tracer.Enable();
+  // With --profile the CPU sampler runs alongside the tracer on the same
+  // epoch, so its sample tracks merge into the Chrome trace timeline.
+  const bool do_profile = !args.profile_path.empty();
+  if (do_profile) {
+    RegisterProfiledThread("search main");
+    CpuProfilerOptions popts;
+    popts.hz = args.profile_hz;
+    popts.epoch_ns = tracer.epoch_ns();
+    if (!CpuProfiler::Global().Start(popts)) {
+      std::fprintf(stderr, "cannot start CPU profiler\n");
+      return 1;
+    }
+  }
   const auto t0 = std::chrono::steady_clock::now();
   int probes = 0;
   size_t splits = 0;
@@ -514,8 +568,11 @@ int CmdSearchProfile(const Args& args) {
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  if (do_profile) CpuProfiler::Global().Stop();
   tracer.Disable();
   const TraceDump dump = tracer.Drain();
+  const ProfileDump prof_dump =
+      do_profile ? CpuProfiler::Global().Drain() : ProfileDump{};
   const TraceSummary summary = SummarizeTrace(dump);
 
   std::printf("OS-DPOS: %d split probes, %zu splits committed, predicted "
@@ -552,6 +609,24 @@ int CmdSearchProfile(const Args& args) {
               HumanBytes(static_cast<double>(d_mem.peak_bytes)).c_str());
   mem.Disable();
 
+  if (do_profile) {
+    const SymbolizedProfile prof = SymbolizeProfile(prof_dump);
+    std::printf("\n");
+    std::fputs(RenderProfileTable(prof, args.top_n).c_str(), stdout);
+    std::ofstream pf(args.profile_path);
+    if (!pf) {
+      std::fprintf(stderr, "cannot write %s\n", args.profile_path.c_str());
+      return 1;
+    }
+    pf << ProfileToJson(prof,
+                        {{"command", "search-profile"},
+                         {"model", spec.name},
+                         {"gpus", StrFormat("%d", args.gpus)},
+                         {"jobs", StrFormat("%d", SearchJobs())}})
+       << "\n";
+    std::printf("wrote cpu profile to %s\n", args.profile_path.c_str());
+  }
+
   const std::string out_path =
       !args.path.empty() ? args.path : args.trace_search_path;
   if (!out_path.empty()) {
@@ -560,7 +635,9 @@ int CmdSearchProfile(const Args& args) {
       std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
       return 1;
     }
-    out << TraceToChromeJson(dump) << "\n";
+    out << (do_profile ? TraceToChromeJson(dump, prof_dump)
+                       : TraceToChromeJson(dump))
+        << "\n";
     std::printf("wrote search trace to %s — load in chrome://tracing or "
                 "Perfetto\n",
                 out_path.c_str());
@@ -996,6 +1073,15 @@ int CmdReport(const Args& args) {
   TelemetryContext context;
   context.tracer().SetCurrentThreadName("report main");
   context.tracer().Enable();
+  // The report workflow doubles as a profiling window: the CPU sampler runs
+  // across the whole run and lands as a top-N frame table plus a "profile"
+  // section in the bundle. Start can fail (e.g. an outer profiler already
+  // owns the timers); the report just goes without in that case.
+  RegisterProfiledThread("report main");
+  CpuProfilerOptions popts;
+  popts.hz = args.profile_hz;
+  popts.epoch_ns = context.tracer().epoch_ns();
+  const bool profiling = CpuProfiler::Global().Start(popts);
   MemTracker& mem = context.memtrack();
   mem.Enable();
 
@@ -1013,13 +1099,20 @@ int CmdReport(const Args& args) {
     PublishMemMetrics(context.metrics());
   }
   mem.Disable();
+  if (profiling) CpuProfiler::Global().Stop();
   context.tracer().Disable();
   const TraceSummary summary = SummarizeTrace(context.tracer().Drain());
+  SymbolizedProfile prof;
+  if (profiling) prof = SymbolizeProfile(CpuProfiler::Global().Drain());
 
   std::printf("  %.1f samples/s, %d rounds, %zu splits; verifier: %d "
               "errors, %d warnings\n",
               SamplesPerSecond(ft), ft.rounds, ft.strategy.splits.size(),
               verify.errors, verify.warnings);
+  if (profiling && prof.samples_total > 0) {
+    std::printf("\n");
+    std::fputs(RenderProfileTable(prof, args.top_n).c_str(), stdout);
+  }
 
   RunReport report("report", spec.name);
   report.SetParam("gpus", cluster.num_devices());
@@ -1053,6 +1146,10 @@ int CmdReport(const Args& args) {
     w.EndObject();
     report.AddSection("memstat", w.str());
   }
+  if (profiling && prof.samples_total > 0)
+    report.AddSection(
+        "profile",
+        ProfileToJson(prof, {{"command", "report"}, {"model", spec.name}}));
   if (!report.Write(out_path)) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 1;
@@ -1077,6 +1174,137 @@ int CmdBenchDiff(const Args& args) {
   }
   const BenchDiffResult result = DiffBenchReports(old_doc, new_doc, args.diff);
   std::fputs(RenderBenchDiff(result, args.diff).c_str(), stdout);
+  return result.hard_regressions > 0 ? 1 : 0;
+}
+
+// `fastt profile` — run the OS-DPOS search in a loop under the sampling CPU
+// profiler until --seconds of wall clock accumulates, then fold the stacks.
+// This answers "where do the cycles go" below the span level: the tracer
+// gives phase totals, the sampler gives the hot frames inside them.
+int CmdProfile(const Args& args) {
+  const ModelSpec* specp = RequireModel(args.model);
+  if (specp == nullptr) return 2;
+  const ModelSpec& spec = *specp;
+  const int64_t batch = args.batch > 0 ? args.batch : spec.strong_batch;
+  const Cluster cluster = MakeCluster(args);
+
+  // Same bootstrap as search-profile: calibrate the cost models against one
+  // simulated data-parallel run so the profiled search is the real one.
+  auto dp = BuildDataParallel(spec.build, spec.name, batch,
+                              cluster.num_devices(), args.scaling);
+  const std::vector<DeviceId> placement = CanonicalDataParallelPlacement(dp);
+  const Graph graph = std::move(dp.graph);
+  SimOptions so;
+  so.noise_cv = 0.03;
+  so.seed = 11;
+  const RunProfile profile =
+      ExtractProfile(graph, Simulate(graph, placement, cluster, so));
+  CompCostModel comp;
+  CommCostModel comm;
+  comp.AddProfile(profile);
+  comm.AddProfile(profile);
+
+  std::printf("profile: %s, batch %lld, %s, %d jobs, %d Hz for >= %.1f s\n",
+              spec.name.c_str(), (long long)batch, cluster.ToString().c_str(),
+              SearchJobs(), args.profile_hz, args.profile_seconds);
+
+  // The tracer must run for sample->span attribution; its own dump is
+  // discarded here (use search-profile for the timeline view).
+  Tracer& tracer = Tracer::Global();
+  tracer.SetCurrentThreadName("search main");
+  tracer.Enable();
+  RegisterProfiledThread("search main");
+  CpuProfilerOptions popts;
+  popts.hz = args.profile_hz;
+  popts.epoch_ns = tracer.epoch_ns();
+  if (!CpuProfiler::Global().Start(popts)) {
+    std::fprintf(stderr, "cannot start CPU profiler\n");
+    return 1;
+  }
+  // One small-model search is sub-millisecond; repeat until the wall-clock
+  // floor so the sampler sees enough timer periods regardless of model size.
+  const auto t0 = std::chrono::steady_clock::now();
+  int reps = 0;
+  int probes = 0;
+  size_t splits = 0;
+  double wall_s = 0.0;
+  do {
+    FASTT_TRACE_SPAN("profile/search");
+    const OsDposResult os = OsDpos(graph, cluster, comp, comm);
+    probes = os.probes;
+    splits = os.splits.size();
+    ++reps;
+    wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  } while (wall_s < args.profile_seconds);
+  CpuProfiler::Global().Stop();
+  tracer.Disable();
+  tracer.Drain();  // spans served their purpose (attribution); drop them
+
+  const ProfileDump dump = CpuProfiler::Global().Drain();
+  const SymbolizedProfile prof = SymbolizeProfile(dump);
+  std::printf("%d search repetitions (%d split probes, %zu splits each) in "
+              "%.2f s\n\n",
+              reps, probes, splits, wall_s);
+  std::fputs(RenderProfileTable(prof, args.top_n).c_str(), stdout);
+  std::printf("span-attributed: %.1f%% of %llu samples\n",
+              prof.samples_total > 0
+                  ? 100.0 * static_cast<double>(prof.span_attributed) /
+                        static_cast<double>(prof.samples_total)
+                  : 0.0,
+              (unsigned long long)prof.samples_total);
+
+  const std::map<std::string, std::string> params = {
+      {"command", "profile"},
+      {"model", spec.name},
+      {"gpus", StrFormat("%d", args.gpus)},
+      {"batch", StrFormat("%lld", (long long)batch)},
+      {"jobs", StrFormat("%d", SearchJobs())},
+      {"reps", StrFormat("%d", reps)}};
+  if (!args.json_path.empty()) {
+    std::ofstream out(args.json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", args.json_path.c_str());
+      return 1;
+    }
+    out << ProfileToJson(prof, params) << "\n";
+    std::printf("wrote cpu profile to %s\n", args.json_path.c_str());
+  }
+  if (!args.folded_path.empty()) {
+    std::ofstream out(args.folded_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", args.folded_path.c_str());
+      return 1;
+    }
+    out << ProfileToFolded(prof);
+    std::printf("wrote collapsed stacks to %s — feed to flamegraph.pl or "
+                "speedscope\n",
+                args.folded_path.c_str());
+  }
+  ReportSections sections;
+  if (!args.report_path.empty())
+    sections.push_back({"profile", ProfileToJson(prof, params)});
+  WriteRunArtifacts(args, nullptr, sections);
+  return 0;
+}
+
+int CmdProfDiff(const Args& args) {
+  ProfDoc old_doc;
+  ProfDoc new_doc;
+  std::string error;
+  if (!ReadProfDoc(args.model, &old_doc, &error)) {
+    std::fprintf(stderr, "prof-diff: %s: %s\n", args.model.c_str(),
+                 error.c_str());
+    return 2;
+  }
+  if (!ReadProfDoc(args.path, &new_doc, &error)) {
+    std::fprintf(stderr, "prof-diff: %s: %s\n", args.path.c_str(),
+                 error.c_str());
+    return 2;
+  }
+  const ProfDiffResult result = DiffProfiles(old_doc, new_doc, args.prof_diff);
+  std::fputs(RenderProfDiff(result, args.prof_diff).c_str(), stdout);
   return result.hard_regressions > 0 ? 1 : 0;
 }
 
@@ -1108,6 +1336,12 @@ constexpr CommandSpec kCommands[] = {
     {"bench-diff",
      "fastt bench-diff <old.json> <new.json> [--threshold T] [--hard-factor "
      "F] [--min-repeats R]"},
+    {"profile",
+     "fastt profile <model> [--hz N] [--seconds S] [--gpus N] [--jobs N] "
+     "[--json F] [--folded F] [--top N]"},
+    {"prof-diff",
+     "fastt prof-diff <old.json> <new.json> [--threshold PP] [--hard-factor "
+     "F] [--min-samples N]"},
     {"verify",
      "fastt verify <model> [--strategy f] [--gpus N] [--servers S] "
      "[--batch B] [--json F]"},
@@ -1130,9 +1364,11 @@ int Usage() {
                "         --openmetrics <out.txt> (Prometheus exposition),\n"
                "         --blackbox <out.json> (crash dump on fatal signal),\n"
                "         --log-level error|warn|info|debug (or\n"
-               "         FASTT_LOG_LEVEL) and --trace-search <out.json>\n"
+               "         FASTT_LOG_LEVEL), --trace-search <out.json>\n"
                "         (Chrome trace of the search; also via\n"
-               "         FASTT_TRACE_SEARCH=path)\n");
+               "         FASTT_TRACE_SEARCH=path) and --profile <out.json>\n"
+               "         (sampling CPU profile of the whole command);\n"
+               "         `fastt --version` prints build provenance\n");
   return 2;
 }
 
@@ -1197,6 +1433,13 @@ int Dispatch(const Args& args) {
       return CommandUsage(args.command);
     return CmdBenchDiff(args);
   }
+  if (args.command == "profile")
+    return args.model.empty() ? CommandUsage(args.command) : CmdProfile(args);
+  if (args.command == "prof-diff") {
+    if (args.model.empty() || args.path.empty())
+      return CommandUsage(args.command);
+    return CmdProfDiff(args);
+  }
   std::fprintf(stderr, "fastt: unknown command \"%s\"\n",
                args.command.c_str());
   return Usage();
@@ -1206,6 +1449,10 @@ int Dispatch(const Args& args) {
 
 int main(int argc, char** argv) {
   Args args = Parse(argc, argv);
+  if (args.command == "--version" || args.command == "version") {
+    std::printf("fastt %s\n", BuildInfoLine().c_str());
+    return 0;
+  }
   if (!args.log_level.empty()) {
     LogLevel level;
     if (!ParseLogLevel(args.log_level, &level)) {
@@ -1233,12 +1480,36 @@ int main(int argc, char** argv) {
     Tracer::Global().SetCurrentThreadName("search main");
     Tracer::Global().Enable();
   }
+  // Likewise --profile: profile, prof-diff, search-profile and report manage
+  // the sampler themselves; every other command is sampled whole here.
+  const bool profile_here =
+      !args.profile_path.empty() && args.command != "profile" &&
+      args.command != "prof-diff" && args.command != "search-profile" &&
+      args.command != "report";
+  if (profile_here) {
+    if (!trace_here) {
+      // Sample->span attribution needs live spans even though this tracer
+      // dump is never written out.
+      Tracer::Global().SetCurrentThreadName("search main");
+      Tracer::Global().Enable();
+    }
+    RegisterProfiledThread("main");
+    CpuProfilerOptions popts;
+    popts.hz = args.profile_hz;
+    popts.epoch_ns = Tracer::Global().epoch_ns();
+    CpuProfiler::Global().Start(popts);
+  }
   int rc = 0;
   try {
     rc = Dispatch(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
+  }
+  ProfileDump prof_dump;
+  if (profile_here) {
+    CpuProfiler::Global().Stop();
+    prof_dump = CpuProfiler::Global().Drain();
   }
   if (trace_here) {
     Tracer::Global().Disable();
@@ -1249,9 +1520,32 @@ int main(int argc, char** argv) {
                    args.trace_search_path.c_str());
       return rc != 0 ? rc : 1;
     }
-    out << TraceToChromeJson(dump) << "\n";
+    out << (profile_here ? TraceToChromeJson(dump, prof_dump)
+                         : TraceToChromeJson(dump))
+        << "\n";
     std::printf("wrote search trace to %s (%zu spans)\n",
                 args.trace_search_path.c_str(), dump.spans.size());
+  } else if (profile_here) {
+    Tracer::Global().Disable();
+    Tracer::Global().Drain();
+  }
+  if (profile_here) {
+    const SymbolizedProfile prof = SymbolizeProfile(prof_dump);
+    std::ofstream out(args.profile_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", args.profile_path.c_str());
+      return rc != 0 ? rc : 1;
+    }
+    out << ProfileToJson(prof, {{"command", args.command},
+                                {"model", args.model}})
+        << "\n";
+    std::printf(
+        "wrote cpu profile to %s (%llu samples, %.1f%% span-attributed)\n",
+        args.profile_path.c_str(), (unsigned long long)prof.samples_total,
+        prof.samples_total > 0
+            ? 100.0 * static_cast<double>(prof.span_attributed) /
+                  static_cast<double>(prof.samples_total)
+            : 0.0);
   }
   return rc;
 }
