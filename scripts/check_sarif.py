@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Validate a SARIF 2.1.0 report emitted by fastt-lint (stdlib only).
+
+Usage: check_sarif.py <file.sarif> [--require-rule ID ...]
+
+Checks the contract FindingsToSarif promises (the subset GitHub code
+scanning and the SARIF viewers consume):
+
+  * the document is valid JSON with version "2.1.0" and a $schema URI;
+  * runs is a non-empty array; each run carries tool.driver.name and a
+    rules array whose entries have unique non-empty ids and a
+    shortDescription.text;
+  * every result names a ruleId declared in the driver's rules, a level
+    in {error, warning, note}, and a non-empty message.text;
+  * every result has at least one location with a physicalLocation whose
+    artifactLocation.uri is non-empty and whose region.startLine >= 1;
+  * each `--require-rule ID` appears among the declared rule ids (used
+    by CI to pin that the catalog made it into the report).
+
+Exits 0 and prints a one-line summary on success; prints every violation
+and exits 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+LEVELS = {"error", "warning", "note"}
+
+
+def check(path: str, required: list) -> list:
+    errors = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return [f"cannot parse: {e}"]
+
+    if doc.get("version") != "2.1.0":
+        errors.append(f"version must be '2.1.0', got {doc.get('version')!r}")
+    if not str(doc.get("$schema", "")).startswith("http"):
+        errors.append("$schema missing or not a URI")
+
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        errors.append("runs must be a non-empty array")
+        return errors
+
+    declared = set()
+    n_results = 0
+    for ri, run in enumerate(runs):
+        driver = run.get("tool", {}).get("driver", {})
+        if not driver.get("name"):
+            errors.append(f"runs[{ri}]: tool.driver.name missing")
+        rules = driver.get("rules")
+        if not isinstance(rules, list) or not rules:
+            errors.append(f"runs[{ri}]: tool.driver.rules must be a "
+                          "non-empty array")
+            rules = []
+        for ki, rule in enumerate(rules):
+            rid = rule.get("id")
+            if not rid:
+                errors.append(f"runs[{ri}].rules[{ki}]: id missing")
+                continue
+            if rid in declared:
+                errors.append(f"runs[{ri}].rules[{ki}]: duplicate id "
+                              f"{rid!r}")
+            declared.add(rid)
+            if not rule.get("shortDescription", {}).get("text"):
+                errors.append(f"runs[{ri}].rules[{ki}] ({rid}): "
+                              "shortDescription.text missing")
+
+        for si, res in enumerate(run.get("results", [])):
+            where = f"runs[{ri}].results[{si}]"
+            n_results += 1
+            rid = res.get("ruleId")
+            if not rid:
+                errors.append(f"{where}: ruleId missing")
+            elif rid not in declared:
+                errors.append(f"{where}: ruleId {rid!r} not declared in "
+                              "tool.driver.rules")
+            if res.get("level") not in LEVELS:
+                errors.append(f"{where}: level {res.get('level')!r} not in "
+                              f"{sorted(LEVELS)}")
+            if not res.get("message", {}).get("text"):
+                errors.append(f"{where}: message.text missing or empty")
+            locs = res.get("locations")
+            if not isinstance(locs, list) or not locs:
+                errors.append(f"{where}: locations must be a non-empty "
+                              "array")
+                continue
+            for li, loc in enumerate(locs):
+                phys = loc.get("physicalLocation", {})
+                uri = phys.get("artifactLocation", {}).get("uri")
+                if not uri:
+                    errors.append(f"{where}.locations[{li}]: "
+                                  "artifactLocation.uri missing")
+                start = phys.get("region", {}).get("startLine")
+                if not isinstance(start, int) or start < 1:
+                    errors.append(f"{where}.locations[{li}]: "
+                                  f"region.startLine must be >= 1, got "
+                                  f"{start!r}")
+
+    for rid in required:
+        if rid not in declared:
+            errors.append(f"required rule {rid!r} not declared")
+
+    if not errors:
+        print(f"{path}: OK — {len(runs)} run(s), {len(declared)} rule(s), "
+              f"{n_results} result(s)")
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Validate SARIF 2.1.0 output from fastt-lint.")
+    parser.add_argument("file")
+    parser.add_argument("--require-rule", action="append", default=[],
+                        metavar="ID",
+                        help="fail unless ID is among the declared rule "
+                             "ids (repeatable)")
+    args = parser.parse_args()
+    errors = check(args.file, args.require_rule)
+    for error in errors:
+        print(f"{args.file}: {error}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

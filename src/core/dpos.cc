@@ -6,7 +6,6 @@
 #include <map>
 #include <queue>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "core/rank.h"
 #include "core/timeline.h"
@@ -101,8 +100,6 @@ DposResult Dpos(const Graph& g, const Cluster& cluster,
   // smallest average compute time over the longest prefix it can host; when
   // its memory fills, pick the next CP device for the remainder.
   std::unordered_map<OpId, DeviceId> cp_device;
-  std::unordered_set<OpId> on_cp(result.critical_path.begin(),
-                                 result.critical_path.end());
   if (options.use_critical_path_device) {
     FASTT_TRACE_SPAN("dpos/cp_device");
     struct CpCandidate {

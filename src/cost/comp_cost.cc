@@ -1,6 +1,8 @@
 #include "cost/comp_cost.h"
 
+#include <algorithm>
 #include <sstream>
+#include <vector>
 
 #include "util/strings.h"
 
@@ -51,7 +53,8 @@ bool CompCostModel::Knows(const std::string& cost_key) const {
 
 size_t CompCostModel::num_entries() const {
   size_t n = 0;
-  for (const auto& [key, per] : entries_) n += per.by_device.size();
+  // Order-independent integer sum: hash order cannot affect the result.
+  for (const auto& [key, per] : entries_) n += per.by_device.size();  // NOLINT(fastt-D1)
   return n;
 }
 
@@ -61,9 +64,24 @@ void CompCostModel::Clear() {
 }
 
 std::string CompCostModel::Serialize() const {
+  // entries_ and by_device are hash maps; a direct walk would serialize in
+  // hash order, making the bytes depend on insertion history and standard
+  // library version. Emit a sorted snapshot so the artifact is stable.
+  std::vector<std::string> keys;
+  keys.reserve(entries_.size());
+  // Hash-order visit is confined to collecting keys for the sort below.
+  for (const auto& [key, per] : entries_) keys.push_back(key);  // NOLINT(fastt-D1)
+  std::sort(keys.begin(), keys.end());
   std::string out;
-  for (const auto& [key, per] : entries_) {
-    for (const auto& [device, mean] : per.by_device) {
+  for (const std::string& key : keys) {
+    const PerDevice& per = entries_.at(key);
+    std::vector<DeviceId> devices;
+    devices.reserve(per.by_device.size());
+    for (const auto& [device, mean] : per.by_device)  // NOLINT(fastt-D1)
+      devices.push_back(device);
+    std::sort(devices.begin(), devices.end());
+    for (DeviceId device : devices) {
+      const OnlineMean& mean = per.by_device.at(device);
       out += StrFormat("%s\t%d\t%.9e\t%zu\n", key.c_str(), device,
                        mean.mean(), mean.count());
     }

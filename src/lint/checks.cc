@@ -1,0 +1,665 @@
+// Rule implementations for fastt-lint. Each check is a structural pattern
+// matcher over the token stream (see lexer.h for why there is no AST);
+// tests/lint_test.cc pins every rule's firing and every rule's clean case.
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.h"
+#include "lint/lint.h"
+
+namespace fastt {
+namespace lint {
+namespace {
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool InScope(const std::string& path,
+             const std::vector<std::string>& prefixes) {
+  for (const auto& p : prefixes)
+    if (StartsWith(path, p)) return true;
+  return false;
+}
+
+bool IsAllowed(const LintConfig& cfg, const std::string& rule,
+               const std::string& path, const std::string& fn) {
+  for (const auto& a : cfg.allows) {
+    if (a.rule != rule) continue;
+    if (path.find(a.file_substr) == std::string::npos) continue;
+    if (a.function == "*" || a.function == fn) return true;
+  }
+  return false;
+}
+
+Severity RuleSeverity(const std::string& rule_id) {
+  for (const auto& r : RuleCatalog())
+    if (r.id == rule_id) return r.severity;
+  return Severity::kError;
+}
+
+void Emit(std::vector<Finding>* out, const std::string& rule,
+          const std::string& file, int line, const std::string& message,
+          const std::string& fix_hint) {
+  Finding f;
+  f.rule_id = rule;
+  f.severity = RuleSeverity(rule);
+  f.file = file;
+  f.line = line;
+  f.message = message;
+  f.fix_hint = fix_hint;
+  out->push_back(std::move(f));
+}
+
+const std::set<std::string>& UnorderedContainerNames() {
+  static const std::set<std::string> kNames = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  return kNames;
+}
+
+// ---- D1: unordered-container iteration ------------------------------------
+
+// Collects names declared with an unordered container type anywhere in the
+// file set (members declared in a header are iterated in the matching
+// .cc, so the name table must be global).
+void CollectUnorderedNames(const LexedFile& lex,
+                           std::set<std::string>* names) {
+  const auto& toks = lex.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent ||
+        UnorderedContainerNames().count(toks[i].text) == 0)
+      continue;
+    size_t j = i + 1;
+    if (j < toks.size() && toks[j].text == "<")
+      j = SkipTemplateArgs(toks, j, toks.size());
+    while (j < toks.size() &&
+           (toks[j].text == "&" || toks[j].text == "*" ||
+            toks[j].text == "const"))
+      ++j;
+    if (j + 1 >= toks.size() || toks[j].kind != TokKind::kIdent) continue;
+    const std::string& follower = toks[j + 1].text;
+    if (follower == ";" || follower == "=" || follower == "(" ||
+        follower == "{" || follower == "," || follower == ")")
+      names->insert(toks[j].text);
+  }
+}
+
+void CheckD1(const SourceFile& src, const LexedFile& lex,
+             const std::vector<std::string>& fns,
+             const std::set<std::string>& unordered_names,
+             const LintConfig& cfg, std::vector<Finding>* out) {
+  if (!InScope(src.path, cfg.result_paths)) return;
+  const auto& toks = lex.tokens;
+  const char* kHint =
+      "iterate an ordered container (std::map/std::set) or a sorted "
+      "snapshot (copy keys, std::sort) so the visit order is part of the "
+      "contract";
+  for (size_t i = 0; i < toks.size(); ++i) {
+    // Range-for over an unordered container: `for (... : expr)` where the
+    // range expression's final identifier names an unordered container
+    // (member chains like `per.by_device` resolve to the last link).
+    if (toks[i].text == "for" && i + 1 < toks.size() &&
+        toks[i + 1].text == "(") {
+      const size_t close = SkipBalanced(toks, i + 1, toks.size());
+      int depth = 0;
+      size_t colon = 0;
+      for (size_t k = i + 1; k < close; ++k) {
+        if (toks[k].text == "(" || toks[k].text == "[") ++depth;
+        else if (toks[k].text == ")" || toks[k].text == "]") --depth;
+        else if (toks[k].text == ":" && depth == 1) {
+          colon = k;
+          break;
+        }
+      }
+      if (colon != 0 && close >= 2) {
+        const Token& last = toks[close - 2];  // token before ')'
+        if (last.kind == TokKind::kIdent &&
+            unordered_names.count(last.text) > 0 &&
+            !IsAllowed(cfg, "fastt-D1", src.path, fns[i])) {
+          Emit(out, "fastt-D1", src.path, toks[i].line,
+               "range-for over unordered container '" + last.text +
+                   "' — hash iteration order is not deterministic across "
+                   "libraries or insertion histories",
+               kHint);
+        }
+      }
+    }
+    // Iterator-based traversal: `name.begin()` / cbegin / rbegin.
+    if (toks[i].kind == TokKind::kIdent &&
+        unordered_names.count(toks[i].text) > 0 && i + 3 < toks.size() &&
+        (toks[i + 1].text == "." || toks[i + 1].text == "->") &&
+        (toks[i + 2].text == "begin" || toks[i + 2].text == "cbegin" ||
+         toks[i + 2].text == "rbegin") &&
+        toks[i + 3].text == "(") {
+      if (!IsAllowed(cfg, "fastt-D1", src.path, fns[i]))
+        Emit(out, "fastt-D1", src.path, toks[i].line,
+             "iterator traversal of unordered container '" + toks[i].text +
+                 "' via ." + toks[i + 2].text +
+                 "() — hash iteration order is not deterministic",
+             kHint);
+    }
+  }
+}
+
+// ---- D2: wall clocks & libc randomness in result paths ---------------------
+
+void CheckD2(const SourceFile& src, const LexedFile& lex,
+             const std::vector<std::string>& fns, const LintConfig& cfg,
+             std::vector<Finding>* out) {
+  if (!InScope(src.path, cfg.result_paths)) return;
+  const auto& toks = lex.tokens;
+  const char* kHint =
+      "result paths must be a pure function of their inputs: use util/rng "
+      "(seeded, deterministic) for randomness; wall-clock telemetry "
+      "belongs in allowlisted timer sites (see fastt-lint.conf)";
+  // Clock types, plus aliases like `using Clock = std::chrono::steady_clock`.
+  std::set<std::string> clocks = {"steady_clock", "system_clock",
+                                  "high_resolution_clock"};
+  for (size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (toks[i].text == "using" && toks[i + 1].kind == TokKind::kIdent &&
+        toks[i + 2].text == "=") {
+      for (size_t k = i + 3; k < toks.size() && toks[k].text != ";"; ++k)
+        if (clocks.count(toks[k].text) > 0) {
+          clocks.insert(toks[i + 1].text);
+          break;
+        }
+    }
+  }
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    const bool member_access =
+        i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->");
+    const std::string& t = toks[i].text;
+    const bool call = i + 1 < toks.size() && toks[i + 1].text == "(";
+    std::string what;
+    if ((t == "rand" || t == "srand") && call && !member_access) {
+      what = t + "() draws from hidden global state";
+    } else if (t == "random_device") {
+      what = "std::random_device is entropy-seeded";
+    } else if (t == "time" && call && !member_access && i + 2 < toks.size() &&
+               (toks[i + 2].text == ")" || toks[i + 2].text == "nullptr" ||
+                toks[i + 2].text == "NULL" || toks[i + 2].text == "0")) {
+      what = "time() reads the wall clock";
+    } else if ((t == "clock_gettime" || t == "gettimeofday") && call &&
+               !member_access) {
+      what = t + "() reads the wall clock";
+    } else if (clocks.count(t) > 0 && i + 2 < toks.size() &&
+               toks[i + 1].text == "::" && toks[i + 2].text == "now") {
+      what = t + "::now() reads the wall clock";
+    }
+    if (what.empty()) continue;
+    if (lex.Suppressed(toks[i].line, "fastt-D2")) continue;
+    if (IsAllowed(cfg, "fastt-D2", src.path, fns[i])) continue;
+    Emit(out, "fastt-D2", src.path, toks[i].line,
+         "nondeterministic source in result path: " + what +
+             (fns[i].empty() ? "" : " (in " + fns[i] + ")"),
+         kHint);
+  }
+}
+
+// ---- D3: pointer-keyed ordered containers ----------------------------------
+
+void CheckD3(const SourceFile& src, const LexedFile& lex,
+             const std::vector<std::string>& fns, const LintConfig& cfg,
+             std::vector<Finding>* out) {
+  if (!InScope(src.path, cfg.result_paths)) return;
+  const auto& toks = lex.tokens;
+  static const std::set<std::string> kOrdered = {
+      "map", "set", "multimap", "multiset", "priority_queue"};
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || kOrdered.count(toks[i].text) == 0)
+      continue;
+    if (toks[i + 1].text != "<") continue;
+    // First template argument: tokens up to the first ',' or the matching
+    // '>' at depth 1.
+    const size_t close = SkipTemplateArgs(toks, i + 1, toks.size());
+    if (close == i + 2) continue;  // comparison, not a template
+    size_t arg_end = close - 1;
+    int depth = 0;
+    for (size_t k = i + 1; k < close; ++k) {
+      if (toks[k].text == "<" || toks[k].text == "(" || toks[k].text == "[")
+        ++depth;
+      else if (toks[k].text == ">" || toks[k].text == ")" ||
+               toks[k].text == "]")
+        --depth;
+      else if (toks[k].text == "," && depth == 1) {
+        arg_end = k;
+        break;
+      }
+    }
+    if (arg_end == 0 || toks[arg_end - 1].text != "*") continue;
+    if (lex.Suppressed(toks[i].line, "fastt-D3")) continue;
+    if (IsAllowed(cfg, "fastt-D3", src.path, fns[i])) continue;
+    Emit(out, "fastt-D3", src.path, toks[i].line,
+         "ordered container '" + toks[i].text +
+             "' keyed by a pointer — ordering by address varies run to run",
+         "key by a stable id (OpId, DeviceId, interned index) instead of "
+         "an object address");
+  }
+}
+
+// ---- D4: shared accumulation inside ParallelFor lambdas --------------------
+
+// Identifiers declared inside [begin, end): `<prev> name <follower>` where
+// prev looks like the tail of a type and follower starts an initializer,
+// a ctor call, or ends the declaration.
+std::set<std::string> DeclaredIn(const std::vector<Token>& toks,
+                                 size_t begin, size_t end) {
+  std::set<std::string> declared;
+  for (size_t i = begin; i + 1 < end; ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    if (i == 0) continue;
+    const Token& prev = toks[i - 1];
+    const std::string& next = toks[i + 1].text;
+    const bool type_tail =
+        (prev.kind == TokKind::kIdent && prev.text != "return") ||
+        prev.text == ">" || prev.text == "*" || prev.text == "&";
+    if (!type_tail) continue;
+    if (next == "=" || next == ";" || next == "(" || next == "{")
+      declared.insert(toks[i].text);
+  }
+  return declared;
+}
+
+// Resolves the base identifier of the lvalue ending at token `last`
+// (walking back over `a.b[i]->c` chains). Returns "" when the base is not
+// a plain identifier. Sets `indexed_by_param` when any subscript along the
+// chain mentions `index_param`.
+std::string LvalueBase(const std::vector<Token>& toks, size_t last,
+                       size_t begin, const std::string& index_param,
+                       bool* indexed_by_param) {
+  size_t k = last;
+  std::string base;
+  while (true) {
+    if (k < begin) return "";
+    const Token& t = toks[k];
+    if (t.text == "]") {
+      // Walk back to the matching '[' and inspect the subscript.
+      int depth = 0;
+      size_t open = k + 1;
+      while (open > begin) {
+        --open;
+        if (toks[open].text == "]") ++depth;
+        else if (toks[open].text == "[" && --depth == 0) break;
+      }
+      for (size_t s = open + 1; s < k; ++s)
+        if (toks[s].text == index_param) *indexed_by_param = true;
+      if (open == begin) return "";
+      k = open - 1;
+      continue;
+    }
+    if (t.text == ")") return "";  // call result; not a shared variable
+    if (t.kind == TokKind::kIdent) {
+      base = t.text;
+      if (k > begin &&
+          (toks[k - 1].text == "." || toks[k - 1].text == "->")) {
+        k -= 2;
+        continue;
+      }
+      if (k > begin && toks[k - 1].text == "::") return "";  // qualified
+      return base;
+    }
+    if (t.text == "*") {  // deref write through a captured pointer
+      --k;
+      continue;
+    }
+    return "";
+  }
+}
+
+void CheckD4(const SourceFile& src, const LexedFile& lex,
+             const std::vector<std::string>& fns, const LintConfig& cfg,
+             std::vector<Finding>* out) {
+  if (!InScope(src.path, cfg.result_paths)) return;
+  const auto& toks = lex.tokens;
+  static const std::set<std::string> kWriteOps = {
+      "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--"};
+  static const std::set<std::string> kMutators = {
+      "push_back", "emplace_back", "insert",  "emplace",  "erase",
+      "clear",     "resize",       "reserve", "pop_back", "push",
+      "pop",       "store",        "fetch_add", "fetch_sub"};
+  const char* kHint =
+      "write each index's result into its own caller-owned slot "
+      "(results[i] = ...) and reduce serially in index order after the "
+      "ParallelFor returns";
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].text != "ParallelFor" || toks[i + 1].text != "(") continue;
+    const size_t call_end = SkipBalanced(toks, i + 1, toks.size());
+    // Locate the lambda argument: a '[' directly after '(' or ','.
+    size_t lb = 0;
+    for (size_t k = i + 2; k < call_end; ++k) {
+      if (toks[k].text == "[" &&
+          (toks[k - 1].text == "(" || toks[k - 1].text == ",")) {
+        lb = k;
+        break;
+      }
+    }
+    if (lb == 0) continue;  // named-function body; nothing lexical to check
+    size_t after_capture = SkipBalanced(toks, lb, call_end);
+    // Parameter list (optional) and the index parameter's name.
+    std::string index_param;
+    std::set<std::string> params;
+    size_t body_open = after_capture;
+    if (after_capture < call_end && toks[after_capture].text == "(") {
+      const size_t pend = SkipBalanced(toks, after_capture, call_end);
+      for (size_t k = after_capture + 1; k + 1 < pend; ++k) {
+        if (toks[k].kind == TokKind::kIdent &&
+            (toks[k + 1].text == "," || toks[k + 1].text == ")")) {
+          params.insert(toks[k].text);
+          if (index_param.empty()) index_param = toks[k].text;
+        }
+      }
+      body_open = pend;
+    }
+    while (body_open < call_end && toks[body_open].text != "{") ++body_open;
+    if (body_open >= call_end) continue;
+    const size_t body_end = SkipBalanced(toks, body_open, call_end);
+    std::set<std::string> declared =
+        DeclaredIn(toks, body_open + 1, body_end - 1);
+    declared.insert(params.begin(), params.end());
+
+    for (size_t k = body_open + 1; k + 1 < body_end; ++k) {
+      const std::string& t = toks[k].text;
+      int line = toks[k].line;
+      std::string base;
+      bool indexed = false;
+      std::string verb;
+      if (kWriteOps.count(t) > 0 && toks[k].kind == TokKind::kPunct) {
+        size_t last = k >= 1 ? k - 1 : 0;
+        if ((t == "++" || t == "--") && toks[last].kind != TokKind::kIdent &&
+            toks[last].text != "]") {
+          // Prefix form: operand follows.
+          if (toks[k + 1].kind == TokKind::kIdent) {
+            base = LvalueBase(toks, k + 1, body_open, index_param, &indexed);
+            line = toks[k + 1].line;
+          }
+        } else {
+          base = LvalueBase(toks, last, body_open, index_param, &indexed);
+        }
+        verb = "writes ('" + t + "')";
+      } else if (toks[k].kind == TokKind::kIdent && kMutators.count(t) > 0 &&
+                 k + 1 < body_end && toks[k + 1].text == "(" && k >= 2 &&
+                 (toks[k - 1].text == "." || toks[k - 1].text == "->")) {
+        base = LvalueBase(toks, k - 2, body_open, index_param, &indexed);
+        verb = "mutates (." + t + ")";
+      }
+      if (base.empty() || indexed) continue;
+      if (declared.count(base) > 0) continue;
+      if (lex.Suppressed(line, "fastt-D4")) continue;
+      if (IsAllowed(cfg, "fastt-D4", src.path, fns[k])) continue;
+      Emit(out, "fastt-D4", src.path, line,
+           "ParallelFor lambda " + verb + " captured variable '" + base +
+               "' not subscripted by the index parameter" +
+               (index_param.empty() ? "" : " '" + index_param + "'") +
+               " — cross-iteration accumulation is a data race and breaks "
+               "--jobs invariance",
+           kHint);
+    }
+  }
+}
+
+// ---- S1: signal-handler reachability ---------------------------------------
+
+struct CallSite {
+  std::string callee;
+  std::string file;
+  int line = 0;
+  // Member-access calls (x.f(), p->f()) are checked against the banned
+  // list but not traversed: name-level resolution cannot tell one class's
+  // `size` from another's, and following them by name alone chains the
+  // handler into unrelated classes (EventLog::size takes a lock; the
+  // handler's ring.size() does not). Free-function helpers — the only way
+  // handler code calls into the repo — resolve exactly.
+  bool member = false;
+};
+
+struct FnDef {
+  std::string file;
+  std::vector<CallSite> calls;
+};
+
+const std::set<std::string>& SignalBanned() {
+  static const std::set<std::string> kBanned = {
+      // Allocation.
+      "malloc", "calloc", "realloc", "free", "posix_memalign",
+      "aligned_alloc", "strdup", "make_unique", "make_shared", "push_back",
+      "emplace_back", "resize", "reserve",
+      // Locks.
+      "lock", "unlock", "try_lock", "pthread_mutex_lock",
+      "pthread_mutex_unlock", "MutexLock", "lock_guard", "unique_lock",
+      // stdio & friends.
+      "printf", "fprintf", "sprintf", "snprintf", "vsnprintf", "vfprintf",
+      "puts", "fputs", "putchar", "fwrite", "fread", "fopen", "fclose",
+      "fflush", "perror", "syslog", "FASTT_LOG", "FASTT_CHECK",
+      "FASTT_CHECK_MSG",
+      // Dynamic loader (takes an internal lock, may allocate).
+      "dlopen", "dlsym", "dladdr",
+      // Pseudo-call recorded for the `new` keyword.
+      "operator new"};
+  return kBanned;
+}
+
+void CheckS1(const std::vector<SourceFile>& files,
+             const std::vector<LexedFile>& lexed, const LintConfig& cfg,
+             std::vector<Finding>* out) {
+  if (cfg.handler_roots.empty()) return;
+  static const std::set<std::string> kNotACall = {
+      "if",       "for",     "while",       "switch",     "return",
+      "sizeof",   "alignof", "decltype",    "catch",      "defined",
+      "static_cast", "reinterpret_cast", "const_cast", "dynamic_cast",
+      "assert",   "noexcept"};
+  // Name-level call graph over the whole file set.
+  std::map<std::string, FnDef> defs;
+  for (size_t f = 0; f < files.size(); ++f) {
+    const auto& toks = lexed[f].tokens;
+    const std::vector<std::string> fns = EnclosingFunctions(toks);
+    for (size_t i = 0; i < toks.size(); ++i) {
+      if (fns[i].empty()) continue;
+      FnDef& def = defs[fns[i]];
+      if (def.file.empty()) def.file = files[f].path;
+      if (toks[i].text == "new" && toks[i].kind == TokKind::kIdent) {
+        def.calls.push_back({"operator new", files[f].path, toks[i].line});
+        continue;
+      }
+      if (toks[i].kind == TokKind::kIdent && i + 1 < toks.size() &&
+          toks[i + 1].text == "(" && kNotACall.count(toks[i].text) == 0 &&
+          toks[i].text != fns[i]) {
+        const bool member =
+            i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->");
+        def.calls.push_back(
+            {toks[i].text, files[f].path, toks[i].line, member});
+      }
+      // Ctor-style declaration `MutexLock hold(mu)`: the constructor runs,
+      // so record a call to the type name — otherwise a RAII guard only
+      // fires when the variable happens to be named `lock`.
+      if (toks[i].kind == TokKind::kIdent && i + 2 < toks.size() &&
+          toks[i + 1].kind == TokKind::kIdent && toks[i + 2].text == "(" &&
+          kNotACall.count(toks[i].text) == 0 && toks[i].text != fns[i]) {
+        def.calls.push_back(
+            {toks[i].text, files[f].path, toks[i].line, false});
+      }
+    }
+  }
+  // BFS from the handler roots; remember the discovery edge so findings
+  // can print the call chain.
+  std::map<std::string, std::string> parent;  // fn -> caller
+  std::vector<std::string> queue;
+  std::set<std::string> visited;
+  for (const auto& root : cfg.handler_roots) {
+    if (defs.count(root) == 0) continue;
+    queue.push_back(root);
+    visited.insert(root);
+  }
+  // Map a function back to the LexedFile holding it, for suppressions.
+  auto lex_for = [&](const std::string& path) -> const LexedFile* {
+    for (size_t f = 0; f < files.size(); ++f)
+      if (files[f].path == path) return &lexed[f];
+    return nullptr;
+  };
+  while (!queue.empty()) {
+    const std::string fn = queue.back();
+    queue.pop_back();
+    const FnDef& def = defs[fn];
+    for (const CallSite& site : def.calls) {
+      if (SignalBanned().count(site.callee) > 0) {
+        const LexedFile* lf = lex_for(site.file);
+        if (lf != nullptr && lf->Suppressed(site.line, "fastt-S1")) continue;
+        if (IsAllowed(cfg, "fastt-S1", site.file, fn)) continue;
+        // Render the chain root -> ... -> fn.
+        std::vector<std::string> chain = {fn};
+        auto it = parent.find(fn);
+        while (it != parent.end()) {
+          chain.push_back(it->second);
+          it = parent.find(it->second);
+        }
+        std::string path_str;
+        for (auto c = chain.rbegin(); c != chain.rend(); ++c)
+          path_str += (path_str.empty() ? "" : " -> ") + *c;
+        Emit(out, "fastt-S1", site.file, site.line,
+             "'" + site.callee + "' is not async-signal-safe but is "
+             "reachable from signal handler via " + path_str,
+             "signal handlers may only write preallocated slots, walk "
+             "their own stack, and read the clock; move this work to the "
+             "post-hoc drain path");
+      } else if (!site.member && defs.count(site.callee) > 0 &&
+                 visited.insert(site.callee).second) {
+        parent[site.callee] = fn;
+        queue.push_back(site.callee);
+      }
+    }
+  }
+}
+
+// ---- A1: untagged heap containers in memtrack-covered subsystems -----------
+
+void CheckA1(const SourceFile& src, const LexedFile& lex,
+             const std::vector<std::string>& fns, const LintConfig& cfg,
+             std::vector<Finding>* out) {
+  if (!InScope(src.path, cfg.tagged_paths)) return;
+  const auto& toks = lex.tokens;
+  static const std::set<std::string> kHeapContainers = {
+      "vector", "deque",    "map",           "set",
+      "list",   "multimap", "multiset",      "queue",
+      "stack",  "priority_queue", "unordered_map", "unordered_set"};
+  for (size_t i = 2; i + 1 < toks.size(); ++i) {
+    // Only std::-qualified spellings: `std :: X <`; Tagged* aliases are
+    // different identifiers and never match.
+    if (toks[i].kind != TokKind::kIdent ||
+        kHeapContainers.count(toks[i].text) == 0)
+      continue;
+    if (toks[i - 1].text != "::" || toks[i - 2].text != "std") continue;
+    if (toks[i + 1].text != "<") continue;
+    const size_t close = SkipTemplateArgs(toks, i + 1, toks.size());
+    bool tagged = false;
+    for (size_t k = i + 2; k < close; ++k)
+      if (StartsWith(toks[k].text, "Tagged")) tagged = true;
+    if (tagged) continue;
+    if (lex.Suppressed(toks[i].line, "fastt-A1")) continue;
+    if (IsAllowed(cfg, "fastt-A1", src.path, fns[i])) continue;
+    Emit(out, "fastt-A1", src.path, toks[i].line,
+         "untagged heap container std::" + toks[i].text +
+             " in memtrack-covered subsystem — its bytes escape the "
+             "tagged-heap accounting (DESIGN.md §13)",
+         "use TaggedVector / a TaggedAlloc<T> allocator argument so "
+         "allocations and frees land on the owning MemTag");
+  }
+}
+
+uint64_t Fnv1a(const std::string& s, uint64_t h = 1469598103934665603ULL) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// Whitespace-collapsed source line `line` (1-based) of `content`.
+std::string LineSnippet(const std::string& content, int line) {
+  size_t start = 0;
+  for (int l = 1; l < line && start != std::string::npos; ++l)
+    start = content.find('\n', start) == std::string::npos
+                ? std::string::npos
+                : content.find('\n', start) + 1;
+  if (start == std::string::npos) return "";
+  size_t end = content.find('\n', start);
+  if (end == std::string::npos) end = content.size();
+  std::string snippet;
+  bool in_space = true;
+  for (size_t i = start; i < end; ++i) {
+    const char c = content[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!in_space) snippet.push_back(' ');
+      in_space = true;
+    } else {
+      snippet.push_back(c);
+      in_space = false;
+    }
+  }
+  while (!snippet.empty() && snippet.back() == ' ') snippet.pop_back();
+  return snippet;
+}
+
+}  // namespace
+
+std::vector<Finding> LintSources(const std::vector<SourceFile>& files,
+                                 const LintConfig& cfg) {
+  std::vector<Finding> findings;
+  std::vector<LexedFile> lexed;
+  lexed.reserve(files.size());
+  for (const auto& f : files) lexed.push_back(Lex(f.content));
+
+  std::set<std::string> unordered_names;
+  for (const auto& lf : lexed) CollectUnorderedNames(lf, &unordered_names);
+
+  for (size_t i = 0; i < files.size(); ++i) {
+    const std::vector<std::string> fns = EnclosingFunctions(lexed[i].tokens);
+    CheckD1(files[i], lexed[i], fns, unordered_names, cfg, &findings);
+    CheckD2(files[i], lexed[i], fns, cfg, &findings);
+    CheckD3(files[i], lexed[i], fns, cfg, &findings);
+    CheckD4(files[i], lexed[i], fns, cfg, &findings);
+    CheckA1(files[i], lexed[i], fns, cfg, &findings);
+  }
+  CheckS1(files, lexed, cfg, &findings);
+
+  // Line-level suppressions (D2/D4/S1 consult them inline because they
+  // know better line anchors; this central pass covers the rest).
+  std::map<std::string, const LexedFile*> lex_by_path;
+  for (size_t i = 0; i < files.size(); ++i)
+    lex_by_path[files[i].path] = &lexed[i];
+  std::vector<Finding> kept;
+  for (auto& f : findings) {
+    auto it = lex_by_path.find(f.file);
+    if (it != lex_by_path.end() && it->second->Suppressed(f.line, f.rule_id))
+      continue;
+    kept.push_back(std::move(f));
+  }
+  findings = std::move(kept);
+
+  // Snippets + fingerprints (stable across unrelated edits: no line
+  // numbers, just rule|file|normalized line text).
+  std::map<std::string, const std::string*> content_by_path;
+  for (const auto& f : files) content_by_path[f.path] = &f.content;
+  for (auto& f : findings) {
+    auto it = content_by_path.find(f.file);
+    if (it != content_by_path.end())
+      f.snippet = LineSnippet(*it->second, f.line);
+    f.fingerprint = Fnv1a(f.rule_id + "|" + f.file + "|" + f.snippet);
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule_id < b.rule_id;
+            });
+  return findings;
+}
+
+}  // namespace lint
+}  // namespace fastt

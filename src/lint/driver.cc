@@ -1,0 +1,126 @@
+// compile_commands.json driver for fastt-lint: resolves the translation
+// units the build actually compiles, pulls in the project-local headers
+// they include (headers carry contracts too — SearchDeadline lives in
+// portfolio.h), and loads everything for LintSources.
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.h"
+#include "lint/lint.h"
+#include "obs/json.h"
+
+namespace fastt {
+namespace lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool UnderAnyFilter(const std::string& rel,
+                    const std::vector<std::string>& filters) {
+  for (const auto& f : filters)
+    if (rel.compare(0, f.size(), f) == 0) return true;
+  return false;
+}
+
+// Repo-relative, '/'-separated, or "" when `p` is outside `root`.
+std::string Relativize(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  const fs::path canon = fs::weakly_canonical(p, ec);
+  if (ec) return "";
+  const std::string root_str = root.generic_string();
+  const std::string path_str = canon.generic_string();
+  if (path_str.size() <= root_str.size() ||
+      path_str.compare(0, root_str.size(), root_str) != 0 ||
+      path_str[root_str.size()] != '/')
+    return "";
+  return path_str.substr(root_str.size() + 1);
+}
+
+}  // namespace
+
+bool CollectSources(const DriverOptions& options,
+                    std::vector<SourceFile>* out, std::string* error) {
+  std::string compdb_text;
+  if (!ReadFile(options.compdb_path, &compdb_text)) {
+    if (error != nullptr)
+      *error = "cannot read compile_commands.json at " + options.compdb_path;
+    return false;
+  }
+  JsonValue doc;
+  std::string parse_error;
+  if (!JsonParse(compdb_text, &doc, &parse_error) || !doc.is_array()) {
+    if (error != nullptr)
+      *error = options.compdb_path + " is not a compilation database: " +
+               parse_error;
+    return false;
+  }
+  std::error_code ec;
+  const fs::path root = fs::weakly_canonical(
+      options.root.empty() ? fs::current_path() : fs::path(options.root), ec);
+  if (ec) {
+    if (error != nullptr) *error = "cannot resolve root " + options.root;
+    return false;
+  }
+
+  // Pass 1: translation units from the database, filtered to the repo.
+  std::set<std::string> pending;  // repo-relative paths not yet loaded
+  for (const JsonValue& entry : doc.items) {
+    const JsonValue* file = entry.Find("file");
+    if (file == nullptr) continue;
+    const std::string rel = Relativize(file->StringOr(""), root);
+    if (!rel.empty() && UnderAnyFilter(rel, options.path_filters))
+      pending.insert(rel);
+  }
+  if (pending.empty()) {
+    if (error != nullptr)
+      *error = "no sources under the path filters in " + options.compdb_path;
+    return false;
+  }
+
+  // Pass 2: fixed-point closure over quoted includes. Project convention:
+  // quoted includes are relative to src/ (the single -I the build uses),
+  // with the including file's directory as the fallback.
+  std::set<std::string> loaded;
+  while (!pending.empty()) {
+    const std::string rel = *pending.begin();
+    pending.erase(pending.begin());
+    if (!loaded.insert(rel).second) continue;
+    SourceFile src;
+    src.path = rel;
+    if (!ReadFile(root / rel, &src.content)) {
+      if (error != nullptr) *error = "cannot read source file " + rel;
+      return false;
+    }
+    const LexedFile lexed = Lex(src.content);
+    for (const std::string& inc : lexed.quoted_includes) {
+      const fs::path candidates[] = {root / "src" / inc,
+                                     (root / rel).parent_path() / inc};
+      for (const fs::path& cand : candidates) {
+        const std::string inc_rel = Relativize(cand, root);
+        if (inc_rel.empty() || loaded.count(inc_rel) > 0) continue;
+        if (!UnderAnyFilter(inc_rel, options.path_filters)) continue;
+        if (!fs::exists(cand, ec) || ec) continue;
+        pending.insert(inc_rel);
+        break;
+      }
+    }
+    out->push_back(std::move(src));
+  }
+  return true;
+}
+
+}  // namespace lint
+}  // namespace fastt

@@ -1,0 +1,335 @@
+#include "lint/lexer.h"
+
+#include <cctype>
+#include <cstring>
+
+namespace fastt {
+namespace lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character punctuation, maximal munch. '>>' and '<<' are
+// deliberately absent: template-argument scanning needs every '>' as its
+// own token, and nothing the checks match cares about shifts.
+const char* const kPunct3[] = {"<=>", "...", "->*"};
+const char* const kPunct2[] = {"::", "->", "++", "--", "+=", "-=", "*=",
+                               "/=", "%=", "&=", "|=", "^=", "==", "!=",
+                               "<=", ">=", "&&", "||"};
+
+// Records NOLINT / NOLINTNEXTLINE markers found in a comment.
+void MineComment(const std::string& text, int line, LexedFile* out) {
+  size_t pos = 0;
+  while ((pos = text.find("NOLINT", pos)) != std::string::npos) {
+    size_t after = pos + std::strlen("NOLINT");
+    int target = line;
+    if (text.compare(pos, std::strlen("NOLINTNEXTLINE"), "NOLINTNEXTLINE") ==
+        0) {
+      after = pos + std::strlen("NOLINTNEXTLINE");
+      target = line + 1;
+    }
+    auto& rules = out->suppressions[target];
+    if (after < text.size() && text[after] == '(') {
+      const size_t close = text.find(')', after);
+      std::string list = text.substr(
+          after + 1, close == std::string::npos ? std::string::npos
+                                                : close - after - 1);
+      size_t start = 0;
+      while (start <= list.size()) {
+        size_t comma = list.find(',', start);
+        if (comma == std::string::npos) comma = list.size();
+        std::string name = list.substr(start, comma - start);
+        // Trim.
+        while (!name.empty() && std::isspace(static_cast<unsigned char>(
+                                    name.front())))
+          name.erase(name.begin());
+        while (!name.empty() &&
+               std::isspace(static_cast<unsigned char>(name.back())))
+          name.pop_back();
+        // NOLINT(fastt-lint) suppresses the whole catalog, like bare
+        // NOLINT; specific ids suppress just themselves.
+        if (name == "fastt-lint") {
+          rules.insert("*");
+        } else if (!name.empty()) {
+          rules.insert(name);
+        }
+        start = comma + 1;
+      }
+    } else {
+      rules.insert("*");  // bare NOLINT: suppress everything
+    }
+    pos = after;
+  }
+}
+
+}  // namespace
+
+bool LexedFile::Suppressed(int line, const std::string& rule) const {
+  auto it = suppressions.find(line);
+  if (it == suppressions.end()) return false;
+  return it->second.count("*") > 0 || it->second.count(rule) > 0;
+}
+
+LexedFile Lex(const std::string& content) {
+  LexedFile out;
+  const size_t n = content.size();
+  size_t i = 0;
+  int line = 1;
+  auto peek = [&](size_t k) -> char {
+    return i + k < n ? content[i + k] : '\0';
+  };
+  while (i < n) {
+    const char c = content[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments (mined for NOLINT, then dropped).
+    if (c == '/' && peek(1) == '/') {
+      size_t end = content.find('\n', i);
+      if (end == std::string::npos) end = n;
+      MineComment(content.substr(i, end - i), line, &out);
+      i = end;
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      size_t end = content.find("*/", i + 2);
+      if (end == std::string::npos) end = n;
+      const std::string body = content.substr(i, end - i);
+      MineComment(body, line, &out);
+      for (char bc : body)
+        if (bc == '\n') ++line;
+      i = end == n ? n : end + 2;
+      continue;
+    }
+    // Preprocessor directive: consume the (possibly continued) line,
+    // harvesting quoted #include targets for the driver.
+    if (c == '#') {
+      size_t start = i;
+      while (i < n) {
+        if (content[i] == '\n') {
+          if (i > start && content[i - 1] == '\\') {
+            ++line;
+            ++i;
+            continue;
+          }
+          break;
+        }
+        ++i;
+      }
+      const std::string directive = content.substr(start, i - start);
+      size_t inc = directive.find("include");
+      if (inc != std::string::npos) {
+        size_t q0 = directive.find('"', inc);
+        if (q0 != std::string::npos) {
+          size_t q1 = directive.find('"', q0 + 1);
+          if (q1 != std::string::npos)
+            out.quoted_includes.push_back(
+                directive.substr(q0 + 1, q1 - q0 - 1));
+        }
+      }
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && peek(1) == '"') {
+      size_t d0 = i + 2;
+      size_t dend = d0;
+      while (dend < n && content[dend] != '(') ++dend;
+      const std::string closer =
+          ")" + content.substr(d0, dend - d0) + "\"";
+      size_t end = content.find(closer, dend);
+      if (end == std::string::npos) end = n;
+      else end += closer.size();
+      for (size_t k = i; k < end && k < n; ++k)
+        if (content[k] == '\n') ++line;
+      out.tokens.push_back({TokKind::kString, "<raw-string>", line});
+      i = end;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int start_line = line;
+      ++i;
+      while (i < n && content[i] != quote) {
+        if (content[i] == '\\' && i + 1 < n) ++i;
+        if (content[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < n) ++i;  // closing quote
+      out.tokens.push_back(
+          {quote == '"' ? TokKind::kString : TokKind::kChar, "<literal>",
+           start_line});
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t end = i;
+      while (end < n && IsIdentChar(content[end])) ++end;
+      out.tokens.push_back(
+          {TokKind::kIdent, content.substr(i, end - i), line});
+      i = end;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      size_t end = i;
+      while (end < n && (IsIdentChar(content[end]) || content[end] == '.' ||
+                         content[end] == '\'' ||
+                         ((content[end] == '+' || content[end] == '-') &&
+                          end > i &&
+                          (content[end - 1] == 'e' ||
+                           content[end - 1] == 'E' ||
+                           content[end - 1] == 'p' ||
+                           content[end - 1] == 'P'))))
+        ++end;
+      out.tokens.push_back(
+          {TokKind::kNumber, content.substr(i, end - i), line});
+      i = end;
+      continue;
+    }
+    // Punctuation, maximal munch over the fixed tables.
+    bool matched = false;
+    for (const char* p : kPunct3) {
+      if (content.compare(i, 3, p) == 0) {
+        out.tokens.push_back({TokKind::kPunct, p, line});
+        i += 3;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    for (const char* p : kPunct2) {
+      if (content.compare(i, 2, p) == 0) {
+        out.tokens.push_back({TokKind::kPunct, p, line});
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+size_t SkipBalanced(const std::vector<Token>& toks, size_t open,
+                    size_t end) {
+  const std::string& o = toks[open].text;
+  const std::string close = o == "(" ? ")" : o == "[" ? "]" : "}";
+  int depth = 0;
+  for (size_t i = open; i < end; ++i) {
+    if (toks[i].text == o) ++depth;
+    else if (toks[i].text == close && --depth == 0) return i + 1;
+  }
+  return end;
+}
+
+size_t SkipTemplateArgs(const std::vector<Token>& toks, size_t open,
+                        size_t end) {
+  int angle = 0;
+  for (size_t i = open; i < end; ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "<") {
+      ++angle;
+    } else if (t == ">") {
+      if (--angle == 0) return i + 1;
+    } else if (t == "(" || t == "[" || t == "{") {
+      i = SkipBalanced(toks, i, end) - 1;
+    } else if (t == ";") {
+      break;  // ran off the declaration: it was a comparison
+    }
+  }
+  return open + 1;
+}
+
+std::vector<std::string> EnclosingFunctions(
+    const std::vector<Token>& toks) {
+  std::vector<std::string> result(toks.size());
+  struct Scope {
+    std::string fn;  // "" = non-function scope, inherits enclosing
+  };
+  std::vector<Scope> stack;
+  auto innermost = [&]() -> std::string {
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it)
+      if (!it->fn.empty()) return it->fn;
+    return "";
+  };
+  static const std::set<std::string> kControl = {
+      "if",    "for",   "while", "switch", "catch",
+      "return", "sizeof", "alignof", "decltype"};
+  for (size_t i = 0; i < toks.size(); ++i) {
+    result[i] = innermost();
+    const std::string& t = toks[i].text;
+    if (t == "}") {
+      if (!stack.empty()) stack.pop_back();
+      continue;
+    }
+    if (t != "{") continue;
+    // Classify this '{'. Walk back over trailing qualifiers to find a
+    // parameter list; its head names the function.
+    std::string fn;
+    size_t j = i;
+    bool scanning = true;
+    while (scanning && j > 0) {
+      --j;
+      const Token& b = toks[j];
+      if (b.text == ")") {
+        // Match back to the '('.
+        int depth = 0;
+        size_t k = j + 1;
+        while (k > 0) {
+          --k;
+          if (toks[k].text == ")") ++depth;
+          else if (toks[k].text == "(" && --depth == 0) break;
+        }
+        if (k > 0) {
+          const Token& head = toks[k - 1];
+          if (head.text == "]") {
+            fn = "<lambda>";  // replaced by the enclosing name below
+          } else if (head.text == "noexcept") {
+            j = k;  // noexcept(...) qualifier: keep walking back
+            continue;
+          } else if (head.kind == TokKind::kIdent &&
+                     kControl.count(head.text) == 0) {
+            fn = head.text;
+          }
+        }
+        scanning = false;
+      } else if (b.text == "]") {
+        fn = "<lambda>";  // capture-only lambda: [&]{ ... }
+        scanning = false;
+      } else if (b.kind == TokKind::kIdent &&
+                 (b.text == "const" || b.text == "noexcept" ||
+                  b.text == "override" || b.text == "final" ||
+                  b.text == "mutable" || b.text == "try")) {
+        continue;  // trailing qualifier, keep walking
+      } else if (b.text == ">" || b.text == "<" || b.text == "," ||
+                 b.text == "*" || b.text == "&" || b.text == "::" ||
+                 b.text == "->" || b.kind == TokKind::kIdent) {
+        continue;  // trailing return type tokens
+      } else {
+        scanning = false;  // init-list '{', control '{', plain block
+      }
+    }
+    if (fn == "<lambda>") {
+      // A lambda body belongs to the function it appears in.
+      const std::string outer = innermost();
+      if (!outer.empty()) fn = outer;
+    }
+    stack.push_back({fn});
+  }
+  return result;
+}
+
+}  // namespace lint
+}  // namespace fastt

@@ -1,0 +1,59 @@
+// Internal tokenizer for the fastt-lint analyzer core. Not installed with
+// the public lint.h API: checks.cc and the tests are the only consumers.
+//
+// This is a lexical model of C++, not a parser: it produces identifiers,
+// literals, and punctuation with line numbers, strips comments (mining
+// them for NOLINT markers first), skips preprocessor directives (mining
+// quoted #include targets for the driver), and never allocates an AST.
+// The checks built on top are structural pattern matchers; the fixture
+// suite pins their behaviour on exactly the idioms the repo uses.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fastt {
+namespace lint {
+
+enum class TokKind { kIdent, kNumber, kString, kChar, kPunct };
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 1;
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  // line -> suppressed rule ids ("*" suppresses every fastt rule).
+  std::map<int, std::set<std::string>> suppressions;
+  // Targets of `#include "..."` directives, in order.
+  std::vector<std::string> quoted_includes;
+
+  bool Suppressed(int line, const std::string& rule) const;
+};
+
+LexedFile Lex(const std::string& content);
+
+// Innermost enclosing function name for each token, "" at namespace /
+// class scope. Lambdas inherit the enclosing function's name (a finding
+// inside a lambda in PortfolioSearch is attributed to PortfolioSearch),
+// with "<lambda>" only at file scope. Heuristic: a '{' preceded by a
+// parenthesized parameter list whose head is a non-keyword identifier (or
+// a lambda introducer) opens a function body.
+std::vector<std::string> EnclosingFunctions(const std::vector<Token>& toks);
+
+// Index just past the '>' matching the '<' at `open` (tokens[open] must be
+// "<"). Tracks (), [], {} and nested <>; returns `open + 1` when no match
+// is found before `end` (comparison expression, not a template).
+size_t SkipTemplateArgs(const std::vector<Token>& toks, size_t open,
+                        size_t end);
+
+// Index just past the closer matching the opener at `open` ("(", "[" or
+// "{"); `end` on imbalance.
+size_t SkipBalanced(const std::vector<Token>& toks, size_t open, size_t end);
+
+}  // namespace lint
+}  // namespace fastt

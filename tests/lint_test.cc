@@ -1,0 +1,523 @@
+// Fixture suite for fastt-lint (src/lint). Every rule in the catalog is
+// pinned twice: a minimal bad snippet that must fire with the exact
+// rule_id, and a minimal clean snippet that must stay silent — so a rule
+// can neither silently die (vacuous pass) nor silently widen (false
+// positives on sanctioned idioms). Suppression, baseline, config, and
+// report-format semantics are pinned here too; CI runs the whole set
+// under `ctest -L lint`.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/lint.h"
+#include "obs/json.h"
+
+namespace fastt {
+namespace lint {
+namespace {
+
+// Lints a single in-memory file under the default config.
+std::vector<Finding> LintOne(const std::string& path, const std::string& code,
+                         const LintConfig& cfg = LintConfig()) {
+  return LintSources({{path, code}}, cfg);
+}
+
+std::vector<std::string> Rules(const std::vector<Finding>& findings) {
+  std::vector<std::string> ids;
+  for (const auto& f : findings) ids.push_back(f.rule_id);
+  return ids;
+}
+
+int CountRule(const std::vector<Finding>& findings, const std::string& id) {
+  int n = 0;
+  for (const auto& f : findings)
+    if (f.rule_id == id) ++n;
+  return n;
+}
+
+// ---- Rule catalog ----------------------------------------------------------
+
+TEST(LintCatalog, SixRulesWithUniqueStableIds) {
+  const auto& catalog = RuleCatalog();
+  std::vector<std::string> ids;
+  for (const auto& r : catalog) {
+    ids.push_back(r.id);
+    EXPECT_FALSE(r.summary.empty()) << r.id;
+    EXPECT_FALSE(r.rationale.empty()) << r.id;
+  }
+  std::vector<std::string> expect = {"fastt-D1", "fastt-D2", "fastt-D3",
+                                     "fastt-D4", "fastt-S1", "fastt-A1"};
+  EXPECT_EQ(ids, expect);
+}
+
+TEST(LintCatalog, DeterminismAndSignalRulesAreErrors) {
+  for (const auto& r : RuleCatalog()) {
+    if (r.id == "fastt-A1") {
+      EXPECT_EQ(r.severity, Severity::kWarning) << r.id;
+    } else {
+      EXPECT_EQ(r.severity, Severity::kError) << r.id;
+    }
+  }
+}
+
+// ---- D1: unordered iteration ----------------------------------------------
+
+TEST(LintD1, RangeForOverUnorderedMapFires) {
+  const auto f = LintOne("src/core/x.cc",
+                     "#include <unordered_map>\n"
+                     "std::unordered_map<int, int> counts;\n"
+                     "int Sum() {\n"
+                     "  int s = 0;\n"
+                     "  for (const auto& kv : counts) s += kv.second;\n"
+                     "  return s;\n"
+                     "}\n");
+  ASSERT_EQ(CountRule(f, "fastt-D1"), 1);
+  EXPECT_EQ(f[0].line, 5);
+  EXPECT_NE(f[0].message.find("counts"), std::string::npos);
+  EXPECT_FALSE(f[0].fix_hint.empty());
+}
+
+TEST(LintD1, IteratorBeginOnUnorderedSetFires) {
+  const auto f = LintOne("src/core/x.cc",
+                     "std::unordered_set<int> seen;\n"
+                     "int First() { return *seen.begin(); }\n");
+  EXPECT_EQ(CountRule(f, "fastt-D1"), 1);
+}
+
+TEST(LintD1, MemberDeclaredInHeaderIteratedInCcFires) {
+  // The name table is global across the file set: members live in headers,
+  // the offending loop in the matching .cc.
+  const auto f = LintSources(
+      {{"src/core/m.h",
+        "struct M { std::unordered_map<int, double> by_id_; };\n"},
+       {"src/core/m.cc",
+        "double M::Total() {\n"
+        "  double t = 0;\n"
+        "  for (const auto& kv : by_id_) t += kv.second;\n"
+        "  return t;\n"
+        "}\n"}},
+      LintConfig());
+  EXPECT_EQ(CountRule(f, "fastt-D1"), 1);
+}
+
+TEST(LintD1, OrderedMapAndSortedSnapshotStayClean) {
+  const auto f = LintOne("src/core/x.cc",
+                     "std::map<int, int> counts;\n"
+                     "std::unordered_map<int, int> raw;\n"
+                     "int Sum() {\n"
+                     "  int s = 0;\n"
+                     "  for (const auto& kv : counts) s += kv.second;\n"
+                     "  int v = raw.at(3);\n"  // lookup, not iteration
+                     "  return s + v;\n"
+                     "}\n");
+  EXPECT_TRUE(f.empty()) << Rules(f).front();
+}
+
+TEST(LintD1, OutsideResultPathsIsOutOfScope) {
+  const auto f = LintOne("src/obs/x.cc",
+                     "std::unordered_map<int, int> counts;\n"
+                     "int Sum() {\n"
+                     "  int s = 0;\n"
+                     "  for (const auto& kv : counts) s += kv.second;\n"
+                     "  return s;\n"
+                     "}\n");
+  EXPECT_EQ(CountRule(f, "fastt-D1"), 0);
+}
+
+// ---- D2: wall clocks & libc randomness -------------------------------------
+
+TEST(LintD2, RandFires) {
+  const auto f =
+      LintOne("src/core/x.cc", "int Pick() { return rand() % 7; }\n");
+  ASSERT_EQ(CountRule(f, "fastt-D2"), 1);
+  EXPECT_NE(f[0].message.find("Pick"), std::string::npos);
+}
+
+TEST(LintD2, RandomDeviceFires) {
+  const auto f = LintOne("src/core/x.cc",
+                     "unsigned Seed() { return std::random_device{}(); }\n");
+  EXPECT_EQ(CountRule(f, "fastt-D2"), 1);
+}
+
+TEST(LintD2, TimeNullptrFires) {
+  const auto f =
+      LintOne("src/core/x.cc", "long Now() { return time(nullptr); }\n");
+  EXPECT_EQ(CountRule(f, "fastt-D2"), 1);
+}
+
+TEST(LintD2, ClockAliasNowFires) {
+  // `using Clock = std::chrono::steady_clock;` then Clock::now() — the
+  // alias is tracked, so indirection does not dodge the rule.
+  const auto f = LintOne("src/core/x.cc",
+                     "using Clock = std::chrono::steady_clock;\n"
+                     "double T() { return Clock::now().time_since_epoch()"
+                     ".count(); }\n");
+  ASSERT_EQ(CountRule(f, "fastt-D2"), 1);
+  EXPECT_EQ(f[0].line, 2);
+}
+
+TEST(LintD2, SeededRngAndMemberTimeStayClean) {
+  const auto f = LintOne("src/core/x.cc",
+                     "double Draw(Rng& rng) { return rng.Uniform(); }\n"
+                     "double T(const Span& s) { return s.time(); }\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(LintD2, ConfigAllowlistSuppressesTimerSite) {
+  LintConfig cfg;
+  std::string err;
+  ASSERT_TRUE(LoadLintConfig(
+      "# telemetry timer\n"
+      "allow fastt-D2 src/core/x.cc Elapsed\n",
+      &cfg, &err))
+      << err;
+  const std::string code =
+      "double Elapsed() { return steady_clock::now().t(); }\n"
+      "double Other() { return steady_clock::now().t(); }\n";
+  const auto f = LintOne("src/core/x.cc", code, cfg);
+  ASSERT_EQ(CountRule(f, "fastt-D2"), 1);  // Other still fires
+  EXPECT_EQ(f[0].line, 2);
+}
+
+// ---- D3: pointer-keyed ordered containers ----------------------------------
+
+TEST(LintD3, PointerKeyedMapFires) {
+  const auto f = LintOne("src/core/x.cc",
+                     "std::map<Operation*, int> rank_of;\n");
+  ASSERT_EQ(CountRule(f, "fastt-D3"), 1);
+  EXPECT_NE(f[0].message.find("pointer"), std::string::npos);
+}
+
+TEST(LintD3, PointerKeyedSetFires) {
+  const auto f =
+      LintOne("src/core/x.cc", "std::set<const Node*> visited;\n");
+  EXPECT_EQ(CountRule(f, "fastt-D3"), 1);
+}
+
+TEST(LintD3, StableIdKeysAndPointerValuesStayClean) {
+  const auto f = LintOne("src/core/x.cc",
+                     "std::map<OpId, Operation*> op_of;\n"
+                     "std::map<std::pair<int, int>, double> cost;\n");
+  EXPECT_TRUE(f.empty());
+}
+
+// ---- D4: shared accumulation in ParallelFor --------------------------------
+
+TEST(LintD4, CapturedAccumulatorFires) {
+  const auto f = LintOne("src/core/x.cc",
+                     "void F(size_t n) {\n"
+                     "  double sum = 0.0;\n"
+                     "  ParallelFor(n, [&](size_t i) {\n"
+                     "    sum += Cost(i);\n"
+                     "  });\n"
+                     "}\n");
+  ASSERT_EQ(CountRule(f, "fastt-D4"), 1);
+  EXPECT_NE(f[0].message.find("'sum'"), std::string::npos);
+  EXPECT_NE(f[0].message.find("'i'"), std::string::npos);
+}
+
+TEST(LintD4, CapturedPushBackFires) {
+  const auto f = LintOne("src/core/x.cc",
+                     "void F(size_t n) {\n"
+                     "  std::vector<int> out;\n"
+                     "  ParallelFor(n, [&](size_t i) {\n"
+                     "    out.push_back(Cost(i));\n"
+                     "  });\n"
+                     "}\n");
+  EXPECT_EQ(CountRule(f, "fastt-D4"), 1);
+}
+
+TEST(LintD4, PerSlotWritePlusSerialReduceStaysClean) {
+  // The sanctioned idiom from DESIGN.md: each iteration writes only its
+  // own slot; the reduction happens serially after the ParallelFor.
+  const auto f = LintOne("src/core/x.cc",
+                     "void F(size_t n) {\n"
+                     "  std::vector<double> slots(n);\n"
+                     "  ParallelFor(n, [&](size_t i) {\n"
+                     "    double local = Cost(i);\n"
+                     "    local += Extra(i);\n"
+                     "    slots[i] = local;\n"
+                     "  });\n"
+                     "  double sum = 0.0;\n"
+                     "  for (double s : slots) sum += s;\n"
+                     "}\n");
+  EXPECT_EQ(CountRule(f, "fastt-D4"), 0);
+}
+
+// ---- S1: signal-handler reachability ---------------------------------------
+
+TEST(LintS1, MallocReachableThroughHelperFires) {
+  // The walk is interprocedural across files: the handler calls a helper
+  // defined in another translation unit, and the helper allocates.
+  const auto f = LintSources(
+      {{"src/obs/handler.cc",
+        "void FasttProfSignalHandler(int sig) { RecordSample(sig); }\n"},
+       {"src/obs/record.cc",
+        "void RecordSample(int sig) { void* p = malloc(64); Use(p); }\n"}},
+      LintConfig());
+  ASSERT_EQ(CountRule(f, "fastt-S1"), 1);
+  EXPECT_EQ(f[0].file, "src/obs/record.cc");
+  EXPECT_NE(f[0].message.find("FasttProfSignalHandler -> RecordSample"),
+            std::string::npos);
+}
+
+TEST(LintS1, LockViaMacroFires) {
+  const auto f = LintOne("src/obs/handler.cc",
+                     "void FasttProfSignalHandler(int sig) {\n"
+                     "  MutexLock hold(mu);\n"
+                     "  g_count = sig;\n"
+                     "}\n");
+  EXPECT_EQ(CountRule(f, "fastt-S1"), 1);
+}
+
+TEST(LintS1, PreallocatedSlotWritesStayClean) {
+  // What the real handler does: read the clock, walk its own stack, write
+  // a preallocated ring slot. clock_gettime is async-signal-safe.
+  const auto f = LintOne("src/obs/handler.cc",
+                     "void FasttProfSignalHandler(int sig) {\n"
+                     "  timespec ts;\n"
+                     "  clock_gettime(CLOCK_MONOTONIC, &ts);\n"
+                     "  g_slot[g_head & kMask] = ts.tv_nsec;\n"
+                     "}\n");
+  EXPECT_EQ(CountRule(f, "fastt-S1"), 0);
+}
+
+TEST(LintS1, MemberCallsAreNotTraversedByName) {
+  // `ring.size()` in the handler must not chain into an unrelated class
+  // whose method happens to be named `size` and takes a lock (name-level
+  // resolution is overload-blind; member calls are checked but not
+  // followed).
+  const auto f = LintSources(
+      {{"src/obs/handler.cc",
+        "void FasttProfSignalHandler(int sig) {\n"
+        "  if (ring.size() > 0) g_n = sig;\n"
+        "}\n"},
+       {"src/obs/event_log.cc",
+        "size_t EventLog::size() const { MutexLock hold(mu_); return n_; }"
+        "\n"}},
+      LintConfig());
+  EXPECT_EQ(CountRule(f, "fastt-S1"), 0);
+}
+
+TEST(LintS1, ExtraHandlerRootFromConfig) {
+  LintConfig cfg;
+  std::string err;
+  ASSERT_TRUE(LoadLintConfig("handler MyHandler\n", &cfg, &err)) << err;
+  ASSERT_EQ(cfg.handler_roots.size(), 1u);  // first use replaces defaults
+  const auto f = LintOne("src/obs/h.cc",
+                     "void MyHandler(int sig) { printf(\"%d\", sig); }\n",
+                     cfg);
+  EXPECT_EQ(CountRule(f, "fastt-S1"), 1);
+}
+
+// ---- A1: untagged containers in memtrack-covered code ----------------------
+
+TEST(LintA1, UntaggedVectorInTaggedPathWarns) {
+  const auto f = LintOne("src/sim/exec_sim.cc",
+                     "std::vector<double> finish_times;\n");
+  ASSERT_EQ(CountRule(f, "fastt-A1"), 1);
+  EXPECT_EQ(f[0].severity, Severity::kWarning);
+}
+
+TEST(LintA1, TaggedAllocatorAndTaggedAliasStayClean) {
+  const auto f = LintOne(
+      "src/sim/exec_sim.cc",
+      "TaggedVector<double> finish_times;\n"
+      "std::vector<double, TaggedAlloc<double>> costs;\n");
+  EXPECT_EQ(CountRule(f, "fastt-A1"), 0);
+}
+
+TEST(LintA1, UntaggedVectorOutsideTaggedPathsStaysClean) {
+  const auto f =
+      LintOne("src/baselines/x.cc", "std::vector<double> scratch;\n");
+  EXPECT_EQ(CountRule(f, "fastt-A1"), 0);
+}
+
+// ---- Suppressions ----------------------------------------------------------
+
+TEST(LintSuppress, SameLineNolintWithRuleId) {
+  const auto f = LintOne("src/core/x.cc",
+                     "std::unordered_map<int, int> counts;\n"
+                     "int Sum() {\n"
+                     "  int s = 0;\n"
+                     "  for (const auto& kv : counts) s += kv.second;"
+                     "  // NOLINT(fastt-D1)\n"
+                     "  return s;\n"
+                     "}\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(LintSuppress, NolintNextLine) {
+  const auto f = LintOne("src/core/x.cc",
+                     "// NOLINTNEXTLINE(fastt-D3)\n"
+                     "std::map<Operation*, int> rank_of;\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(LintSuppress, WrongRuleIdDoesNotSuppress) {
+  const auto f = LintOne("src/core/x.cc",
+                     "// NOLINTNEXTLINE(fastt-D1)\n"
+                     "std::map<Operation*, int> rank_of;\n");
+  EXPECT_EQ(CountRule(f, "fastt-D3"), 1);
+}
+
+TEST(LintSuppress, BareNolintSuppressesWholeCatalog) {
+  const auto f = LintOne("src/core/x.cc",
+                     "std::map<Operation*, int> rank_of;  // NOLINT\n");
+  EXPECT_TRUE(f.empty());
+}
+
+// ---- Baseline --------------------------------------------------------------
+
+TEST(LintBaseline, RoundTripMatchesAndClearsExit) {
+  const std::string code =
+      "std::unordered_map<int, int> counts;\n"
+      "int Sum() {\n"
+      "  int s = 0;\n"
+      "  for (const auto& kv : counts) s += kv.second;\n"
+      "  return s;\n"
+      "}\n";
+  auto findings = LintOne("src/core/x.cc", code);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(ExitCodeFor(findings), 1);
+
+  const std::string baseline_json = BaselineToJson(findings);
+  std::vector<BaselineEntry> entries;
+  std::string err;
+  ASSERT_TRUE(LoadBaseline(baseline_json, &entries, &err)) << err;
+  ASSERT_EQ(entries.size(), 1u);
+
+  auto again = LintOne("src/core/x.cc", code);
+  const BaselineResult r = ApplyBaseline(&again, entries);
+  EXPECT_EQ(r.matched, 1u);
+  EXPECT_TRUE(r.stale.empty());
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_TRUE(again[0].baselined);
+  EXPECT_EQ(ExitCodeFor(again), 0);  // baselined findings do not fail
+}
+
+TEST(LintBaseline, FingerprintSurvivesLineShift) {
+  // The fingerprint has no line number in it: inserting an unrelated line
+  // above the finding must not invalidate the baseline entry.
+  const std::string before =
+      "std::unordered_map<int, int> counts;\n"
+      "int Sum() {\n"
+      "  for (const auto& kv : counts) Use(kv);\n"
+      "}\n";
+  const std::string after =
+      "std::unordered_map<int, int> counts;\n"
+      "// an unrelated comment pushing everything down\n"
+      "int other_decl = 0;\n"
+      "int Sum() {\n"
+      "  for (const auto& kv : counts) Use(kv);\n"
+      "}\n";
+  auto f1 = LintOne("src/core/x.cc", before);
+  auto f2 = LintOne("src/core/x.cc", after);
+  ASSERT_EQ(f1.size(), 1u);
+  ASSERT_EQ(f2.size(), 1u);
+  EXPECT_NE(f1[0].line, f2[0].line);
+  EXPECT_EQ(f1[0].fingerprint, f2[0].fingerprint);
+}
+
+TEST(LintBaseline, StaleEntryIsReported) {
+  std::vector<BaselineEntry> entries = {
+      {"fastt-D1", "src/core/gone.cc", 0xdeadbeefULL}};
+  auto findings = LintOne("src/core/x.cc", "int x = 0;\n");
+  const BaselineResult r = ApplyBaseline(&findings, entries);
+  EXPECT_EQ(r.matched, 0u);
+  ASSERT_EQ(r.stale.size(), 1u);
+  EXPECT_EQ(r.stale[0].file, "src/core/gone.cc");
+  // Stale entries surface as a warning in the text report.
+  const std::string text = FindingsToText(findings, &r);
+  EXPECT_NE(text.find("stale"), std::string::npos);
+}
+
+// ---- Reports ---------------------------------------------------------------
+
+TEST(LintReport, JsonIsValidAndCarriesSchema) {
+  auto findings = LintOne("src/core/x.cc",
+                      "std::map<Operation*, int> rank_of;\n");
+  const std::string text = FindingsToJson(findings, nullptr, 1);
+  JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(JsonParse(text, &doc, &err)) << err;
+  EXPECT_EQ(doc.Find("schema")->StringOr(""), "fastt-lint/1");
+  const JsonValue* arr = doc.Find("findings");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_EQ(arr->items.size(), 1u);
+  EXPECT_EQ(arr->items[0].Find("rule")->StringOr(""), "fastt-D3");
+  EXPECT_EQ(arr->items[0].Find("severity")->StringOr(""), "error");
+}
+
+TEST(LintReport, SarifIsValidAndDeclaresCatalog) {
+  auto findings = LintOne("src/core/x.cc",
+                      "std::map<Operation*, int> rank_of;\n");
+  const std::string text = FindingsToSarif(findings);
+  JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(JsonParse(text, &doc, &err)) << err;
+  EXPECT_EQ(doc.Find("version")->StringOr(""), "2.1.0");
+  const JsonValue* runs = doc.Find("runs");
+  ASSERT_NE(runs, nullptr);
+  ASSERT_EQ(runs->items.size(), 1u);
+  const JsonValue* driver = runs->items[0].Find("tool")->Find("driver");
+  EXPECT_EQ(driver->Find("name")->StringOr(""), "fastt-lint");
+  EXPECT_EQ(driver->Find("rules")->items.size(), RuleCatalog().size());
+  const JsonValue* results = runs->items[0].Find("results");
+  ASSERT_EQ(results->items.size(), 1u);
+  EXPECT_EQ(results->items[0].Find("ruleId")->StringOr(""), "fastt-D3");
+  EXPECT_EQ(results->items[0].Find("level")->StringOr(""), "error");
+  const JsonValue* loc = results->items[0]
+                             .Find("locations")
+                             ->items[0]
+                             .Find("physicalLocation");
+  EXPECT_EQ(loc->Find("artifactLocation")->Find("uri")->StringOr(""),
+            "src/core/x.cc");
+  EXPECT_EQ(loc->Find("region")->Find("startLine")->IntOr(0), 1);
+}
+
+TEST(LintReport, BaselinedFindingsLeaveSarifResults) {
+  auto findings = LintOne("src/core/x.cc",
+                      "std::map<Operation*, int> rank_of;\n");
+  findings[0].baselined = true;
+  const std::string text = FindingsToSarif(findings);
+  JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(JsonParse(text, &doc, &err)) << err;
+  EXPECT_TRUE(doc.Find("runs")->items[0].Find("results")->items.empty());
+}
+
+TEST(LintReport, ExitCodeIgnoresWarnings) {
+  auto warn_only = LintOne("src/sim/exec_sim.cc",
+                       "std::vector<double> finish_times;\n");
+  ASSERT_EQ(CountRule(warn_only, "fastt-A1"), 1);
+  EXPECT_EQ(ExitCodeFor(warn_only), 0);
+}
+
+// ---- Config parsing --------------------------------------------------------
+
+TEST(LintConfigParse, MalformedAllowLineFailsWithLineNumber) {
+  LintConfig cfg;
+  std::string err;
+  EXPECT_FALSE(LoadLintConfig("allow fastt-D2\n", &cfg, &err));
+  EXPECT_NE(err.find("line 1"), std::string::npos);
+}
+
+TEST(LintConfigParse, PathDirectivesReplaceDefaultsOnFirstUse) {
+  LintConfig cfg;
+  std::string err;
+  ASSERT_TRUE(LoadLintConfig("result-path src/zebra/\n"
+                             "result-path src/quagga/\n"
+                             "tagged-path src/zebra/z.cc\n",
+                             &cfg, &err))
+      << err;
+  ASSERT_EQ(cfg.result_paths.size(), 2u);
+  EXPECT_EQ(cfg.result_paths[0], "src/zebra/");
+  EXPECT_EQ(cfg.tagged_paths, std::vector<std::string>{"src/zebra/z.cc"});
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace fastt

@@ -1,0 +1,173 @@
+// fastt-lint CLI: the standalone entry point for the project-specific
+// static analyzer (src/lint). Driven by the build's compile_commands.json;
+// emits human text plus fastt-lint/1 JSON and SARIF 2.1.0 reports.
+//
+// Exit codes follow the repo contract: 0 clean (warnings and baselined
+// findings do not fail), 1 unbaselined error-severity findings, 2 usage /
+// I/O errors with one actionable line on stderr.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+#include "obs/build_info.h"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: fastt-lint --compdb <compile_commands.json> [--root <dir>]\n"
+    "                  [--config <fastt-lint.conf>] [--baseline <file>]\n"
+    "                  [--json <out>] [--sarif <out>]\n"
+    "                  [--write-baseline <out>] [--only <prefix>]...\n"
+    "                  [--list-rules]\n"
+    "\n"
+    "Checks the repo's determinism (D1-D4), signal-safety (S1), and\n"
+    "allocation-tagging (A1) contracts at the source level. Suppress a\n"
+    "single finding with // NOLINT(fastt-D1) or // NOLINTNEXTLINE(...);\n"
+    "grandfather existing findings with a committed --baseline file.\n";
+
+bool ReadWhole(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool WriteWhole(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << content;
+  return out.good();
+}
+
+int Fail(const std::string& message) {
+  std::cerr << "fastt-lint: " << message << "\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using fastt::lint::BaselineResult;
+  using fastt::lint::Finding;
+  using fastt::lint::LintConfig;
+
+  fastt::lint::DriverOptions driver;
+  std::string config_path;
+  std::string baseline_path;
+  std::string json_path;
+  std::string sarif_path;
+  std::string write_baseline_path;
+  bool list_rules = false;
+  std::vector<std::string> only;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](std::string* out) {
+      if (i + 1 >= argc) return false;
+      *out = argv[++i];
+      return true;
+    };
+    if (arg == "--compdb") {
+      if (!value(&driver.compdb_path)) return Fail("--compdb needs a path");
+    } else if (arg == "--root") {
+      if (!value(&driver.root)) return Fail("--root needs a path");
+    } else if (arg == "--config") {
+      if (!value(&config_path)) return Fail("--config needs a path");
+    } else if (arg == "--baseline") {
+      if (!value(&baseline_path)) return Fail("--baseline needs a path");
+    } else if (arg == "--json") {
+      if (!value(&json_path)) return Fail("--json needs a path");
+    } else if (arg == "--sarif") {
+      if (!value(&sarif_path)) return Fail("--sarif needs a path");
+    } else if (arg == "--write-baseline") {
+      if (!value(&write_baseline_path))
+        return Fail("--write-baseline needs a path");
+    } else if (arg == "--only") {
+      std::string p;
+      if (!value(&p)) return Fail("--only needs a path prefix");
+      only.push_back(p);
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--version") {
+      std::cout << fastt::BuildInfoLine() << "\n";
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    } else {
+      std::cerr << "fastt-lint: unknown argument \"" << arg << "\"\n"
+                << kUsage;
+      return 2;
+    }
+  }
+
+  if (list_rules) {
+    for (const auto& r : fastt::lint::RuleCatalog())
+      std::cout << r.id << "  " << fastt::lint::SeverityName(r.severity)
+                << "  " << r.summary << "\n";
+    return 0;
+  }
+  if (driver.compdb_path.empty()) {
+    std::cerr << kUsage;
+    return 2;
+  }
+  if (!only.empty()) driver.path_filters = only;
+
+  LintConfig cfg;
+  if (!config_path.empty()) {
+    std::string text;
+    if (!ReadWhole(config_path, &text))
+      return Fail("cannot read config file " + config_path);
+    std::string err;
+    if (!fastt::lint::LoadLintConfig(text, &cfg, &err)) return Fail(err);
+  }
+
+  std::vector<fastt::lint::SourceFile> sources;
+  std::string err;
+  if (!fastt::lint::CollectSources(driver, &sources, &err)) return Fail(err);
+
+  std::vector<Finding> findings = fastt::lint::LintSources(sources, cfg);
+
+  BaselineResult baseline;
+  bool have_baseline = false;
+  if (!baseline_path.empty()) {
+    std::string text;
+    if (!ReadWhole(baseline_path, &text))
+      return Fail("cannot read baseline file " + baseline_path);
+    std::vector<fastt::lint::BaselineEntry> entries;
+    if (!fastt::lint::LoadBaseline(text, &entries, &err))
+      return Fail("baseline file " + baseline_path + ": " + err);
+    baseline = fastt::lint::ApplyBaseline(&findings, entries);
+    have_baseline = true;
+  }
+
+  if (!write_baseline_path.empty()) {
+    if (!WriteWhole(write_baseline_path,
+                    fastt::lint::BaselineToJson(findings)))
+      return Fail("cannot write baseline to " + write_baseline_path);
+    std::cout << "wrote baseline to " << write_baseline_path << "\n";
+  }
+  if (!json_path.empty()) {
+    if (!WriteWhole(json_path,
+                    fastt::lint::FindingsToJson(
+                        findings, have_baseline ? &baseline : nullptr,
+                        sources.size())))
+      return Fail("cannot write JSON report to " + json_path);
+  }
+  if (!sarif_path.empty()) {
+    if (!WriteWhole(sarif_path, fastt::lint::FindingsToSarif(findings)))
+      return Fail("cannot write SARIF report to " + sarif_path);
+  }
+
+  std::cout << fastt::lint::FindingsToText(
+      findings, have_baseline ? &baseline : nullptr);
+  std::cout << "scanned " << sources.size() << " file(s)\n";
+  return fastt::lint::ExitCodeFor(findings);
+}
